@@ -1,0 +1,77 @@
+package spilly_test
+
+// One testing.B benchmark per paper table/figure, each dispatching into the
+// experiment harness (internal/bench) in quick mode. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Each experiment takes seconds to minutes, so the default benchtime keeps
+// N at 1. For the full-size sweeps use cmd/spillybench without -quick.
+
+import (
+	"io"
+	"testing"
+
+	"github.com/spilly-db/spilly/internal/bench"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e := bench.ByID(id)
+	if e == nil {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	for i := 0; i < b.N; i++ {
+		if err := e.Run(io.Discard, bench.Options{Quick: true}); err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+	}
+}
+
+// BenchmarkSec2HWCost regenerates the §2 hardware-cost table.
+func BenchmarkSec2HWCost(b *testing.B) { benchExperiment(b, "sec2-hw-cost") }
+
+// BenchmarkSec3IOModel regenerates the §3 hash-table-vs-partitioning table.
+func BenchmarkSec3IOModel(b *testing.B) { benchExperiment(b, "sec3-io-model") }
+
+// BenchmarkFig2OperatorChoice regenerates Figure 2.
+func BenchmarkFig2OperatorChoice(b *testing.B) { benchExperiment(b, "fig2") }
+
+// BenchmarkSec44CyclesPerByte regenerates the §4.4 cycles/byte table.
+func BenchmarkSec44CyclesPerByte(b *testing.B) { benchExperiment(b, "sec44-cpb") }
+
+// BenchmarkFig3Compression regenerates Figure 3.
+func BenchmarkFig3Compression(b *testing.B) { benchExperiment(b, "fig3") }
+
+// BenchmarkSec52TableCompression regenerates the §5.2 compression table.
+func BenchmarkSec52TableCompression(b *testing.B) { benchExperiment(b, "sec52-tablecomp") }
+
+// BenchmarkFig5HotRuns regenerates Figure 5.
+func BenchmarkFig5HotRuns(b *testing.B) { benchExperiment(b, "fig5") }
+
+// BenchmarkFig6ColdScaling regenerates Figure 6 and the §6.2 tables.
+func BenchmarkFig6ColdScaling(b *testing.B) { benchExperiment(b, "fig6") }
+
+// BenchmarkFig7SpillingAgg regenerates Figure 7.
+func BenchmarkFig7SpillingAgg(b *testing.B) { benchExperiment(b, "fig7") }
+
+// BenchmarkFig8Traces regenerates Figure 8.
+func BenchmarkFig8Traces(b *testing.B) { benchExperiment(b, "fig8") }
+
+// BenchmarkSec65Hybrid regenerates the §6.5 hybrid-vs-spill-all table.
+func BenchmarkSec65Hybrid(b *testing.B) { benchExperiment(b, "sec65-hybrid") }
+
+// BenchmarkFig9Adaptive regenerates Figure 9.
+func BenchmarkFig9Adaptive(b *testing.B) { benchExperiment(b, "fig9") }
+
+// BenchmarkSec66HashingCost regenerates the §6.6 hashing-cost table.
+func BenchmarkSec66HashingCost(b *testing.B) { benchExperiment(b, "sec66-hashing") }
+
+// BenchmarkFig10SpillingJoin regenerates Figure 10.
+func BenchmarkFig10SpillingJoin(b *testing.B) { benchExperiment(b, "fig10") }
+
+// BenchmarkFig11SelfReg regenerates Figure 11.
+func BenchmarkFig11SelfReg(b *testing.B) { benchExperiment(b, "fig11") }
+
+// BenchmarkFig12Cloud regenerates Figure 12.
+func BenchmarkFig12Cloud(b *testing.B) { benchExperiment(b, "fig12") }

@@ -1,0 +1,76 @@
+// Command spillybench regenerates the paper's evaluation tables and
+// figures on the simulated NVMe hardware.
+//
+// Usage:
+//
+//	spillybench -list
+//	spillybench -exp fig6
+//	spillybench -exp all -quick
+//	spillybench -exp fig11 -sf 0.05 -budget 4194304
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/spilly-db/spilly/internal/bench"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "", "experiment id to run, or \"all\"")
+		list    = flag.Bool("list", false, "list experiments")
+		quick   = flag.Bool("quick", false, "shrink scale factors and sweeps")
+		workers = flag.Int("workers", 2, "worker goroutines per query")
+		sfsFlag = flag.String("sf", "", "comma-separated scale factors overriding the default sweep")
+		budget  = flag.Int64("budget", 0, "memory budget in bytes (0 = experiment default)")
+	)
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("Experiments (run with -exp <id>):")
+		for _, e := range bench.All() {
+			fmt.Printf("  %-18s %s\n", e.ID, e.Paper)
+		}
+		return
+	}
+
+	opts := bench.Options{Quick: *quick, Workers: *workers, Budget: *budget}
+	if *sfsFlag != "" {
+		for _, s := range strings.Split(*sfsFlag, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bad -sf value %q: %v\n", s, err)
+				os.Exit(1)
+			}
+			opts.SFs = append(opts.SFs, v)
+		}
+	}
+
+	run := func(e bench.Experiment) {
+		fmt.Printf("=== %s — %s ===\n\n", e.ID, e.Paper)
+		start := time.Now()
+		if err := e.Run(os.Stdout, opts); err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\n(%s took %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+	}
+
+	if *exp == "all" {
+		for _, e := range bench.All() {
+			run(e)
+		}
+		return
+	}
+	e := bench.ByID(*exp)
+	if e == nil {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *exp)
+		os.Exit(1)
+	}
+	run(*e)
+}

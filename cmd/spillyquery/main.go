@@ -1,0 +1,88 @@
+// Command spillyquery runs a TPC-H query against the engine with
+// configurable memory budget, storage placement, and materialization mode,
+// printing the result and execution statistics. It is the interactive way
+// to watch Umami switch between in-memory and out-of-memory processing.
+//
+// Examples:
+//
+//	spillyquery -q 1 -sf 0.01
+//	spillyquery -q 9 -sf 0.05 -budget 2097152 -array
+//	spillyquery -q 9 -sf 0.05 -budget 2097152 -mode never -nospill   # fails like an in-memory engine
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	spilly "github.com/spilly-db/spilly"
+)
+
+func main() {
+	var (
+		q        = flag.Int("q", 1, "TPC-H query number (1-22)")
+		sf       = flag.Float64("sf", 0.01, "scale factor")
+		budget   = flag.Int64("budget", 0, "memory budget in bytes (0 = unlimited)")
+		onArray  = flag.Bool("array", false, "store tables on the simulated NVMe array")
+		workers  = flag.Int("workers", 2, "worker goroutines")
+		compress = flag.Bool("compress", true, "self-regulating compression for spilled data")
+		nospill  = flag.Bool("nospill", false, "disable spilling (fail on OOM)")
+		mode     = flag.String("mode", "adaptive", "materialization mode: adaptive|never|always|spillall")
+		rows     = flag.Int("rows", 20, "result rows to print")
+		tblDir   = flag.String("tbl", "", "load dbgen-format .tbl files from this directory instead of generating")
+	)
+	flag.Parse()
+
+	modes := map[string]spilly.Mode{
+		"adaptive": spilly.Adaptive,
+		"never":    spilly.NeverPartition,
+		"always":   spilly.AlwaysPartition,
+		"spillall": spilly.SpillAll,
+	}
+	m, ok := modes[*mode]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
+		os.Exit(1)
+	}
+
+	eng, err := spilly.Open(spilly.Config{
+		Workers:      *workers,
+		MemoryBudget: *budget,
+		Mode:         m,
+		DisableSpill: *nospill,
+		Compression:  *compress,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *tblDir != "" {
+		err = eng.LoadTPCHTbl(*tblDir, *sf, *onArray)
+	} else {
+		err = eng.LoadTPCH(*sf, *onArray)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	res, err := eng.RunTPCH(*q)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "Q%d failed: %v\n", *q, err)
+		os.Exit(1)
+	}
+	fmt.Print(spilly.FormatBatch(res.Batch, *rows))
+	s := res.Stats
+	fmt.Printf("\nQ%d: %v, %d rows out\n", *q, s.Duration, res.Batch.Len())
+	fmt.Printf("scanned: %d tuples (%.1f MB), %.0f tuples/s, %.1f cycles/byte\n",
+		s.ScannedRows, float64(s.ScannedBytes)/(1<<20), s.TuplesPerSec, s.CyclesPerByte)
+	if s.SpilledBytes > 0 {
+		fmt.Printf("spilled: %.1f MB raw, %.1f MB written (compressed), %.1f MB read back\n",
+			float64(s.SpilledBytes)/(1<<20), float64(s.WrittenBytes)/(1<<20), float64(s.SpillReadBytes)/(1<<20))
+		if len(s.Schemes) > 0 {
+			fmt.Printf("compression schemes: %v\n", s.Schemes)
+		}
+	} else {
+		fmt.Println("spilled: nothing (stayed in memory)")
+	}
+}

@@ -1,0 +1,78 @@
+// Command tpchgen generates TPC-H tables and reports their shape; with
+// -out it writes .tbl files in dbgen's pipe-separated format.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/spilly-db/spilly/internal/colstore"
+	"github.com/spilly-db/spilly/internal/data"
+	"github.com/spilly-db/spilly/internal/tpch"
+)
+
+func main() {
+	var (
+		sf    = flag.Float64("sf", 0.01, "scale factor")
+		out   = flag.String("out", "", "directory to write .tbl files (empty: just report)")
+		table = flag.String("table", "", "generate only this table")
+	)
+	flag.Parse()
+
+	g := &tpch.Gen{SF: *sf}
+	names := tpch.TableNames
+	if *table != "" {
+		names = []string{*table}
+	}
+	for _, name := range names {
+		t := g.Table(name)
+		fmt.Printf("%-10s %10d rows  %2d columns\n", name, t.Rows(), t.Schema().Len())
+		if *out != "" {
+			if err := writeTbl(*out, t); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+func writeTbl(dir string, t *colstore.MemTable) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, t.Name()+".tbl"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriterSize(f, 1<<20)
+	schema := t.Schema()
+	var sb strings.Builder
+	for r := 0; r < int(t.Rows()); r++ {
+		sb.Reset()
+		for c := 0; c < schema.Len(); c++ {
+			col := t.Column(c)
+			switch col.Type {
+			case data.Float64:
+				fmt.Fprintf(&sb, "%.2f|", col.F[r])
+			case data.String:
+				sb.WriteString(col.S[r])
+				sb.WriteByte('|')
+			case data.Date:
+				sb.WriteString(data.FormatDate(col.I[r]))
+				sb.WriteByte('|')
+			default:
+				fmt.Fprintf(&sb, "%d|", col.I[r])
+			}
+		}
+		sb.WriteByte('\n')
+		if _, err := w.WriteString(sb.String()); err != nil {
+			return err
+		}
+	}
+	return w.Flush()
+}

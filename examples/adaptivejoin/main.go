@@ -1,0 +1,53 @@
+// Adaptivejoin demonstrates the unified hash join (§4.5) under shrinking
+// memory: the same physical operator — no plan change, no restart — runs as
+// a simple in-memory hash join, then starts partitioning, then hybrid-
+// spills build and probe partitions to the NVMe array as the budget drops.
+// It mirrors the paper's §6.7 join microbenchmark (lineitem ⋈ partsupp
+// with wide output tuples).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	spilly "github.com/spilly-db/spilly"
+)
+
+func main() {
+	fmt.Println("lineitem ⋈ partsupp (TPC-H SF 0.05) under shrinking memory budgets:")
+	fmt.Println()
+
+	var refRows int
+	for _, budgetMB := range []int64{0, 16, 4, 1} {
+		eng, err := spilly.Open(spilly.Config{
+			Workers:      2,
+			MemoryBudget: budgetMB << 20,
+			Compression:  true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := eng.LoadTPCH(0.05, false); err != nil {
+			log.Fatal(err)
+		}
+		res, err := eng.Run(eng.JoinMicroPlan())
+		if err != nil {
+			log.Fatal(err)
+		}
+		label := "unlimited"
+		if budgetMB > 0 {
+			label = fmt.Sprintf("%d MB", budgetMB)
+		}
+		fmt.Printf("budget %-9s rows=%-7d %8.0f tuples/s  spilled=%5.1fMB read back=%5.1fMB\n",
+			label, res.Batch.Len(), res.Stats.TuplesPerSec,
+			float64(res.Stats.SpilledBytes)/(1<<20), float64(res.Stats.SpillReadBytes)/(1<<20))
+
+		if refRows == 0 {
+			refRows = res.Batch.Len()
+		} else if res.Batch.Len() != refRows {
+			log.Fatalf("result changed under memory pressure: %d vs %d rows", res.Batch.Len(), refRows)
+		}
+	}
+	fmt.Println("\nEvery run returns the same join result; only the materialization")
+	fmt.Println("strategy adapts — the paper's \"no physical operator choice\" claim.")
+}

@@ -1,0 +1,45 @@
+// Cloudtune demonstrates self-regulating compression (§4.4/§6.8): the same
+// spilling query runs against NVMe arrays of different sizes, and the
+// regulator picks deeper compression when I/O is scarce and phases it out
+// as bandwidth grows — without any configuration.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	spilly "github.com/spilly-db/spilly"
+)
+
+func measure(devices int, compress bool) (tuplesPerSec float64, schemes map[string]int64) {
+	eng, err := spilly.Open(spilly.Config{
+		Workers:      2,
+		MemoryBudget: 2 << 20,
+		Compression:  compress,
+		SpillDevices: devices,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := eng.LoadTPCH(0.05, false); err != nil {
+		log.Fatal(err)
+	}
+	res, err := eng.Run(eng.AggMicroPlan())
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res.Stats.TuplesPerSec, res.Stats.Schemes
+}
+
+func main() {
+	fmt.Println("Spilling aggregation with 1..8 simulated SSDs (§6.8 scenario):")
+	fmt.Println()
+	for _, devices := range []int{1, 2, 4, 8} {
+		withC, schemes := measure(devices, true)
+		without, _ := measure(devices, false)
+		fmt.Printf("%d SSD(s): %8.0f tup/s self-regulating vs %8.0f tup/s uncompressed (%.2fx)  schemes=%v\n",
+			devices, withC, without, withC/without, schemes)
+	}
+	fmt.Println("\nThe regulator compresses aggressively on a single SSD and converges to")
+	fmt.Println("raw writes once the array outruns the CPU — and never hurts (Figure 11).")
+}

@@ -1,0 +1,3 @@
+module github.com/spilly-db/spilly
+
+go 1.22

@@ -1,0 +1,83 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	spilly "github.com/spilly-db/spilly"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "ablation-umami",
+		Paper: "ablation: Umami design choices (partition count, page size) under spilling",
+		Run:   runAblation,
+	})
+}
+
+// runAblation sweeps the two knobs DESIGN.md calls out as fixed by the
+// paper (64 partitions, 64 KiB pages) on the spilling aggregation
+// microbenchmark, showing why the defaults sit where they do: too few
+// partitions lose hybrid granularity and phase-2 locality; too many
+// multiply the active working set; small pages multiply per-write latency;
+// oversized pages waste budget granularity.
+func runAblation(w io.Writer, o Options) error {
+	sf := 0.05
+	budget := o.budget(4 << 20)
+	if o.Quick {
+		sf = 0.02
+	}
+	device := spilly.DefaultDevice.Scaled(goCPUFactor)
+	fmt.Fprintf(w, "Spilling aggregation microbenchmark (SF %g, %s budget, 2 SSDs),\n", sf, fmtBytes(budget))
+	fmt.Fprintln(w, "sweeping Umami's partition count and page size independently.")
+	fmt.Fprintln(w)
+
+	measure := func(parts, pageSize int) (float64, int64, error) {
+		eng, err := spilly.Open(spilly.Config{
+			Workers: o.workers(), MemoryBudget: budget, Compression: true,
+			SpillDevices: 2, Device: device,
+			Partitions: parts, PageSize: pageSize,
+		})
+		if err != nil {
+			return 0, 0, err
+		}
+		if err := eng.LoadTPCH(sf, false); err != nil {
+			return 0, 0, err
+		}
+		res, err := eng.Run(eng.AggMicroPlan())
+		if err != nil {
+			return 0, 0, err
+		}
+		return res.Stats.TuplesPerSec, res.Stats.SpilledBytes, nil
+	}
+
+	pt := newTable("Partitions", "Page size", "tup/s", "Spilled")
+	parts := []int{8, 16, 64}
+	if o.Quick {
+		parts = []int{8, 64}
+	}
+	for _, p := range parts {
+		tps, spilled, err := measure(p, 16<<10)
+		if err != nil {
+			return err
+		}
+		pt.row(p, "16KB", tps, fmtBytes(spilled))
+	}
+	sizes := []int{4 << 10, 16 << 10, 64 << 10}
+	if o.Quick {
+		sizes = []int{4 << 10, 64 << 10}
+	}
+	for _, ps := range sizes {
+		tps, spilled, err := measure(16, ps)
+		if err != nil {
+			return err
+		}
+		pt.row(16, fmtBytes(int64(ps)), tps, fmtBytes(spilled))
+	}
+	pt.write(w)
+	fmt.Fprintln(w, "\nShape check: throughput is flat across moderate partition counts (the")
+	fmt.Fprintln(w, "adaptivity works at any fan-out that fits the budget) and page size")
+	fmt.Fprintln(w, "trades per-write overhead against working-set granularity, peaking in")
+	fmt.Fprintln(w, "the middle at this budget — the paper's 64 KiB assumes a 384 GB budget.")
+	return nil
+}

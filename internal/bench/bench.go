@@ -1,0 +1,307 @@
+// Package bench is the experiment harness: for every table and figure in
+// the paper's evaluation it provides a function that regenerates the
+// corresponding rows/series on the simulated hardware. The cmd/spillybench
+// binary and the repository's bench_test.go both dispatch into this
+// package; EXPERIMENTS.md records paper-versus-measured for each entry.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	spilly "github.com/spilly-db/spilly"
+	"github.com/spilly-db/spilly/internal/exec"
+	"github.com/spilly-db/spilly/internal/tpch"
+)
+
+// goCPUFactor calibrates experiments whose shape depends on the CPU-to-I/O
+// bandwidth ratio (Figures 11 and 12). The engine's default device scaling
+// (DESIGN.md) preserves the paper's per-core byte ratios, but this Go
+// engine processes roughly 4x fewer tuples per core-second than the
+// paper's generated C++, so workloads that were I/O-bound on the paper's
+// testbed become CPU-bound here. Scaling device bandwidth by the same
+// factor restores the published regime; see EXPERIMENTS.md.
+const goCPUFactor = 0.25
+
+// bestOf runs f n times and returns the best (max) result of each pair —
+// single-run wall-clock measurements on a 1-core box are noisy.
+func bestOf(n int, f func() (float64, map[string]int64)) (float64, map[string]int64) {
+	var best float64
+	var schemes map[string]int64
+	for i := 0; i < n; i++ {
+		v, s := f()
+		if v > best {
+			best = v
+			schemes = s
+		}
+	}
+	return best, schemes
+}
+
+// Options configures an experiment run.
+type Options struct {
+	// Quick shrinks scale factors and sweeps for smoke tests.
+	Quick bool
+	// Workers per query (default 2: this box has one core, but two
+	// workers still exercise all concurrency paths).
+	Workers int
+	// SFs overrides the default scale-factor sweep.
+	SFs []float64
+	// Budget overrides the default memory budget in bytes.
+	Budget int64
+}
+
+func (o Options) workers() int {
+	if o.Workers <= 0 {
+		return 2
+	}
+	return o.Workers
+}
+
+func (o Options) sweep(def []float64) []float64 {
+	if len(o.SFs) > 0 {
+		return o.SFs
+	}
+	if o.Quick {
+		if len(def) > 2 {
+			return def[:2]
+		}
+	}
+	return def
+}
+
+func (o Options) budget(def int64) int64 {
+	if o.Budget > 0 {
+		return o.Budget
+	}
+	return def
+}
+
+// Experiment regenerates one paper artifact, writing a plain-text report.
+type Experiment struct {
+	ID    string
+	Paper string // which table/figure this regenerates
+	Run   func(w io.Writer, o Options) error
+}
+
+var registry []Experiment
+
+func register(e Experiment) { registry = append(registry, e) }
+
+// All returns every experiment, in registration (paper) order.
+func All() []Experiment { return registry }
+
+// ByID returns the experiment with the given id, or nil.
+func ByID(id string) *Experiment {
+	for i := range registry {
+		if registry[i].ID == id {
+			return &registry[i]
+		}
+	}
+	return nil
+}
+
+// --- shared helpers ---
+
+// system is a named engine configuration standing in for one of the
+// paper's comparison systems (see DESIGN.md for the substitution table).
+type system struct {
+	Name string
+	// Role documents which evaluated system this configuration plays.
+	Role string
+	Make func(budget int64, workers int, spillDevices int) spilly.Config
+}
+
+// systems returns the comparison lineup:
+//
+//   - Spilly: the paper's engine — adaptive materialization, hybrid
+//     spilling, self-regulating compression.
+//   - InMemDB: a pure in-memory engine (Hyper's role): fastest operators,
+//     fails when the budget is exceeded.
+//   - HybridDB: an out-of-memory-capable engine that always partitions its
+//     hash operators HHJ-style (DuckDB's role).
+//   - PartDB: an HDD-era engine (Column Store S's role): grace joins,
+//     no pre-aggregation, one spill device, no compression.
+func systems() []system {
+	return []system{
+		{"Spilly", "the paper's engine", func(b int64, w, d int) spilly.Config {
+			return spilly.Config{Workers: w, MemoryBudget: b, Compression: true, SpillDevices: d}
+		}},
+		{"InMemDB", "in-memory engine (Hyper)", func(b int64, w, d int) spilly.Config {
+			return spilly.Config{Workers: w, MemoryBudget: b, Mode: spilly.NeverPartition, DisableSpill: true}
+		}},
+		{"HybridDB", "partitioning OOM-capable engine (DuckDB)", func(b int64, w, d int) spilly.Config {
+			return spilly.Config{Workers: w, MemoryBudget: b, Mode: spilly.AlwaysPartition, SpillDevices: d}
+		}},
+		{"PartDB", "HDD-era robust engine (Column Store S)", func(b int64, w, d int) spilly.Config {
+			return spilly.Config{Workers: w, MemoryBudget: b, Mode: spilly.AlwaysPartition,
+				ForceGrace: true, NoPreAgg: true, SpillDevices: 1}
+		}},
+	}
+}
+
+// runAllQueries executes TPC-H queries 1..22 on eng and returns total
+// scanned tuples, total time, and per-query times. Failed queries (OOM)
+// abort with the error.
+func runAllQueries(eng *spilly.Engine) (tuples int64, total time.Duration, perQuery []time.Duration, err error) {
+	perQuery = make([]time.Duration, tpch.NumQueries+1)
+	for q := 1; q <= tpch.NumQueries; q++ {
+		eng.ClearCaches()
+		res, qerr := eng.RunTPCH(q)
+		if qerr != nil {
+			return 0, 0, nil, fmt.Errorf("Q%d: %w", q, qerr)
+		}
+		tuples += res.Stats.ScannedRows
+		total += res.Stats.Duration
+		perQuery[q] = res.Stats.Duration
+	}
+	return tuples, total, perQuery, nil
+}
+
+// geoMean returns the geometric mean of positive values.
+func geoMean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range vals {
+		s += math.Log(v)
+	}
+	return math.Exp(s / float64(len(vals)))
+}
+
+// table is a simple aligned text table writer.
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func newTable(header ...string) *table { return &table{header: header} }
+
+func (t *table) row(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = formatFloat(v)
+		case time.Duration:
+			row[i] = fmt.Sprintf("%.3fs", v.Seconds())
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case math.Abs(v) >= 1e6:
+		return fmt.Sprintf("%.3gM", v/1e6)
+	case math.Abs(v) >= 1000:
+		return fmt.Sprintf("%.3gk", v/1000)
+	case math.Abs(v) >= 10:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+func (t *table) write(w io.Writer) {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = c + strings.Repeat(" ", widths[i]-len(c))
+		}
+		fmt.Fprintln(w, strings.Join(parts, "  "))
+	}
+	line(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.rows {
+		line(r)
+	}
+}
+
+// fmtBytes renders a byte count with a binary unit.
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.2fGB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+// newEngine opens an engine, loading TPC-H at sf (onArray = external).
+func newEngine(cfg spilly.Config, sf float64, onArray bool) (*spilly.Engine, error) {
+	eng, err := spilly.Open(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.CacheBytes == 0 && onArray {
+		// External scans need a cache only for hot runs; cold-run
+		// experiments pass CacheBytes 0 and clear between queries.
+		_ = eng
+	}
+	if err := eng.LoadTPCH(sf, onArray); err != nil {
+		return nil, err
+	}
+	return eng, nil
+}
+
+// schemeSummary renders a scheme histogram sorted by page count.
+func schemeSummary(schemes map[string]int64) string {
+	if len(schemes) == 0 {
+		return "-"
+	}
+	type kv struct {
+		k string
+		v int64
+	}
+	var list []kv
+	var total int64
+	for k, v := range schemes {
+		list = append(list, kv{k, v})
+		total += v
+	}
+	sort.Slice(list, func(i, j int) bool { return list[i].v > list[j].v })
+	parts := make([]string, 0, len(list))
+	for _, e := range list {
+		parts = append(parts, fmt.Sprintf("%s %.0f%%", e.k, 100*float64(e.v)/float64(total)))
+	}
+	return strings.Join(parts, ", ")
+}
+
+// microPlan builds one of the two paper microbenchmarks by name.
+func microPlan(eng *spilly.Engine, name string) exec.Node {
+	if name == "join" {
+		return eng.JoinMicroPlan()
+	}
+	return eng.AggMicroPlan()
+}

@@ -1,0 +1,246 @@
+package codec
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// bwtCodec is a from-scratch Burrows-Wheeler block-sorting compressor
+// standing in for BZ2: a BWT (via a prefix-doubling suffix array over the
+// block plus sentinel), a move-to-front transform, and a flate entropy
+// stage. Like BZ2 in the paper's Figure 3, it compresses well but its cost
+// is an order of magnitude above the other schemes, so the unified scale
+// excludes it.
+type bwtCodec struct {
+	pool sync.Pool // *flate.Writer, level 6
+}
+
+func init() { register(&bwtCodec{}) }
+
+func (c *bwtCodec) ID() ID       { return BWT }
+func (c *bwtCodec) Name() string { return "bwt" }
+
+func (c *bwtCodec) Compress(dst, src []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(src)))
+	if len(src) == 0 {
+		return dst
+	}
+	l, primary := bwtForward(src)
+	dst = binary.AppendUvarint(dst, uint64(primary))
+	mtfEncode(l)
+	var buf bytes.Buffer
+	w, _ := c.pool.Get().(*flate.Writer)
+	if w == nil {
+		w, _ = flate.NewWriter(&buf, 6)
+	} else {
+		w.Reset(&buf)
+	}
+	if _, err := w.Write(l); err != nil {
+		panic(fmt.Sprintf("codec: bwt flate write: %v", err))
+	}
+	if err := w.Close(); err != nil {
+		panic(fmt.Sprintf("codec: bwt flate close: %v", err))
+	}
+	c.pool.Put(w)
+	return append(dst, buf.Bytes()...)
+}
+
+func (c *bwtCodec) Decompress(dst, src []byte) ([]byte, error) {
+	n, k := binary.Uvarint(src)
+	if k <= 0 {
+		return dst, ErrCorrupt
+	}
+	src = src[k:]
+	if n == 0 {
+		return dst, nil
+	}
+	primary, k := binary.Uvarint(src)
+	if k <= 0 || primary > n {
+		return dst, ErrCorrupt
+	}
+	src = src[k:]
+	r := flate.NewReader(bytes.NewReader(src))
+	defer r.Close()
+	l := make([]byte, 0, n)
+	buf := make([]byte, 32<<10)
+	for {
+		nr, err := r.Read(buf)
+		l = append(l, buf[:nr]...)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return dst, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+	}
+	if uint64(len(l)) != n {
+		return dst, ErrCorrupt
+	}
+	mtfDecode(l)
+	out, err := bwtInverse(l, int(primary))
+	if err != nil {
+		return dst, err
+	}
+	return append(dst, out...), nil
+}
+
+// bwtForward returns the Burrows-Wheeler transform of src (computed over
+// src plus a virtual sentinel smaller than every byte) with the sentinel
+// position removed, plus that position ("primary index").
+func bwtForward(src []byte) (l []byte, primary int) {
+	sa := suffixArray(src)
+	l = make([]byte, 0, len(src))
+	for i, j := range sa {
+		if j == 0 {
+			primary = i
+			continue // this row's last column is the sentinel; dropped
+		}
+		l = append(l, src[j-1])
+	}
+	return l, primary
+}
+
+// bwtInverse reverses bwtForward.
+func bwtInverse(l []byte, primary int) ([]byte, error) {
+	n := len(l)
+	m := n + 1
+	if primary > n {
+		return nil, ErrCorrupt
+	}
+	// Rebuild the full last column with the sentinel (symbol 0; bytes are
+	// shifted up by one).
+	full := make([]uint16, m)
+	for i, idx := 0, 0; i < m; i++ {
+		if i == primary {
+			full[i] = 0
+			continue
+		}
+		full[i] = uint16(l[idx]) + 1
+		idx++
+	}
+	// LF mapping: LF[i] = C[c] + rank of c within full[0..i].
+	var counts [257]int
+	for _, c := range full {
+		counts[c]++
+	}
+	var c [257]int
+	sum := 0
+	for s := 0; s < 257; s++ {
+		c[s] = sum
+		sum += counts[s]
+	}
+	lf := make([]int32, m)
+	var seen [257]int
+	for i, ch := range full {
+		lf[i] = int32(c[ch] + seen[ch])
+		seen[ch]++
+	}
+	// Row 0 is the rotation starting with the sentinel; its last column is
+	// the final byte of the text. Walk backward n times.
+	out := make([]byte, n)
+	i := int32(0)
+	for k := n - 1; k >= 0; k-- {
+		ch := full[i]
+		if ch == 0 {
+			return nil, ErrCorrupt // hit the sentinel too early
+		}
+		out[k] = byte(ch - 1)
+		i = lf[i]
+	}
+	return out, nil
+}
+
+// suffixArray computes the suffix array of s plus a sentinel smaller than
+// all bytes, by prefix doubling (O(n log^2 n)). Adequate for 64 KiB pages;
+// the BWT codec is *supposed* to be expensive (it plays BZ2's role).
+func suffixArray(s []byte) []int32 {
+	m := len(s) + 1
+	sa := make([]int32, m)
+	rank := make([]int32, m)
+	tmp := make([]int32, m)
+	for i := range sa {
+		sa[i] = int32(i)
+	}
+	for i := 0; i < len(s); i++ {
+		rank[i] = int32(s[i]) + 1
+	}
+	rank[m-1] = 0 // sentinel
+	for k := 1; ; k *= 2 {
+		second := func(i int32) int32 {
+			if int(i)+k < m {
+				return rank[int(i)+k] + 1
+			}
+			return 0
+		}
+		sort.Slice(sa, func(a, b int) bool {
+			x, y := sa[a], sa[b]
+			if rank[x] != rank[y] {
+				return rank[x] < rank[y]
+			}
+			return second(x) < second(y)
+		})
+		tmp[sa[0]] = 0
+		for i := 1; i < m; i++ {
+			p, q := sa[i-1], sa[i]
+			tmp[q] = tmp[p]
+			if rank[p] != rank[q] || second(p) != second(q) {
+				tmp[q]++
+			}
+		}
+		copy(rank, tmp)
+		if int(rank[sa[m-1]]) == m-1 && int(rank[sa[0]]) == 0 && allDistinct(rank, m) {
+			break
+		}
+		if k > m {
+			break
+		}
+	}
+	return sa
+}
+
+func allDistinct(rank []int32, m int) bool {
+	// Ranks are distinct iff the maximum rank equals m-1.
+	var max int32
+	for _, r := range rank {
+		if r > max {
+			max = r
+		}
+	}
+	return int(max) == m-1
+}
+
+// mtfEncode applies the move-to-front transform in place.
+func mtfEncode(data []byte) {
+	var alphabet [256]byte
+	for i := range alphabet {
+		alphabet[i] = byte(i)
+	}
+	for i, b := range data {
+		var j int
+		for alphabet[j] != b {
+			j++
+		}
+		data[i] = byte(j)
+		copy(alphabet[1:], alphabet[:j])
+		alphabet[0] = b
+	}
+}
+
+// mtfDecode reverses mtfEncode in place.
+func mtfDecode(data []byte) {
+	var alphabet [256]byte
+	for i := range alphabet {
+		alphabet[i] = byte(i)
+	}
+	for i, j := range data {
+		b := alphabet[j]
+		data[i] = b
+		copy(alphabet[1:], alphabet[:j])
+		alphabet[0] = b
+	}
+}

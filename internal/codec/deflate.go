@@ -1,0 +1,85 @@
+package codec
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// deflateCodec wraps stdlib compress/flate. Its levels stand in for the
+// paper's ZSTD settings: a dictionary-window entropy-coded scheme that is
+// slower but compresses better than the LZ4 family (see DESIGN.md for the
+// substitution rationale). Frame: uvarint decompressed length + raw DEFLATE
+// stream.
+type deflateCodec struct {
+	id    ID
+	name  string
+	level int
+	pool  sync.Pool // *flate.Writer
+}
+
+func newDeflate(id ID, name string, level int) *deflateCodec {
+	return &deflateCodec{id: id, name: name, level: level}
+}
+
+func init() {
+	register(newDeflate(Deflate1, "deflate-1", 1))
+	register(newDeflate(Deflate3, "deflate-3", 3))
+	register(newDeflate(Deflate6, "deflate-6", 6))
+	register(newDeflate(Deflate9, "deflate-9", 9))
+}
+
+func (c *deflateCodec) ID() ID       { return c.id }
+func (c *deflateCodec) Name() string { return c.name }
+
+func (c *deflateCodec) Compress(dst, src []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(src)))
+	var buf bytes.Buffer
+	w, _ := c.pool.Get().(*flate.Writer)
+	if w == nil {
+		var err error
+		w, err = flate.NewWriter(&buf, c.level)
+		if err != nil {
+			panic(fmt.Sprintf("codec: flate.NewWriter(%d): %v", c.level, err))
+		}
+	} else {
+		w.Reset(&buf)
+	}
+	if _, err := w.Write(src); err != nil {
+		panic(fmt.Sprintf("codec: flate write to memory failed: %v", err))
+	}
+	if err := w.Close(); err != nil {
+		panic(fmt.Sprintf("codec: flate close failed: %v", err))
+	}
+	c.pool.Put(w)
+	return append(dst, buf.Bytes()...)
+}
+
+func (c *deflateCodec) Decompress(dst, src []byte) ([]byte, error) {
+	want, n := binary.Uvarint(src)
+	if n <= 0 {
+		return dst, ErrCorrupt
+	}
+	r := flate.NewReader(bytes.NewReader(src[n:]))
+	defer r.Close()
+	base := len(dst)
+	out := dst
+	buf := make([]byte, 32<<10)
+	for {
+		nr, err := r.Read(buf)
+		out = append(out, buf[:nr]...)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return dst, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+	}
+	if len(out)-base != int(want) {
+		return dst, ErrCorrupt
+	}
+	return out, nil
+}

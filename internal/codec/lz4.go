@@ -1,0 +1,273 @@
+package codec
+
+import (
+	"encoding/binary"
+)
+
+// lz4Codec implements the LZ4 block format from scratch. The fast path uses
+// a single-probe hash table with LZ4's acceleration skip heuristic; the
+// high-compression path (depth > 0) uses hash chains and examines up to
+// depth candidates per position, like lz4hc. Together the settings span the
+// lower-left region of the paper's Figure 3 trade-off curve.
+//
+// Frame layout: uvarint(decompressed length) followed by LZ4 block
+// sequences: token (hi nibble literal length, lo nibble match length - 4,
+// 15 = extension bytes follow), literals, 2-byte little-endian match offset,
+// match length extension bytes. The final sequence is literals-only.
+type lz4Codec struct {
+	id    ID
+	name  string
+	accel int // fast path: skip acceleration (>=1); larger = faster, worse ratio
+	depth int // HC path: candidates per position; 0 selects the fast path
+}
+
+func init() {
+	register(&lz4Codec{id: LZ4Fastest, name: "lz4-a8", accel: 8})
+	register(&lz4Codec{id: LZ4Fast, name: "lz4-a4", accel: 4})
+	register(&lz4Codec{id: LZ4Default, name: "lz4", accel: 1})
+	register(&lz4Codec{id: LZ4HC4, name: "lz4-hc4", accel: 1, depth: 4})
+	register(&lz4Codec{id: LZ4HC16, name: "lz4-hc16", accel: 1, depth: 16})
+	register(&lz4Codec{id: LZ4HC64, name: "lz4-hc64", accel: 1, depth: 64})
+}
+
+func (c *lz4Codec) ID() ID       { return c.id }
+func (c *lz4Codec) Name() string { return c.name }
+
+const (
+	lz4MinMatch   = 4
+	lz4MaxOffset  = 65535
+	lz4HashLog    = 14
+	lz4TableSize  = 1 << lz4HashLog
+	lz4LastLits   = 5  // spec: last 5 bytes are always literals
+	lz4MatchGuard = 12 // spec: no match may start within the last 12 bytes
+)
+
+func lz4Hash(v uint32) uint32 {
+	return v * 2654435761 >> (32 - lz4HashLog)
+}
+
+func load32(b []byte, i int) uint32 {
+	return binary.LittleEndian.Uint32(b[i:])
+}
+
+func (c *lz4Codec) Compress(dst, src []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(src)))
+	if len(src) == 0 {
+		return dst
+	}
+	if len(src) < lz4MatchGuard+lz4MinMatch {
+		// Too short for any match: single literal run.
+		return lz4EmitFinal(dst, src)
+	}
+
+	var table [lz4TableSize]int32 // position+1 of last occurrence of each hash
+	var chain []int32             // HC: previous position+1 with same hash
+	if c.depth > 0 {
+		chain = make([]int32, len(src))
+	}
+
+	anchor := 0
+	ip := 1 // position 0 can never reference an earlier match
+	limit := len(src) - lz4MatchGuard
+	table[lz4Hash(load32(src, 0))] = 1
+
+	for ip <= limit {
+		h := lz4Hash(load32(src, ip))
+		cand := int(table[h]) - 1
+		if c.depth > 0 {
+			chain[ip] = table[h]
+		}
+		table[h] = int32(ip + 1)
+
+		matchPos, matchLen := -1, 0
+		if c.depth == 0 {
+			if cand >= 0 && ip-cand <= lz4MaxOffset && load32(src, cand) == load32(src, ip) {
+				matchPos = cand
+				matchLen = lz4ExtendMatch(src, cand, ip, limit+lz4MatchGuard-lz4LastLits)
+			}
+		} else {
+			// Walk the chain, keep the longest match.
+			end := limit + lz4MatchGuard - lz4LastLits
+			for probes := 0; cand >= 0 && ip-cand <= lz4MaxOffset && probes < c.depth; probes++ {
+				if load32(src, cand) == load32(src, ip) {
+					l := lz4ExtendMatch(src, cand, ip, end)
+					if l > matchLen {
+						matchLen, matchPos = l, cand
+					}
+				}
+				cand = int(chain[cand]) - 1
+			}
+		}
+
+		if matchLen < lz4MinMatch {
+			ip = lz4Advance(ip, anchor, c.accel)
+			continue
+		}
+
+		// Extend the match backward over pending literals.
+		for matchPos > 0 && ip > anchor && src[matchPos-1] == src[ip-1] {
+			matchPos--
+			ip--
+			matchLen++
+		}
+
+		dst = lz4EmitSequence(dst, src[anchor:ip], ip-matchPos, matchLen)
+		ip += matchLen
+		anchor = ip
+
+		// Index interior positions of the match region for future matches
+		// (cheap variant: index every other position).
+		if c.depth > 0 {
+			for j := ip - matchLen + 1; j < ip && j <= limit; j++ {
+				hj := lz4Hash(load32(src, j))
+				chain[j] = table[hj]
+				table[hj] = int32(j + 1)
+			}
+		}
+	}
+	return lz4EmitFinal(dst, src[anchor:])
+}
+
+// lz4Advance applies LZ4's skip-acceleration step: after many consecutive
+// literal misses the search stride grows, trading ratio for speed. Higher
+// acceleration settings grow the stride faster.
+func lz4Advance(ip, anchor, accel int) int {
+	return ip + 1 + (ip-anchor)>>6*accel
+}
+
+// lz4ExtendMatch returns the match length between positions ref and pos,
+// scanning no further than end.
+func lz4ExtendMatch(src []byte, ref, pos, end int) int {
+	n := 0
+	for pos+n < end && src[ref+n] == src[pos+n] {
+		n++
+	}
+	return n
+}
+
+func lz4EmitSequence(dst, literals []byte, offset, matchLen int) []byte {
+	litLen := len(literals)
+	ml := matchLen - lz4MinMatch
+	token := byte(0)
+	if litLen >= 15 {
+		token = 15 << 4
+	} else {
+		token = byte(litLen) << 4
+	}
+	if ml >= 15 {
+		token |= 15
+	} else {
+		token |= byte(ml)
+	}
+	dst = append(dst, token)
+	if litLen >= 15 {
+		dst = lz4EmitLen(dst, litLen-15)
+	}
+	dst = append(dst, literals...)
+	dst = append(dst, byte(offset), byte(offset>>8))
+	if ml >= 15 {
+		dst = lz4EmitLen(dst, ml-15)
+	}
+	return dst
+}
+
+// lz4EmitFinal writes the trailing literals-only sequence.
+func lz4EmitFinal(dst, literals []byte) []byte {
+	litLen := len(literals)
+	token := byte(0)
+	if litLen >= 15 {
+		token = 15 << 4
+	} else {
+		token = byte(litLen) << 4
+	}
+	dst = append(dst, token)
+	if litLen >= 15 {
+		dst = lz4EmitLen(dst, litLen-15)
+	}
+	return append(dst, literals...)
+}
+
+func lz4EmitLen(dst []byte, n int) []byte {
+	for n >= 255 {
+		dst = append(dst, 255)
+		n -= 255
+	}
+	return append(dst, byte(n))
+}
+
+func (c *lz4Codec) Decompress(dst, src []byte) ([]byte, error) {
+	return lz4Decompress(dst, src)
+}
+
+func lz4Decompress(dst, src []byte) ([]byte, error) {
+	want, n := binary.Uvarint(src)
+	if n <= 0 {
+		return dst, ErrCorrupt
+	}
+	src = src[n:]
+	base := len(dst)
+	out := dst
+	for len(src) > 0 {
+		token := src[0]
+		src = src[1:]
+		// Literals.
+		litLen := int(token >> 4)
+		if litLen == 15 {
+			var ok bool
+			litLen, src, ok = lz4ReadLen(litLen, src)
+			if !ok {
+				return dst, ErrCorrupt
+			}
+		}
+		if litLen > len(src) {
+			return dst, ErrCorrupt
+		}
+		out = append(out, src[:litLen]...)
+		src = src[litLen:]
+		if len(src) == 0 {
+			break // final literals-only sequence
+		}
+		// Match.
+		if len(src) < 2 {
+			return dst, ErrCorrupt
+		}
+		offset := int(src[0]) | int(src[1])<<8
+		src = src[2:]
+		if offset == 0 || offset > len(out)-base {
+			return dst, ErrCorrupt
+		}
+		matchLen := int(token & 15)
+		if matchLen == 15 {
+			var ok bool
+			matchLen, src, ok = lz4ReadLen(matchLen, src)
+			if !ok {
+				return dst, ErrCorrupt
+			}
+		}
+		matchLen += lz4MinMatch
+		// Byte-wise copy: overlapping matches are the RLE case and must
+		// copy forward one byte at a time.
+		pos := len(out) - offset
+		for i := 0; i < matchLen; i++ {
+			out = append(out, out[pos+i])
+		}
+	}
+	if len(out)-base != int(want) {
+		return dst, ErrCorrupt
+	}
+	return out, nil
+}
+
+func lz4ReadLen(n int, src []byte) (int, []byte, bool) {
+	for {
+		if len(src) == 0 {
+			return 0, src, false
+		}
+		b := src[0]
+		src = src[1:]
+		n += int(b)
+		if b != 255 {
+			return n, src, true
+		}
+	}
+}

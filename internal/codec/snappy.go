@@ -1,0 +1,194 @@
+package codec
+
+import "encoding/binary"
+
+// snappyCodec implements a Snappy-block-format-style codec from scratch:
+// uvarint decompressed length followed by tagged elements (literal runs and
+// copies with 1- or 2-byte offsets). It has one fixed setting; as in the
+// paper's Figure 3, it sits off the pareto frontier (our LZ4 settings
+// dominate it) and is therefore excluded from the unified scale.
+type snappyCodec struct{}
+
+func init() { register(snappyCodec{}) }
+
+func (snappyCodec) ID() ID       { return Snappy }
+func (snappyCodec) Name() string { return "snappy" }
+
+// Tag types (low two bits of the tag byte).
+const (
+	snTagLiteral = 0
+	snTagCopy1   = 1 // 1-byte offset: length 4..11, offset < 2048
+	snTagCopy2   = 2 // 2-byte offset: length 1..64, offset < 65536
+)
+
+const (
+	snHashLog   = 14
+	snTableSize = 1 << snHashLog
+)
+
+func snHash(v uint32) uint32 { return v * 0x1e35a7bd >> (32 - snHashLog) }
+
+func (snappyCodec) Compress(dst, src []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(src)))
+	if len(src) == 0 {
+		return dst
+	}
+	if len(src) < 16 {
+		return snEmitLiteral(dst, src)
+	}
+	var table [snTableSize]int32
+	anchor, ip := 0, 1
+	limit := len(src) - 8
+	table[snHash(load32(src, 0))] = 1
+	for ip <= limit {
+		h := snHash(load32(src, ip))
+		cand := int(table[h]) - 1
+		table[h] = int32(ip + 1)
+		if cand < 0 || ip-cand > 65535 || load32(src, cand) != load32(src, ip) {
+			ip += 1 + (ip-anchor)>>5
+			continue
+		}
+		matchLen := 4
+		for ip+matchLen < len(src) && src[cand+matchLen] == src[ip+matchLen] {
+			matchLen++
+		}
+		if anchor < ip {
+			dst = snEmitLiteral(dst, src[anchor:ip])
+		}
+		dst = snEmitCopy(dst, ip-cand, matchLen)
+		ip += matchLen
+		anchor = ip
+	}
+	if anchor < len(src) {
+		dst = snEmitLiteral(dst, src[anchor:])
+	}
+	return dst
+}
+
+func snEmitLiteral(dst, lit []byte) []byte {
+	n := len(lit) - 1
+	switch {
+	case n < 60:
+		dst = append(dst, byte(n)<<2|snTagLiteral)
+	case n < 1<<8:
+		dst = append(dst, 60<<2|snTagLiteral, byte(n))
+	case n < 1<<16:
+		dst = append(dst, 61<<2|snTagLiteral, byte(n), byte(n>>8))
+	default:
+		dst = append(dst, 62<<2|snTagLiteral, byte(n), byte(n>>8), byte(n>>16))
+	}
+	return append(dst, lit...)
+}
+
+func snEmitCopy(dst []byte, offset, length int) []byte {
+	// Long matches are emitted as a run of <=64-byte copies.
+	for length > 0 {
+		n := length
+		if n > 64 {
+			n = 64
+			// Avoid a trailing copy shorter than 4 (tag1 minimum isn't the
+			// issue — tag2 supports 1..64 — but keeping chunks >=4 preserves
+			// the option of tag1 below).
+			if length-64 < 4 {
+				n = length - 4
+			}
+		}
+		if n >= 4 && n <= 11 && offset < 2048 {
+			dst = append(dst,
+				byte(offset>>8)<<5|byte(n-4)<<2|snTagCopy1,
+				byte(offset))
+		} else {
+			dst = append(dst, byte(n-1)<<2|snTagCopy2, byte(offset), byte(offset>>8))
+		}
+		length -= n
+	}
+	return dst
+}
+
+func (snappyCodec) Decompress(dst, src []byte) ([]byte, error) {
+	want, n := binary.Uvarint(src)
+	if n <= 0 {
+		return dst, ErrCorrupt
+	}
+	src = src[n:]
+	base := len(dst)
+	out := dst
+	for len(src) > 0 {
+		tag := src[0]
+		src = src[1:]
+		switch tag & 3 {
+		case snTagLiteral:
+			length := int(tag >> 2)
+			switch {
+			case length < 60:
+				length++
+			case length == 60:
+				if len(src) < 1 {
+					return dst, ErrCorrupt
+				}
+				length = int(src[0]) + 1
+				src = src[1:]
+			case length == 61:
+				if len(src) < 2 {
+					return dst, ErrCorrupt
+				}
+				length = int(src[0]) | int(src[1])<<8
+				length++
+				src = src[2:]
+			default:
+				if len(src) < 3 {
+					return dst, ErrCorrupt
+				}
+				length = int(src[0]) | int(src[1])<<8 | int(src[2])<<16
+				length++
+				src = src[3:]
+			}
+			if length > len(src) {
+				return dst, ErrCorrupt
+			}
+			out = append(out, src[:length]...)
+			src = src[length:]
+		case snTagCopy1:
+			if len(src) < 1 {
+				return dst, ErrCorrupt
+			}
+			length := int(tag>>2&7) + 4
+			offset := int(tag>>5)<<8 | int(src[0])
+			src = src[1:]
+			var err error
+			out, err = snCopy(out, base, offset, length)
+			if err != nil {
+				return dst, err
+			}
+		case snTagCopy2:
+			if len(src) < 2 {
+				return dst, ErrCorrupt
+			}
+			length := int(tag>>2) + 1
+			offset := int(src[0]) | int(src[1])<<8
+			src = src[2:]
+			var err error
+			out, err = snCopy(out, base, offset, length)
+			if err != nil {
+				return dst, err
+			}
+		default:
+			return dst, ErrCorrupt // 4-byte offsets unused by our encoder
+		}
+	}
+	if len(out)-base != int(want) {
+		return dst, ErrCorrupt
+	}
+	return out, nil
+}
+
+func snCopy(out []byte, base, offset, length int) ([]byte, error) {
+	if offset == 0 || offset > len(out)-base {
+		return out, ErrCorrupt
+	}
+	pos := len(out) - offset
+	for i := 0; i < length; i++ {
+		out = append(out, out[pos+i])
+	}
+	return out, nil
+}

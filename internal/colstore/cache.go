@@ -1,0 +1,80 @@
+package colstore
+
+import (
+	"sync"
+
+	"github.com/spilly-db/spilly/internal/nvmesim"
+)
+
+// Cache is a simple block cache with random eviction, mirroring the buffer
+// cache the paper adds to Spilly's scan operator for the hot-run comparison
+// (§6.2: "a simple buffer cache using a random eviction policy"). Random
+// eviction exploits Go's randomized map iteration order.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int64
+	used     int64
+	blocks   map[nvmesim.Loc][]byte
+	hits     int64
+	misses   int64
+}
+
+// NewCache returns a cache holding up to capacity bytes.
+func NewCache(capacity int64) *Cache {
+	return &Cache{capacity: capacity, blocks: make(map[nvmesim.Loc][]byte)}
+}
+
+// Get returns the cached block for loc, if present.
+func (c *Cache) Get(loc nvmesim.Loc) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	b, ok := c.blocks[loc]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return b, ok
+}
+
+// Put inserts a block, evicting random victims if needed. The cache keeps a
+// reference to buf; callers must not modify it afterwards.
+func (c *Cache) Put(loc nvmesim.Loc, buf []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if int64(len(buf)) > c.capacity {
+		return
+	}
+	if old, ok := c.blocks[loc]; ok {
+		c.used -= int64(len(old))
+	}
+	for c.used+int64(len(buf)) > c.capacity {
+		evicted := false
+		for k, v := range c.blocks { // random iteration order = random eviction
+			delete(c.blocks, k)
+			c.used -= int64(len(v))
+			evicted = true
+			break
+		}
+		if !evicted {
+			break
+		}
+	}
+	c.blocks[loc] = buf
+	c.used += int64(len(buf))
+}
+
+// Clear empties the cache (cold runs clear the "OS page cache", §6.1).
+func (c *Cache) Clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.blocks = make(map[nvmesim.Loc][]byte)
+	c.used = 0
+}
+
+// Stats returns hit/miss counters and current fill.
+func (c *Cache) Stats() (hits, misses, used int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.used
+}

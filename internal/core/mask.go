@@ -1,0 +1,95 @@
+package core
+
+import "sync/atomic"
+
+// MaxPartitions bounds the partition count so that the hybrid spill state
+// fits one 64-bit mask, matching the paper's bitmap-based probe-side check
+// (§4.3, §5.3).
+const MaxPartitions = 64
+
+// SpillMask tracks which partitions have been chosen for spilling, shared
+// by all threads of an operator. The paper guards the bitmask with an
+// optimistic lock: a thread picks a victim, then publishes it, scrapping
+// its choice if another thread raced ahead (§5.3). A CAS loop implements
+// exactly those optimistic semantics.
+type SpillMask struct {
+	mask atomic.Uint64
+}
+
+// Load returns the current spilled-partition bitmask.
+func (m *SpillMask) Load() uint64 { return m.mask.Load() }
+
+// IsSpilled reports whether partition p is marked for spilling.
+func (m *SpillMask) IsSpilled(p int) bool {
+	return m.mask.Load()&(1<<uint(p)) != 0
+}
+
+// Count returns the number of spilled partitions.
+func (m *SpillMask) Count() int {
+	n := 0
+	v := m.mask.Load()
+	for v != 0 {
+		v &= v - 1
+		n++
+	}
+	return n
+}
+
+// Choose picks a partition to spill given the calling thread's local
+// partition sizes in bytes. Threads prefer a partition some thread already
+// chose (so the set of spilled partitions stays small — the hybrid
+// heuristic), otherwise they nominate their largest local partition, as
+// suggested by the HHJ literature the paper cites. The returned partition
+// is guaranteed to be marked in the mask. ok is false when nothing can be
+// chosen (no local data at all and nothing marked yet).
+func (m *SpillMask) Choose(localSizes []int64) (part int, ok bool) {
+	for {
+		cur := m.mask.Load()
+		// Prefer an already-spilled partition that this thread can
+		// actually free local memory from.
+		best, bestSize := -1, int64(0)
+		if cur != 0 {
+			for p, size := range localSizes {
+				if size > 0 && cur&(1<<uint(p)) != 0 && size > bestSize {
+					best, bestSize = p, size
+				}
+			}
+			if best >= 0 {
+				return best, true
+			}
+		}
+		// Otherwise nominate the largest local partition.
+		for p, size := range localSizes {
+			if size > bestSize && cur&(1<<uint(p)) == 0 {
+				best, bestSize = p, size
+			}
+		}
+		if best < 0 {
+			// Nothing local to offer; fall back to any marked partition.
+			if cur != 0 {
+				for p := 0; p < MaxPartitions; p++ {
+					if cur&(1<<uint(p)) != 0 {
+						return p, true
+					}
+				}
+			}
+			return -1, false
+		}
+		if m.mask.CompareAndSwap(cur, cur|1<<uint(best)) {
+			return best, true
+		}
+		// Another thread updated the mask in the meantime: scrap the
+		// choice and re-evaluate (optimistic concurrency).
+	}
+}
+
+// MarkSpilled unconditionally marks partition p (used when a thread must
+// spill the page it just filled).
+func (m *SpillMask) MarkSpilled(p int) {
+	for {
+		cur := m.mask.Load()
+		if m.mask.CompareAndSwap(cur, cur|1<<uint(p)) {
+			return
+		}
+	}
+}

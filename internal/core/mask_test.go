@@ -1,0 +1,70 @@
+package core
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestMaskChoosePrefersLargest(t *testing.T) {
+	var m SpillMask
+	part, ok := m.Choose([]int64{10, 500, 30, 0})
+	if !ok || part != 1 {
+		t.Fatalf("Choose = %d, %v; want largest partition 1", part, ok)
+	}
+	if !m.IsSpilled(1) || m.Count() != 1 {
+		t.Fatal("chosen partition not marked")
+	}
+}
+
+func TestMaskChoosePrefersAlreadySpilled(t *testing.T) {
+	var m SpillMask
+	m.MarkSpilled(2)
+	// Partition 3 is larger locally, but 2 is already spilled and this
+	// thread holds data there: prefer 2 to keep the spill set small.
+	part, ok := m.Choose([]int64{0, 0, 100, 900})
+	if !ok || part != 2 {
+		t.Fatalf("Choose = %d, want already-spilled 2", part)
+	}
+	if m.Count() != 1 {
+		t.Fatalf("mask grew to %d partitions", m.Count())
+	}
+}
+
+func TestMaskChooseFallsBackToMarked(t *testing.T) {
+	var m SpillMask
+	m.MarkSpilled(5)
+	part, ok := m.Choose(make([]int64, 8)) // no local data at all
+	if !ok || part != 5 {
+		t.Fatalf("Choose = %d, %v; want fallback to marked 5", part, ok)
+	}
+}
+
+func TestMaskChooseNothing(t *testing.T) {
+	var m SpillMask
+	if _, ok := m.Choose(make([]int64, 4)); ok {
+		t.Fatal("Choose succeeded with no data and empty mask")
+	}
+}
+
+func TestMaskConcurrentChoose(t *testing.T) {
+	var m SpillMask
+	sizes := []int64{1, 2, 3, 4, 5, 6, 7, 8}
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if part, ok := m.Choose(sizes); !ok || !m.IsSpilled(part) {
+					panic("chosen partition not marked")
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// All threads share the same local sizes, so they should converge on
+	// very few spilled partitions (the largest, then already-spilled).
+	if m.Count() != 1 {
+		t.Fatalf("concurrent choose spilled %d partitions, want 1", m.Count())
+	}
+}

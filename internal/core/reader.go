@@ -1,0 +1,170 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/spilly-db/spilly/internal/codec"
+	"github.com/spilly-db/spilly/internal/nvmesim"
+	"github.com/spilly-db/spilly/internal/pages"
+	"github.com/spilly-db/spilly/internal/uring"
+)
+
+// PartitionReader streams the spilled pages of one partition back from the
+// NVMe array. It keeps several block reads in flight (asynchronous I/O,
+// §5.1), decompresses staged pages, and yields them in completion order —
+// hash-based phase-2 algorithms are order-insensitive.
+//
+// Returned pages are freshly allocated and stay valid for the lifetime of
+// the phase; hash tables may point into them (§4.4 "operators can consume
+// row-wise tuples directly").
+type PartitionReader struct {
+	ring     *uring.Ring
+	pageSize int
+	depth    int
+
+	groups  []blockGroup
+	next    int
+	pending map[uint64]int // userData -> group index
+	nextUD  uint64
+
+	ready   []*pages.Page
+	scratch []uring.Completion
+	err     error
+	done    bool
+
+	bytesRead int64
+}
+
+type blockGroup struct {
+	loc   nvmesim.Loc
+	slots []SpilledSlot
+	buf   []byte
+}
+
+// NewPartitionReader returns a reader over the given spilled slots (as
+// recorded in a Result). depth bounds concurrent block reads per reader.
+func NewPartitionReader(arr *nvmesim.Array, pageSize int, slots []SpilledSlot, depth int) *PartitionReader {
+	if depth <= 0 {
+		depth = 8
+	}
+	r := &PartitionReader{
+		ring:     uring.New(arr),
+		pageSize: pageSize,
+		depth:    depth,
+		pending:  make(map[uint64]int),
+	}
+	// Group slots by staging block so each block is read exactly once.
+	byLoc := make(map[nvmesim.Loc]int)
+	for _, s := range slots {
+		gi, ok := byLoc[s.Loc]
+		if !ok {
+			gi = len(r.groups)
+			byLoc[s.Loc] = gi
+			r.groups = append(r.groups, blockGroup{loc: s.Loc})
+		}
+		r.groups[gi].slots = append(r.groups[gi].slots, s)
+	}
+	return r
+}
+
+// Next returns the next spilled page, or (nil, nil) at end of partition.
+func (r *PartitionReader) Next() (*pages.Page, error) {
+	for {
+		if r.err != nil {
+			return nil, r.err
+		}
+		if n := len(r.ready); n > 0 {
+			p := r.ready[n-1]
+			r.ready = r.ready[:n-1]
+			return p, nil
+		}
+		if r.done {
+			return nil, nil
+		}
+		r.fill()
+		if len(r.pending) == 0 && r.next >= len(r.groups) {
+			r.done = true
+			continue
+		}
+		r.ring.Submit()
+		r.scratch = r.ring.Poll(r.scratch[:0], true)
+		for _, c := range r.scratch {
+			gi, ok := r.pending[c.UserData]
+			if !ok {
+				continue
+			}
+			delete(r.pending, c.UserData)
+			if c.Err != nil {
+				r.err = c.Err
+				break
+			}
+			r.bytesRead += int64(c.N)
+			if err := r.decodeGroup(&r.groups[gi]); err != nil {
+				r.err = err
+				break
+			}
+		}
+	}
+}
+
+// fill tops up in-flight block reads to the configured depth.
+func (r *PartitionReader) fill() {
+	for r.next < len(r.groups) && len(r.pending) < r.depth {
+		g := &r.groups[r.next]
+		g.buf = make([]byte, g.loc.Size())
+		r.nextUD++
+		r.ring.QueueRead(g.loc, g.buf, r.nextUD)
+		r.pending[r.nextUD] = r.next
+		r.next++
+	}
+}
+
+// decodeGroup turns a completed block read into pages.
+func (r *PartitionReader) decodeGroup(g *blockGroup) error {
+	for _, s := range g.slots {
+		if int(s.Off)+int(s.Len) > len(g.buf) {
+			return fmt.Errorf("core: spilled slot %v exceeds block bounds", s)
+		}
+		data := g.buf[s.Off : s.Off+s.Len]
+		var block []byte
+		if s.Scheme == codec.None {
+			block = data
+		} else {
+			c := codec.ByID(s.Scheme)
+			if c == nil {
+				return fmt.Errorf("core: spilled slot uses unknown codec %d", s.Scheme)
+			}
+			dec, err := c.Decompress(make([]byte, 0, r.pageSize), data)
+			if err != nil {
+				return fmt.Errorf("core: decompressing spilled page: %w", err)
+			}
+			block = dec
+		}
+		p, err := pages.Load(block[:r.pageSize])
+		if err != nil {
+			return fmt.Errorf("core: loading spilled page: %w", err)
+		}
+		r.ready = append(r.ready, p)
+	}
+	g.buf = nil // single-slot raw blocks alias into pages; keep others GC-able
+	return nil
+}
+
+// BytesRead returns the bytes read from the array so far.
+func (r *PartitionReader) BytesRead() int64 { return r.bytesRead }
+
+// ReadAll drains the reader into a slice (convenience for tests and small
+// partitions).
+func (r *PartitionReader) ReadAll() ([]*pages.Page, error) {
+	var out []*pages.Page
+	for {
+		p, err := r.Next()
+		if err != nil {
+			return out, err
+		}
+		if p == nil {
+			return out, nil
+		}
+		out = append(out, p)
+	}
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"github.com/spilly-db/spilly/internal/codec"
+	"github.com/spilly-db/spilly/internal/nvmesim"
+	"github.com/spilly-db/spilly/internal/pages"
+	"github.com/spilly-db/spilly/internal/uring"
+)
+
+// spillOnePartition materializes tuples so that everything spills, and
+// returns the array, page size and the slots of one spilled partition.
+func spillOnePartition(t *testing.T, compress bool) (*nvmesim.Array, int, []SpilledSlot) {
+	t.Helper()
+	arr := fastArray(1)
+	s := NewShared(Config{
+		PageSize: 4096, Partitions: 4, Budget: pages.NewBudget(32 << 10), Mode: ModeSpillAll,
+		Spill: &SpillConfig{Array: arr, Compress: compress, RunN: 4},
+	})
+	b := s.NewBuffer()
+	storeN(b, 5000, 32, 0)
+	if err := b.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < res.Partitions; p++ {
+		if len(res.Spilled[p]) > 0 {
+			return arr, 4096, res.Spilled[p]
+		}
+	}
+	t.Fatal("nothing spilled")
+	return nil, 0, nil
+}
+
+func TestPartitionReaderEmpty(t *testing.T) {
+	arr := fastArray(1)
+	r := NewPartitionReader(arr, 4096, nil, 4)
+	p, err := r.Next()
+	if err != nil || p != nil {
+		t.Fatalf("empty reader: %v %v", p, err)
+	}
+	// Next after end stays at end.
+	if p, err := r.Next(); err != nil || p != nil {
+		t.Fatal("reader did not stay at end")
+	}
+}
+
+func TestPartitionReaderReadError(t *testing.T) {
+	arr, pageSize, slots := spillOnePartition(t, false)
+	arr.InjectFailures(0, 1000)
+	r := NewPartitionReader(arr, pageSize, slots, 4)
+	if _, err := r.Next(); err == nil {
+		t.Fatal("injected read failure not surfaced")
+	}
+	// The error is sticky.
+	if _, err := r.Next(); err == nil {
+		t.Fatal("reader forgot its error")
+	}
+}
+
+func TestPartitionReaderCorruptSlot(t *testing.T) {
+	arr, pageSize, slots := spillOnePartition(t, true)
+	bad := make([]SpilledSlot, len(slots))
+	copy(bad, slots)
+	// Slot pointing past its block.
+	bad[0].Off = uint32(bad[0].Loc.Size())
+	bad[0].Len = 64
+	r := NewPartitionReader(arr, pageSize, bad, 4)
+	failed := false
+	for {
+		p, err := r.Next()
+		if err != nil {
+			failed = true
+			break
+		}
+		if p == nil {
+			break
+		}
+	}
+	if !failed {
+		t.Fatal("out-of-bounds slot accepted")
+	}
+}
+
+func TestPartitionReaderUnknownScheme(t *testing.T) {
+	arr, pageSize, slots := spillOnePartition(t, true)
+	bad := make([]SpilledSlot, len(slots))
+	copy(bad, slots)
+	bad[0].Scheme = codec.ID(250)
+	r := NewPartitionReader(arr, pageSize, bad, 4)
+	failed := false
+	for {
+		p, err := r.Next()
+		if err != nil {
+			failed = true
+			break
+		}
+		if p == nil {
+			break
+		}
+	}
+	if !failed {
+		t.Fatal("unknown codec accepted")
+	}
+}
+
+func TestPartitionReaderBytesRead(t *testing.T) {
+	arr, pageSize, slots := spillOnePartition(t, false)
+	r := NewPartitionReader(arr, pageSize, slots, 2)
+	pgs, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pgs) == 0 || r.BytesRead() == 0 {
+		t.Fatalf("pages=%d bytesRead=%d", len(pgs), r.BytesRead())
+	}
+}
+
+func TestUringDepthAtSubmit(t *testing.T) {
+	clk := nvmesim.NewVirtualClock(time.Unix(0, 0))
+	arr := nvmesim.New(1, nvmesim.DeviceSpec{ReadBandwidth: 1e6, WriteBandwidth: 1e6, Latency: time.Millisecond}, clk)
+	ring := uring.New(arr)
+	for i := 0; i < 3; i++ {
+		ring.QueueWrite(make([]byte, 512), uint64(i))
+	}
+	ring.Submit()
+	comps := ring.WaitAll(nil)
+	depths := map[int]bool{}
+	for _, c := range comps {
+		depths[c.DepthAtSubmit] = true
+	}
+	// Three requests submitted in one batch: depths 1, 2, 3.
+	if !depths[1] || !depths[2] || !depths[3] {
+		t.Fatalf("unexpected submit depths: %v", depths)
+	}
+}

@@ -1,0 +1,224 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/spilly-db/spilly/internal/codec"
+	"github.com/spilly-db/spilly/internal/nvmesim"
+	"github.com/spilly-db/spilly/internal/pages"
+	"github.com/spilly-db/spilly/internal/uring"
+)
+
+// SpilledSlot locates one spilled page: the staging block it lives in and
+// its extent within that block. The paper serializes [offset, size, scheme]
+// slot directories into the staging areas themselves (§5.3); since spilled
+// data is ephemeral — it never outlives the query — this reproduction keeps
+// the directory in memory alongside the paper's in-memory
+// spilledPageLocations list, which is equivalent and avoids re-parsing.
+type SpilledSlot struct {
+	Loc    nvmesim.Loc // staging block location on the array
+	Off    uint32      // offset of the encoded page within the block
+	Len    uint32      // encoded length
+	Scheme codec.ID    // codec used, None = raw page bytes
+}
+
+// stagingArea accumulates compressed pages destined for one partition until
+// it holds at least the flush threshold, so that compression output — which
+// shrinks below the page size — still produces large, block-aligned writes
+// (paper §5.3, Figure 4).
+type stagingArea struct {
+	buf   []byte
+	slots []SpilledSlot // Loc filled in at flush time
+}
+
+// spillWriter performs asynchronous, optionally compressed page spilling
+// for one worker thread (paper Listing 2). It owns the thread's I/O ring.
+type spillWriter struct {
+	ring     *uring.Ring
+	reg      *Regulator // nil: spill raw pages without the compression path
+	stage    bool       // route pages through staging areas
+	pool     *pages.Pool
+	parts    int
+	flushAt  int // staging flush threshold in bytes (>= one device block)
+	maxAhead int // bound on in-flight write requests per thread
+
+	staging     []*stagingArea // per partition, lazily allocated
+	stagingFree [][]byte
+
+	inflightPages   map[uint64]*pages.Page
+	inflightStaging map[uint64][]byte
+	nextUD          uint64
+
+	slots [][]SpilledSlot // per partition
+
+	// Counters.
+	spilledPages    int64
+	spilledBytes    int64 // raw page bytes spilled
+	writtenBytes    int64 // bytes handed to the device (post compression)
+	firstErr        error
+	scratch         []uring.Completion
+}
+
+func newSpillWriter(ring *uring.Ring, reg *Regulator, pool *pages.Pool, parts, flushAt, maxAhead int) *spillWriter {
+	if flushAt < nvmesim.BlockSize {
+		flushAt = pages.DefaultPageSize
+	}
+	if maxAhead <= 0 {
+		maxAhead = 32
+	}
+	return &spillWriter{
+		ring: ring,
+		reg:  reg,
+		// Staging batches small or compressed pages into >= flushAt
+		// writes (§5.3). Full-size raw pages skip the copy and go out
+		// directly.
+		stage:           reg != nil || pool.PageSize() < flushAt,
+		pool:            pool,
+		parts:           parts,
+		flushAt:         flushAt,
+		maxAhead:        maxAhead,
+		staging:         make([]*stagingArea, parts),
+		inflightPages:   make(map[uint64]*pages.Page),
+		inflightStaging: make(map[uint64][]byte),
+		slots:           make([][]SpilledSlot, parts),
+	}
+}
+
+// spillPage queues page p (belonging to partition p.Part) for writing. With
+// compression active, the page's bytes move into a staging area and the
+// page itself is immediately recycled; without compression the page buffer
+// is owned by the I/O ring until the write completes.
+func (w *spillWriter) spillPage(p *pages.Page) {
+	part := p.Part
+	if part < 0 || part >= w.parts {
+		panic(fmt.Sprintf("core: spilling page of invalid partition %d", part))
+	}
+	raw := p.Seal()
+	w.spilledPages++
+	w.spilledBytes += int64(len(raw))
+
+	if !w.stage {
+		ud := w.newUD()
+		loc, err := w.ring.QueueWrite(raw, ud)
+		if err != nil {
+			w.fail(err)
+			w.pool.Put(p)
+			return
+		}
+		w.inflightPages[ud] = p
+		w.slots[part] = append(w.slots[part], SpilledSlot{Loc: loc, Off: 0, Len: uint32(len(raw)), Scheme: codec.None})
+		w.writtenBytes += int64(len(raw))
+		w.pump()
+		return
+	}
+
+	enc, scheme := raw, codec.None
+	if w.reg != nil {
+		enc, scheme = w.reg.CompressPage(raw)
+	}
+	st := w.staging[part]
+	if st == nil {
+		st = &stagingArea{buf: w.getStagingBuf()}
+		w.staging[part] = st
+	}
+	st.slots = append(st.slots, SpilledSlot{Off: uint32(len(st.buf)), Len: uint32(len(enc)), Scheme: scheme})
+	st.buf = append(st.buf, enc...)
+	w.pool.Put(p)
+	if len(st.buf) >= w.flushAt {
+		w.flushStaging(part)
+	}
+	w.pump()
+}
+
+// flushStaging writes out partition part's staging area, if any.
+func (w *spillWriter) flushStaging(part int) {
+	st := w.staging[part]
+	if st == nil || len(st.buf) == 0 {
+		return
+	}
+	w.staging[part] = nil
+	ud := w.newUD()
+	loc, err := w.ring.QueueWrite(st.buf, ud)
+	if err != nil {
+		w.fail(err)
+		return
+	}
+	w.inflightStaging[ud] = st.buf
+	for _, s := range st.slots {
+		s.Loc = loc
+		w.slots[part] = append(w.slots[part], s)
+	}
+	w.writtenBytes += int64(len(st.buf))
+}
+
+// pump submits queued requests and reaps completions, blocking only when
+// too many writes are in flight (bounding memory, per Listing 2).
+func (w *spillWriter) pump() {
+	w.ring.Submit()
+	w.drain(w.ring.Outstanding() >= w.maxAhead)
+}
+
+// drain reaps completions; if block is true it waits for at least one.
+func (w *spillWriter) drain(block bool) {
+	if w.ring.Outstanding() == 0 {
+		return
+	}
+	w.scratch = w.ring.Poll(w.scratch[:0], block)
+	for _, c := range w.scratch {
+		if c.Err != nil {
+			w.fail(c.Err)
+		}
+		if w.reg != nil {
+			// Estimate the parallelism the request's latency was shared
+			// across as the mean of submit-time and reap-time depth.
+			w.reg.ObserveIO(c, (c.DepthAtSubmit+w.ring.Outstanding()+1)/2)
+		}
+		if p, ok := w.inflightPages[c.UserData]; ok {
+			delete(w.inflightPages, c.UserData)
+			w.pool.Put(p)
+			continue
+		}
+		if buf, ok := w.inflightStaging[c.UserData]; ok {
+			delete(w.inflightStaging, c.UserData)
+			w.putStagingBuf(buf)
+		}
+	}
+}
+
+// finish flushes all staging areas and waits for every outstanding write.
+func (w *spillWriter) finish() error {
+	for part := range w.staging {
+		w.flushStaging(part)
+	}
+	w.ring.Submit()
+	for w.ring.Outstanding() > 0 {
+		w.drain(true)
+	}
+	return w.firstErr
+}
+
+func (w *spillWriter) newUD() uint64 {
+	w.nextUD++
+	return w.nextUD
+}
+
+func (w *spillWriter) fail(err error) {
+	if w.firstErr == nil {
+		w.firstErr = err
+	}
+}
+
+func (w *spillWriter) getStagingBuf() []byte {
+	if n := len(w.stagingFree); n > 0 {
+		b := w.stagingFree[n-1]
+		w.stagingFree = w.stagingFree[:n-1]
+		return b[:0]
+	}
+	return make([]byte, 0, w.flushAt+pages.DefaultPageSize)
+}
+
+func (w *spillWriter) putStagingBuf(b []byte) {
+	if len(w.stagingFree) < 8 {
+		w.stagingFree = append(w.stagingFree, b)
+	}
+}

@@ -1,0 +1,213 @@
+package data
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func testSchema() *Schema {
+	return NewSchema(
+		ColumnDef{"id", Int64},
+		ColumnDef{"price", Float64},
+		ColumnDef{"name", String},
+		ColumnDef{"ship", Date},
+		ColumnDef{"flag", Bool},
+	)
+}
+
+func fillRow(b *Batch, id int64, price float64, name string, ship int64, flag int64) {
+	b.Cols[0].I = append(b.Cols[0].I, id)
+	b.Cols[1].F = append(b.Cols[1].F, price)
+	b.Cols[2].S = append(b.Cols[2].S, name)
+	b.Cols[3].I = append(b.Cols[3].I, ship)
+	b.Cols[4].I = append(b.Cols[4].I, flag)
+	b.SetLen(b.Len() + 1)
+}
+
+func TestSchemaBasics(t *testing.T) {
+	s := testSchema()
+	if s.Len() != 5 {
+		t.Fatal("Len")
+	}
+	if s.Index("name") != 2 || s.Index("missing") != -1 {
+		t.Fatal("Index")
+	}
+	p := s.Project("ship", "id")
+	if p.Cols[0].Name != "ship" || p.Cols[1].Type != Int64 {
+		t.Fatal("Project")
+	}
+	c := s.Concat(NewSchema(ColumnDef{"x", Float64}))
+	if c.Len() != 6 || c.Cols[5].Name != "x" {
+		t.Fatal("Concat")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustIndex on unknown column did not panic")
+		}
+	}()
+	s.MustIndex("nope")
+}
+
+func TestDates(t *testing.T) {
+	d := ParseDate("1995-03-15")
+	if FormatDate(d) != "1995-03-15" {
+		t.Fatalf("round trip: %s", FormatDate(d))
+	}
+	if Year(d) != 1995 {
+		t.Fatalf("Year = %d", Year(d))
+	}
+	if ParseDate("1970-01-01") != 0 {
+		t.Fatal("epoch not day 0")
+	}
+	if got := FormatDate(AddMonths(ParseDate("1995-12-15"), 3)); got != "1996-03-15" {
+		t.Fatalf("AddMonths = %s", got)
+	}
+	if got := FormatDate(AddYears(ParseDate("1996-02-29"), 1)); got != "1997-03-01" {
+		t.Fatalf("AddYears leap = %s", got)
+	}
+	if DateOf(1992, 1, 2) != ParseDate("1992-01-02") {
+		t.Fatal("DateOf disagrees with ParseDate")
+	}
+}
+
+func TestRowCodecRoundTrip(t *testing.T) {
+	s := testSchema()
+	rc := NewRowCodec(s.Types())
+	b := NewBatch(s, 4)
+	fillRow(b, 42, 3.25, "hello world", ParseDate("1998-09-02"), 1)
+	fillRow(b, -7, -0.5, "", ParseDate("1970-01-01"), 0)
+
+	out := NewBatch(s, 4)
+	for r := 0; r < b.Len(); r++ {
+		buf := make([]byte, rc.Size(b, r))
+		rc.Encode(buf, b, r)
+		if rc.Int(buf, 0) != b.Cols[0].I[r] {
+			t.Fatalf("row %d int mismatch", r)
+		}
+		if rc.Float(buf, 1) != b.Cols[1].F[r] {
+			t.Fatalf("row %d float mismatch", r)
+		}
+		if rc.Str(buf, 2) != b.Cols[2].S[r] {
+			t.Fatalf("row %d str mismatch: %q", r, rc.Str(buf, 2))
+		}
+		if rc.Int(buf, 3) != b.Cols[3].I[r] || rc.Int(buf, 4) != b.Cols[4].I[r] {
+			t.Fatalf("row %d date/bool mismatch", r)
+		}
+		rc.AppendTo(out, buf)
+	}
+	if out.Len() != 2 || out.Cols[2].S[0] != "hello world" || out.Cols[0].I[1] != -7 {
+		t.Fatal("AppendTo mismatch")
+	}
+}
+
+func TestRowCodecNulls(t *testing.T) {
+	s := NewSchema(ColumnDef{"k", Int64}, ColumnDef{"v", String})
+	rc := NewRowCodec(s.Types())
+	b := NewBatch(s, 2)
+	b.Cols[0].I = []int64{1}
+	b.Cols[0].Null = []bool{true}
+	b.Cols[1].S = []string{"x"}
+	b.SetLen(1)
+
+	buf := make([]byte, rc.Size(b, 0))
+	rc.Encode(buf, b, 0)
+	if !rc.IsNull(buf, 0) || rc.IsNull(buf, 1) {
+		t.Fatal("null bits wrong")
+	}
+	out := NewBatch(s, 1)
+	rc.AppendTo(out, buf)
+	if !out.IsNull(0, 0) || out.IsNull(1, 0) {
+		t.Fatal("null round trip wrong")
+	}
+}
+
+func TestHashConsistency(t *testing.T) {
+	s := NewSchema(ColumnDef{"a", Int64}, ColumnDef{"b", String}, ColumnDef{"c", Float64})
+	rc := NewRowCodec(s.Types())
+	b := NewBatch(s, 2)
+	b.Cols[0].I = []int64{7, 7}
+	b.Cols[1].S = []string{"key", "key"}
+	b.Cols[2].F = []float64{1.5, 2.5}
+	b.SetLen(2)
+
+	keys := []int{0, 1}
+	h0 := HashRow(b, keys, 0)
+	if h0 != HashRow(b, keys, 1) {
+		t.Fatal("equal keys hash unequal")
+	}
+	buf := make([]byte, rc.Size(b, 0))
+	rc.Encode(buf, b, 0)
+	if rc.HashTuple(buf, keys) != h0 {
+		t.Fatal("tuple hash differs from row hash")
+	}
+	if !rc.KeyEqualRow(buf, keys, b, keys, 1) {
+		t.Fatal("KeyEqualRow false on equal keys")
+	}
+	buf2 := make([]byte, rc.Size(b, 1))
+	rc.Encode(buf2, b, 1)
+	if !rc.KeyEqual(buf, buf2, keys) {
+		t.Fatal("KeyEqual false on equal keys")
+	}
+	if rc.KeyEqual(buf, buf2, []int{2}) {
+		t.Fatal("KeyEqual true on differing float field")
+	}
+}
+
+func TestHashRowNullGroupsTogether(t *testing.T) {
+	s := NewSchema(ColumnDef{"k", Int64})
+	b := NewBatch(s, 2)
+	b.Cols[0].I = []int64{5, 9}
+	b.Cols[0].Null = []bool{true, true}
+	b.SetLen(2)
+	if HashRow(b, []int{0}, 0) != HashRow(b, []int{0}, 1) {
+		t.Fatal("NULL keys must hash equal for grouping")
+	}
+}
+
+func TestRowCodecQuick(t *testing.T) {
+	s := NewSchema(ColumnDef{"i", Int64}, ColumnDef{"f", Float64}, ColumnDef{"s1", String}, ColumnDef{"s2", String})
+	rc := NewRowCodec(s.Types())
+	f := func(i int64, fl float64, s1, s2 string) bool {
+		if len(s1) > 5000 {
+			s1 = s1[:5000]
+		}
+		if len(s2) > 5000 {
+			s2 = s2[:5000]
+		}
+		b := NewBatch(s, 1)
+		b.Cols[0].I = []int64{i}
+		b.Cols[1].F = []float64{fl}
+		b.Cols[2].S = []string{s1}
+		b.Cols[3].S = []string{s2}
+		b.SetLen(1)
+		buf := make([]byte, rc.Size(b, 0))
+		rc.Encode(buf, b, 0)
+		return rc.Int(buf, 0) == i && rc.Float(buf, 1) == fl &&
+			rc.Str(buf, 2) == s1 && rc.Str(buf, 3) == s2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAppendRowFrom(t *testing.T) {
+	s := testSchema()
+	src := NewBatch(s, 2)
+	fillRow(src, 1, 1.0, "a", 10, 0)
+	fillRow(src, 2, 2.0, "b", 20, 1)
+	dst := NewBatch(s, 2)
+	dst.AppendRowFrom(src, 1)
+	if dst.Len() != 1 || dst.Cols[0].I[0] != 2 || dst.Cols[2].S[0] != "b" {
+		t.Fatal("AppendRowFrom copied wrong row")
+	}
+}
+
+func TestBatchReset(t *testing.T) {
+	s := testSchema()
+	b := NewBatch(s, 2)
+	fillRow(b, 1, 1.0, "a", 10, 0)
+	b.Reset()
+	if b.Len() != 0 || len(b.Cols[0].I) != 0 || len(b.Cols[2].S) != 0 {
+		t.Fatal("Reset left data")
+	}
+}

@@ -1,0 +1,223 @@
+package data
+
+import (
+	"encoding/binary"
+	"math"
+
+	"github.com/spilly-db/spilly/internal/xhash"
+)
+
+// RowCodec serializes rows into the row-wise tuple format operators
+// materialize through Umami. The layout gives O(1) field access:
+//
+//	[null bitmap, 1 bit per field, byte-rounded]
+//	[8-byte slot per field: value, or (u32 offset | u32 len) for strings]
+//	[string data]
+//
+// Offsets are relative to the row start, so a tuple is self-contained and
+// can be copied, spilled, and read back byte-identically.
+type RowCodec struct {
+	types     []Type
+	nullBytes int
+	fixedEnd  int // nullBytes + 8*len(types)
+}
+
+// NewRowCodec returns a codec for the given column types.
+func NewRowCodec(types []Type) *RowCodec {
+	nb := (len(types) + 7) / 8
+	return &RowCodec{types: types, nullBytes: nb, fixedEnd: nb + 8*len(types)}
+}
+
+// Fields returns the number of fields per row.
+func (rc *RowCodec) Fields() int { return len(rc.types) }
+
+// Types returns the field types.
+func (rc *RowCodec) Types() []Type { return rc.types }
+
+// Size returns the encoded size of row r of b.
+func (rc *RowCodec) Size(b *Batch, r int) int {
+	n := rc.fixedEnd
+	for i, t := range rc.types {
+		if t == String {
+			n += len(b.Cols[i].S[r])
+		}
+	}
+	return n
+}
+
+// Encode writes row r of b into dst, which must be exactly Size(b, r)
+// bytes (e.g. allocated in place on an Umami page).
+func (rc *RowCodec) Encode(dst []byte, b *Batch, r int) {
+	for i := 0; i < rc.nullBytes; i++ {
+		dst[i] = 0
+	}
+	varOff := rc.fixedEnd
+	for i, t := range rc.types {
+		c := &b.Cols[i]
+		slot := dst[rc.nullBytes+8*i:]
+		if c.Null != nil && c.Null[r] {
+			dst[i/8] |= 1 << uint(i%8)
+		}
+		switch t {
+		case Float64:
+			binary.LittleEndian.PutUint64(slot, math.Float64bits(c.F[r]))
+		case String:
+			s := c.S[r]
+			binary.LittleEndian.PutUint32(slot, uint32(varOff))
+			binary.LittleEndian.PutUint32(slot[4:], uint32(len(s)))
+			copy(dst[varOff:], s)
+			varOff += len(s)
+		default:
+			binary.LittleEndian.PutUint64(slot, uint64(c.I[r]))
+		}
+	}
+}
+
+// IsNull reports whether field f of the tuple is NULL.
+func (rc *RowCodec) IsNull(tuple []byte, f int) bool {
+	return tuple[f/8]&(1<<uint(f%8)) != 0
+}
+
+// Int returns integer/date/bool field f.
+func (rc *RowCodec) Int(tuple []byte, f int) int64 {
+	return int64(binary.LittleEndian.Uint64(tuple[rc.nullBytes+8*f:]))
+}
+
+// Float returns float field f.
+func (rc *RowCodec) Float(tuple []byte, f int) float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(tuple[rc.nullBytes+8*f:]))
+}
+
+// Str returns string field f. The result aliases the tuple.
+func (rc *RowCodec) Str(tuple []byte, f int) string {
+	slot := tuple[rc.nullBytes+8*f:]
+	off := binary.LittleEndian.Uint32(slot)
+	n := binary.LittleEndian.Uint32(slot[4:])
+	return string(tuple[off : off+n])
+}
+
+// AppendTo decodes the whole tuple onto the end of b, whose schema must
+// match the codec's types.
+func (rc *RowCodec) AppendTo(b *Batch, tuple []byte) {
+	for i, t := range rc.types {
+		c := &b.Cols[i]
+		null := rc.IsNull(tuple, i)
+		switch t {
+		case Float64:
+			c.F = append(c.F, rc.Float(tuple, i))
+		case String:
+			c.S = append(c.S, rc.Str(tuple, i))
+		default:
+			c.I = append(c.I, rc.Int(tuple, i))
+		}
+		if null {
+			if c.Null == nil {
+				c.Null = make([]bool, b.n)
+			}
+		}
+		if c.Null != nil {
+			c.Null = append(c.Null, null)
+		}
+	}
+	b.n++
+}
+
+// HashRow hashes the given key columns of row r (for hash tables and Umami
+// partitioning). NULL fields hash to a fixed tag so NULL == NULL groups
+// together in aggregations.
+func HashRow(b *Batch, keyCols []int, r int) uint64 {
+	h := uint64(0x517cc1b727220a95)
+	for _, col := range keyCols {
+		c := &b.Cols[col]
+		if c.Null != nil && c.Null[r] {
+			h = xhash.Combine(h, 0x9e3779b97f4a7c15)
+			continue
+		}
+		switch c.Type {
+		case Float64:
+			h = xhash.Combine(h, xhash.U64(math.Float64bits(c.F[r]), 17))
+		case String:
+			h = xhash.Combine(h, xhash.String(c.S[r], 17))
+		default:
+			h = xhash.Combine(h, xhash.U64(uint64(c.I[r]), 17))
+		}
+	}
+	return h
+}
+
+// HashTuple hashes the given key fields of an encoded tuple, consistently
+// with HashRow over the same values.
+func (rc *RowCodec) HashTuple(tuple []byte, keyFields []int) uint64 {
+	h := uint64(0x517cc1b727220a95)
+	for _, f := range keyFields {
+		if rc.IsNull(tuple, f) {
+			h = xhash.Combine(h, 0x9e3779b97f4a7c15)
+			continue
+		}
+		switch rc.types[f] {
+		case Float64:
+			h = xhash.Combine(h, xhash.U64(binary.LittleEndian.Uint64(tuple[rc.nullBytes+8*f:]), 17))
+		case String:
+			h = xhash.Combine(h, xhash.String(rc.Str(tuple, f), 17))
+		default:
+			h = xhash.Combine(h, xhash.U64(uint64(rc.Int(tuple, f)), 17))
+		}
+	}
+	return h
+}
+
+// KeyEqual reports whether the key fields of two encoded tuples are equal
+// (NULLs compare equal for grouping purposes).
+func (rc *RowCodec) KeyEqual(a, b []byte, keyFields []int) bool {
+	for _, f := range keyFields {
+		an, bn := rc.IsNull(a, f), rc.IsNull(b, f)
+		if an != bn {
+			return false
+		}
+		if an {
+			continue
+		}
+		switch rc.types[f] {
+		case String:
+			if rc.Str(a, f) != rc.Str(b, f) {
+				return false
+			}
+		default:
+			if rc.Int(a, f) != rc.Int(b, f) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// KeyEqualRow compares the key fields of an encoded tuple with key columns
+// of a batch row.
+func (rc *RowCodec) KeyEqualRow(tuple []byte, keyFields []int, b *Batch, keyCols []int, r int) bool {
+	for i, f := range keyFields {
+		c := &b.Cols[keyCols[i]]
+		tn := rc.IsNull(tuple, f)
+		bn := c.Null != nil && c.Null[r]
+		if tn != bn {
+			return false
+		}
+		if tn {
+			continue
+		}
+		switch rc.types[f] {
+		case Float64:
+			if rc.Float(tuple, f) != c.F[r] {
+				return false
+			}
+		case String:
+			if rc.Str(tuple, f) != c.S[r] {
+				return false
+			}
+		default:
+			if rc.Int(tuple, f) != c.I[r] {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,807 @@
+package exec
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"github.com/spilly-db/spilly/internal/core"
+	"github.com/spilly-db/spilly/internal/data"
+	"github.com/spilly-db/spilly/internal/pages"
+)
+
+// AggFunc is an aggregate function.
+type AggFunc int
+
+// Aggregate functions. CountStar counts rows; Count counts non-NULL values
+// of a column (the distinction matters after outer joins, e.g. Q13).
+const (
+	Sum AggFunc = iota
+	Count
+	CountStar
+	Min
+	Max
+	Avg
+)
+
+// AggSpec is one aggregate: Func over column Col (ignored for CountStar),
+// named As in the output schema.
+type AggSpec struct {
+	Func AggFunc
+	Col  string
+	As   string
+}
+
+// Agg is the unified hash aggregation (§4.6). Worker threads pre-aggregate
+// into small thread-local tables; full tables flush their groups as partial
+// aggregate tuples into Umami, which adaptively partitions and spills.
+// Workers that observe high group cardinality bypass pre-aggregation, since
+// it only wastes cache space then (the paper's cardinality-adaptive
+// behavior). Phase 2 merges in-memory partials into a sharded global table
+// and processes spilled partitions independently.
+type Agg struct {
+	Child   Node
+	GroupBy []string
+	Aggs    []AggSpec
+	// DisablePreAgg forces per-row materialization (the classical
+	// partitioning-aggregation baseline of Figure 2).
+	DisablePreAgg bool
+
+	schema  *data.Schema // output schema
+	partial *data.Schema // materialized partial-aggregate schema
+	states  []stateDef
+}
+
+// stateDef maps one aggregate to its partial-state fields.
+type stateDef struct {
+	fn     AggFunc
+	col    int // input column (-1 = CountStar)
+	typ    data.Type
+	fields []int // field indices in the partial tuple
+}
+
+// NewAgg constructs an aggregation node.
+func NewAgg(child Node, groupBy []string, aggs []AggSpec) *Agg {
+	a := &Agg{Child: child, GroupBy: groupBy, Aggs: aggs}
+	in := child.Schema()
+	out := &data.Schema{}
+	part := &data.Schema{}
+	for _, g := range groupBy {
+		cd := in.Cols[in.MustIndex(g)]
+		out.Cols = append(out.Cols, cd)
+		part.Cols = append(part.Cols, cd)
+	}
+	for i, spec := range aggs {
+		name := spec.As
+		if name == "" {
+			name = fmt.Sprintf("agg%d", i)
+		}
+		sd := stateDef{fn: spec.Func, col: -1}
+		if spec.Func != CountStar {
+			sd.col = in.MustIndex(spec.Col)
+			sd.typ = in.Cols[sd.col].Type
+		}
+		addField := func(t data.Type) {
+			sd.fields = append(sd.fields, part.Len())
+			part.Cols = append(part.Cols, data.ColumnDef{Name: fmt.Sprintf("s%d_%d", i, len(sd.fields)), Type: t})
+		}
+		switch spec.Func {
+		case Sum:
+			addField(data.Float64)
+			out.Cols = append(out.Cols, data.ColumnDef{Name: name, Type: data.Float64})
+		case Count, CountStar:
+			addField(data.Int64)
+			out.Cols = append(out.Cols, data.ColumnDef{Name: name, Type: data.Int64})
+		case Min, Max:
+			addField(sd.typ)
+			out.Cols = append(out.Cols, data.ColumnDef{Name: name, Type: sd.typ})
+		case Avg:
+			addField(data.Float64)
+			addField(data.Int64)
+			out.Cols = append(out.Cols, data.ColumnDef{Name: name, Type: data.Float64})
+		}
+		a.states = append(a.states, sd)
+	}
+	a.schema = out
+	a.partial = part
+	return a
+}
+
+// Schema implements Node.
+func (a *Agg) Schema() *data.Schema { return a.schema }
+
+// aggVal is one partial-state slot.
+type aggVal struct {
+	i    int64
+	f    float64
+	s    string
+	seen bool // Min/Max initialization, Count-NULL handling
+}
+
+// localGroup is one group in a thread-local pre-aggregation table.
+type localGroup struct {
+	hash     uint64
+	nk       int // group key count
+	keys     []aggVal
+	keyNulls []bool
+	vals     []aggVal
+}
+
+const (
+	localAggSlots   = 1 << 12 // thread-local table size (cache-resident, §4.6)
+	localAggMax     = localAggSlots * 3 / 4
+	preAggProbeRows = 1 << 14 // rows before judging pre-agg effectiveness
+)
+
+// Run implements Node.
+func (a *Agg) Run(ctx *Ctx) (*Stream, error) {
+	if err := checkSchemaCols(a.Child.Schema(), a.GroupBy); err != nil {
+		return nil, err
+	}
+	in, err := a.Child.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	inSchema := a.Child.Schema()
+	keyCols := indicesOf(inSchema, a.GroupBy)
+	rcPart := data.NewRowCodec(a.partial.Types())
+	keyFields := make([]int, len(keyCols))
+	for i := range keyCols {
+		keyFields[i] = i
+	}
+
+	cfg := ctx.coreConfig()
+	shared := core.NewShared(cfg)
+	workers := ctx.workers()
+
+	// Phase 1: consume input with local pre-aggregation, materializing
+	// partial aggregate tuples through Umami.
+	err = runWorkers(workers, func(w int) error {
+		done := false
+		defer func() {
+			if !done {
+				in.Abandon(w)
+			}
+		}()
+		aw := &aggWorker{
+			a:       a,
+			rcPart:  rcPart,
+			keyCols: keyCols,
+			buf:     shared.NewBuffer(),
+			pb:      data.NewBatch(a.partial, 1),
+			preAgg:  !a.DisablePreAgg && !ctx.NoPreAgg,
+		}
+		aw.pb.SetLen(1)
+		for i := range a.partial.Cols {
+			c := &aw.pb.Cols[i]
+			switch c.Type {
+			case data.Float64:
+				c.F = make([]float64, 1)
+			case data.String:
+				c.S = make([]string, 1)
+			default:
+				c.I = make([]int64, 1)
+			}
+		}
+		b := data.NewBatch(inSchema, 0)
+		for {
+			n, err := in.Next(w, b)
+			if err != nil {
+				return err
+			}
+			if n == 0 {
+				done = true
+				aw.flushAll()
+				return aw.buf.Finish()
+			}
+			aw.consume(b)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	res, err := shared.Finalize()
+	if err != nil {
+		return nil, err
+	}
+	if ctx.Stats != nil {
+		ctx.Stats.addResult(res)
+		if shared.PartitioningActive() {
+			ctx.Stats.PartitionedOps.Add(1)
+		}
+	}
+
+	return a.mergePhase(ctx, res, rcPart, keyFields)
+}
+
+// aggWorker is one worker's phase-1 state.
+type aggWorker struct {
+	a       *Agg
+	rcPart  *data.RowCodec
+	keyCols []int
+	buf     *core.Buffer
+	pb      *data.Batch // reusable 1-row partial batch for serialization
+	tmpVals []aggVal
+
+	preAgg bool
+	probed int64
+	rows   int64
+
+	slots  [localAggSlots]int32 // group index + 1; 0 = empty
+	groups []localGroup
+}
+
+// consume processes one input batch.
+func (aw *aggWorker) consume(b *data.Batch) {
+	for r := 0; r < b.Len(); r++ {
+		h := data.HashRow(b, aw.keyCols, r)
+		if !aw.preAgg {
+			aw.materializeRow(b, r, h)
+			continue
+		}
+		aw.rows++
+		g := aw.lookup(b, r, h)
+		accumulateRow(aw.a.states, g, b, r)
+		// Cardinality adaptivity: when almost every row opens a new
+		// group, pre-aggregation buys nothing — bypass it (§4.6).
+		if aw.rows == preAggProbeRows && len(aw.groups) > int(aw.rows*3/4) {
+			aw.flushAll()
+			aw.preAgg = false
+		}
+	}
+}
+
+// lookup finds or creates the local group for row r; it flushes the table
+// when full.
+func (aw *aggWorker) lookup(b *data.Batch, r int, h uint64) *localGroup {
+	for {
+		idx := h & (localAggSlots - 1)
+		for {
+			s := aw.slots[idx]
+			if s == 0 {
+				break
+			}
+			g := &aw.groups[s-1]
+			if g.hash == h && aw.keysEqual(g, b, r) {
+				return g
+			}
+			idx = (idx + 1) & (localAggSlots - 1)
+		}
+		if len(aw.groups) >= localAggMax {
+			aw.flushAll()
+			continue
+		}
+		aw.groups = append(aw.groups, localGroup{
+			hash:     h,
+			nk:       len(aw.keyCols),
+			keys:     make([]aggVal, len(aw.keyCols)),
+			keyNulls: make([]bool, len(aw.keyCols)),
+			vals:     make([]aggVal, aw.a.partial.Len()-len(aw.keyCols)),
+		})
+		g := &aw.groups[len(aw.groups)-1]
+		for i, c := range aw.keyCols {
+			col := &b.Cols[c]
+			g.keyNulls[i] = col.Null != nil && col.Null[r]
+			switch col.Type {
+			case data.Float64:
+				g.keys[i].f = col.F[r]
+			case data.String:
+				g.keys[i].s = col.S[r]
+			default:
+				g.keys[i].i = col.I[r]
+			}
+		}
+		aw.slots[idx] = int32(len(aw.groups))
+		return g
+	}
+}
+
+func (aw *aggWorker) keysEqual(g *localGroup, b *data.Batch, r int) bool {
+	for i, c := range aw.keyCols {
+		col := &b.Cols[c]
+		null := col.Null != nil && col.Null[r]
+		if null != g.keyNulls[i] {
+			return false
+		}
+		if null {
+			continue
+		}
+		switch col.Type {
+		case data.Float64:
+			if g.keys[i].f != col.F[r] {
+				return false
+			}
+		case data.String:
+			if g.keys[i].s != col.S[r] {
+				return false
+			}
+		default:
+			if g.keys[i].i != col.I[r] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// flushAll serializes every local group as a partial tuple into Umami and
+// clears the table (the paper evicts groups to partition pages; flushing
+// whole tables is the allocation-friendly equivalent, see DESIGN.md).
+func (aw *aggWorker) flushAll() {
+	for i := range aw.groups {
+		aw.serializeGroup(&aw.groups[i])
+	}
+	aw.groups = aw.groups[:0]
+	aw.slots = [localAggSlots]int32{}
+}
+
+// serializeGroup writes one local group as a partial tuple.
+func (aw *aggWorker) serializeGroup(g *localGroup) {
+	pb := aw.pb
+	nk := len(aw.keyCols)
+	for i := 0; i < nk; i++ {
+		c := &pb.Cols[i]
+		setNull(c, g.keyNulls[i])
+		switch c.Type {
+		case data.Float64:
+			c.F[0] = g.keys[i].f
+		case data.String:
+			c.S[0] = g.keys[i].s
+		default:
+			c.I[0] = g.keys[i].i
+		}
+	}
+	for i := nk; i < pb.Schema.Len(); i++ {
+		v := &g.vals[i-nk]
+		c := &pb.Cols[i]
+		setNull(c, !v.seen && isMinMaxField(aw.a.states, i))
+		switch c.Type {
+		case data.Float64:
+			c.F[0] = v.f
+		case data.String:
+			c.S[0] = v.s
+		default:
+			c.I[0] = v.i
+		}
+	}
+	dst := aw.buf.AllocTuple(aw.rcPart.Size(pb, 0), g.hash)
+	aw.rcPart.Encode(dst, pb, 0)
+}
+
+// materializeRow writes an input row directly as an initial partial tuple
+// (pre-aggregation bypass).
+func (aw *aggWorker) materializeRow(b *data.Batch, r int, h uint64) {
+	pb := aw.pb
+	nk := len(aw.keyCols)
+	for i, c := range aw.keyCols {
+		col := &b.Cols[c]
+		dst := &pb.Cols[i]
+		setNull(dst, col.Null != nil && col.Null[r])
+		switch col.Type {
+		case data.Float64:
+			dst.F[0] = col.F[r]
+		case data.String:
+			dst.S[0] = col.S[r]
+		default:
+			dst.I[0] = col.I[r]
+		}
+	}
+	// Initialize states from the single row.
+	if cap(aw.tmpVals) < pb.Schema.Len()-nk {
+		aw.tmpVals = make([]aggVal, pb.Schema.Len()-nk)
+	}
+	tmp := aw.tmpVals[:pb.Schema.Len()-nk]
+	for i := range tmp {
+		tmp[i] = aggVal{}
+	}
+	g := localGroup{vals: tmp, nk: nk}
+	accumulateRow(aw.a.states, &g, b, r)
+	for i := nk; i < pb.Schema.Len(); i++ {
+		v := &tmp[i-nk]
+		dst := &pb.Cols[i]
+		setNull(dst, !v.seen && isMinMaxField(aw.a.states, i))
+		switch dst.Type {
+		case data.Float64:
+			dst.F[0] = v.f
+		case data.String:
+			dst.S[0] = v.s
+		default:
+			dst.I[0] = v.i
+		}
+	}
+	dst := aw.buf.AllocTuple(aw.rcPart.Size(pb, 0), h)
+	aw.rcPart.Encode(dst, pb, 0)
+}
+
+func setNull(c *data.Column, null bool) {
+	if null {
+		if c.Null == nil {
+			c.Null = make([]bool, 1)
+		}
+		c.Null[0] = true
+	} else if c.Null != nil {
+		c.Null[0] = false
+	}
+}
+
+// isMinMaxField reports whether partial tuple field f (an absolute index)
+// belongs to a Min/Max aggregate — their unseen state is NULL, every other
+// state starts at zero.
+func isMinMaxField(states []stateDef, f int) bool {
+	for _, sd := range states {
+		for _, sf := range sd.fields {
+			if sf == f {
+				return sd.fn == Min || sd.fn == Max
+			}
+		}
+	}
+	return false
+}
+
+// accumulateRow folds input row r into group state vals.
+func accumulateRow(states []stateDef, g *localGroup, b *data.Batch, r int) {
+	nk := g.nk
+	for _, sd := range states {
+		base := sd.fields[0] - nk
+		switch sd.fn {
+		case CountStar:
+			g.vals[base].i++
+		case Count:
+			c := &b.Cols[sd.col]
+			if c.Null == nil || !c.Null[r] {
+				g.vals[base].i++
+			}
+		case Sum, Avg:
+			c := &b.Cols[sd.col]
+			if c.Null != nil && c.Null[r] {
+				break
+			}
+			var v float64
+			if c.Type == data.Float64 {
+				v = c.F[r]
+			} else {
+				v = float64(c.I[r])
+			}
+			g.vals[base].f += v
+			if sd.fn == Avg {
+				g.vals[sd.fields[1]-nk].i++
+			}
+		case Min, Max:
+			c := &b.Cols[sd.col]
+			if c.Null != nil && c.Null[r] {
+				break
+			}
+			v := &g.vals[base]
+			switch c.Type {
+			case data.Float64:
+				x := c.F[r]
+				if !v.seen || (sd.fn == Min && x < v.f) || (sd.fn == Max && x > v.f) {
+					v.f = x
+				}
+			case data.String:
+				x := c.S[r]
+				if !v.seen || (sd.fn == Min && x < v.s) || (sd.fn == Max && x > v.s) {
+					v.s = x
+				}
+			default:
+				x := c.I[r]
+				if !v.seen || (sd.fn == Min && x < v.i) || (sd.fn == Max && x > v.i) {
+					v.i = x
+				}
+			}
+			v.seen = true
+		}
+	}
+}
+
+// mergePartialTuple folds a partial tuple into final group state.
+func mergePartialTuple(states []stateDef, vals []aggVal, rc *data.RowCodec, tuple []byte, nk int) {
+	for _, sd := range states {
+		f0 := sd.fields[0]
+		base := f0 - nk
+		switch sd.fn {
+		case CountStar, Count:
+			vals[base].i += rc.Int(tuple, f0)
+		case Sum:
+			vals[base].f += rc.Float(tuple, f0)
+		case Avg:
+			vals[base].f += rc.Float(tuple, f0)
+			vals[sd.fields[1]-nk].i += rc.Int(tuple, sd.fields[1])
+		case Min, Max:
+			if rc.IsNull(tuple, f0) {
+				break
+			}
+			v := &vals[base]
+			switch rc.Types()[f0] {
+			case data.Float64:
+				x := rc.Float(tuple, f0)
+				if !v.seen || (sd.fn == Min && x < v.f) || (sd.fn == Max && x > v.f) {
+					v.f = x
+				}
+			case data.String:
+				x := rc.Str(tuple, f0)
+				if !v.seen || (sd.fn == Min && x < v.s) || (sd.fn == Max && x > v.s) {
+					v.s = x
+				}
+			default:
+				x := rc.Int(tuple, f0)
+				if !v.seen || (sd.fn == Min && x < v.i) || (sd.fn == Max && x > v.i) {
+					v.i = x
+				}
+			}
+			v.seen = true
+		}
+	}
+}
+
+// finalGroup is one group in the global (or per-partition) merge table.
+type finalGroup struct {
+	keyVals  []aggVal
+	keyNulls []bool
+	vals     []aggVal
+}
+
+// mergeTable is a sharded hash map for the phase-2 global merge — the
+// "global synchronized hash table" of §4.6. Shards are indexed by a hash
+// prefix, so partitioned inputs touch disjoint shards (§5.3 locality).
+type mergeTable struct {
+	shards []mergeShard
+	shift  uint
+}
+
+type mergeShard struct {
+	mu sync.Mutex
+	m  map[string]*finalGroup
+}
+
+func newMergeTable(shardCount int) *mergeTable {
+	mt := &mergeTable{shards: make([]mergeShard, shardCount), shift: uint(64 - log2(uint64(shardCount)))}
+	for i := range mt.shards {
+		mt.shards[i].m = make(map[string]*finalGroup)
+	}
+	return mt
+}
+
+// keyString builds the canonical key-bytes of a partial tuple's key fields.
+func keyString(rc *data.RowCodec, tuple []byte, nk int, scratch []byte) ([]byte, string) {
+	scratch = scratch[:0]
+	for f := 0; f < nk; f++ {
+		if rc.IsNull(tuple, f) {
+			scratch = append(scratch, 1)
+			continue
+		}
+		scratch = append(scratch, 0)
+		if rc.Types()[f] == data.String {
+			s := rc.Str(tuple, f)
+			scratch = append(scratch, byte(len(s)), byte(len(s)>>8))
+			scratch = append(scratch, s...)
+		} else {
+			v := rc.Int(tuple, f)
+			for k := 0; k < 8; k++ {
+				scratch = append(scratch, byte(v>>(8*k)))
+			}
+		}
+	}
+	return scratch, string(scratch)
+}
+
+// merge folds one partial tuple into the table.
+func (mt *mergeTable) merge(a *Agg, rc *data.RowCodec, tuple []byte, hash uint64, scratch []byte) []byte {
+	nk := len(a.GroupBy)
+	sh := &mt.shards[hash>>mt.shift]
+	var key string
+	scratch, key = keyString(rc, tuple, nk, scratch)
+	sh.mu.Lock()
+	g, ok := sh.m[key]
+	if !ok {
+		g = &finalGroup{
+			keyVals:  make([]aggVal, nk),
+			keyNulls: make([]bool, nk),
+			vals:     make([]aggVal, a.partial.Len()-nk),
+		}
+		for f := 0; f < nk; f++ {
+			g.keyNulls[f] = rc.IsNull(tuple, f)
+			switch rc.Types()[f] {
+			case data.Float64:
+				g.keyVals[f].f = rc.Float(tuple, f)
+			case data.String:
+				g.keyVals[f].s = rc.Str(tuple, f)
+			default:
+				g.keyVals[f].i = rc.Int(tuple, f)
+			}
+		}
+		// Min/Max merge needs the seen flag reconstructed from NULLs.
+		for _, sd := range a.states {
+			if sd.fn == Min || sd.fn == Max {
+				g.vals[sd.fields[0]-nk].seen = false
+			}
+		}
+		sh.m[key] = g
+	}
+	mergePartialTuple(a.states, g.vals, rc, tuple, nk)
+	sh.mu.Unlock()
+	return scratch
+}
+
+// mergePhase builds the final tables and returns the output stream.
+func (a *Agg) mergePhase(ctx *Ctx, res *core.Result, rcPart *data.RowCodec, keyFields []int) (*Stream, error) {
+	workers := ctx.workers()
+	mask := res.Mask
+	shiftP := uint(64 - log2(uint64(res.Partitions)))
+
+	global := newMergeTable(64)
+	// Overflow: tuples on in-memory pages that belong to spilled
+	// partitions must merge with the spilled data, not the global table
+	// (they may share groups with spilled partial tuples).
+	overflow := make([][][]byte, res.Partitions)
+	var ovMu sync.Mutex
+
+	memPages := make([]*pages.Page, 0, len(res.Unpartitioned)+len(res.InMemory))
+	memPages = append(memPages, res.Unpartitioned...)
+	memPages = append(memPages, res.InMemory...)
+	var cursor atomic.Int64
+	err := runWorkers(workers, func(w int) error {
+		scratch := make([]byte, 0, 128)
+		localOv := make([][][]byte, res.Partitions)
+		for {
+			pi := int(cursor.Add(1) - 1)
+			if pi >= len(memPages) {
+				break
+			}
+			pg := memPages[pi]
+			for t := 0; t < pg.Tuples(); t++ {
+				tuple := pg.Tuple(t)
+				h := rcPart.HashTuple(tuple, keyFields)
+				part := int(h >> shiftP)
+				if mask&(1<<uint(part)) != 0 {
+					cp := append([]byte(nil), tuple...)
+					localOv[part] = append(localOv[part], cp)
+					continue
+				}
+				scratch = global.merge(a, rcPart, tuple, h, scratch)
+			}
+		}
+		ovMu.Lock()
+		for p := range localOv {
+			overflow[p] = append(overflow[p], localOv[p]...)
+		}
+		ovMu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Output stream: tasks are global shards plus spilled partitions.
+	type task struct {
+		shard int // >= 0: global shard; -1: partition
+		part  int
+	}
+	var tasks []task
+	for s := range global.shards {
+		if len(global.shards[s].m) > 0 {
+			tasks = append(tasks, task{shard: s})
+		}
+	}
+	for p := 0; p < res.Partitions; p++ {
+		if mask&(1<<uint(p)) != 0 {
+			tasks = append(tasks, task{shard: -1, part: p})
+		}
+	}
+	var taskCursor atomic.Int64
+	pageSize := ctx.PageSize
+	if pageSize == 0 {
+		pageSize = pages.DefaultPageSize
+	}
+
+	return &Stream{
+		schema: a.schema,
+		next: func(w int, b *data.Batch) (int, error) {
+			for {
+				ti := int(taskCursor.Add(1) - 1)
+				if ti >= len(tasks) {
+					return 0, nil
+				}
+				t := tasks[ti]
+				b.Reset()
+				if t.shard >= 0 {
+					for _, g := range global.shards[t.shard].m {
+						a.emitGroup(b, g)
+					}
+				} else {
+					n, err := a.emitPartition(ctx, b, res, rcPart, keyFields, overflow[t.part], t.part, pageSize)
+					if err != nil {
+						return 0, err
+					}
+					if n == 0 {
+						continue
+					}
+				}
+				if b.Len() > 0 {
+					return b.Len(), nil
+				}
+			}
+		},
+	}, nil
+}
+
+// emitPartition merges one spilled partition (overflow tuples + read-back
+// pages) and emits its groups.
+func (a *Agg) emitPartition(ctx *Ctx, b *data.Batch, res *core.Result, rcPart *data.RowCodec, keyFields []int, overflow [][]byte, part, pageSize int) (int, error) {
+	local := newMergeTable(1)
+	scratch := make([]byte, 0, 128)
+	// Overflow holds every in-memory tuple of this partition (routed there
+	// during the global merge); the spilled pages follow from the array.
+	for _, tuple := range overflow {
+		scratch = local.merge(a, rcPart, tuple, rcPart.HashTuple(tuple, keyFields), scratch)
+	}
+	if slots := res.Spilled[part]; len(slots) > 0 {
+		r := core.NewPartitionReader(ctx.Spill.Array, pageSize, slots, 8)
+		for {
+			pg, err := r.Next()
+			if err != nil {
+				return 0, fmt.Errorf("exec: agg reading partition %d: %w", part, err)
+			}
+			if pg == nil {
+				break
+			}
+			for t := 0; t < pg.Tuples(); t++ {
+				tuple := pg.Tuple(t)
+				scratch = local.merge(a, rcPart, tuple, rcPart.HashTuple(tuple, keyFields), scratch)
+			}
+		}
+		if ctx.Stats != nil {
+			ctx.Stats.SpillReadBytes.Add(r.BytesRead())
+		}
+	}
+	n := 0
+	for _, g := range local.shards[0].m {
+		a.emitGroup(b, g)
+		n++
+	}
+	return n, nil
+}
+
+// emitGroup appends one finalized group to b.
+func (a *Agg) emitGroup(b *data.Batch, g *finalGroup) {
+	nk := len(a.GroupBy)
+	for i := 0; i < nk; i++ {
+		c := &b.Cols[i]
+		switch c.Type {
+		case data.Float64:
+			c.F = append(c.F, g.keyVals[i].f)
+		case data.String:
+			c.S = append(c.S, g.keyVals[i].s)
+		default:
+			c.I = append(c.I, g.keyVals[i].i)
+		}
+		appendNullMark(c, b.Len(), g.keyNulls[i])
+	}
+	for i, sd := range a.states {
+		c := &b.Cols[nk+i]
+		base := sd.fields[0] - nk
+		switch sd.fn {
+		case Sum:
+			c.F = append(c.F, g.vals[base].f)
+		case Count, CountStar:
+			c.I = append(c.I, g.vals[base].i)
+		case Avg:
+			cnt := g.vals[sd.fields[1]-nk].i
+			if cnt == 0 {
+				c.F = append(c.F, 0)
+			} else {
+				c.F = append(c.F, g.vals[base].f/float64(cnt))
+			}
+		case Min, Max:
+			switch c.Type {
+			case data.Float64:
+				c.F = append(c.F, g.vals[base].f)
+			case data.String:
+				c.S = append(c.S, g.vals[base].s)
+			default:
+				c.I = append(c.I, g.vals[base].i)
+			}
+		}
+	}
+	b.SetLen(b.Len() + 1)
+}

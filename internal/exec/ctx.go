@@ -1,0 +1,301 @@
+// Package exec implements the execution engine: morsel-driven parallel
+// streams, compiled expressions, and the relational operators — most
+// importantly the paper's unified hash join (§4.5) and unified hash
+// aggregation (§4.6), which materialize through Umami (internal/core) and
+// therefore adaptively partition and spill without a physical operator
+// choice. The classical baselines the paper measures against (grace join,
+// always-partitioning and never-partitioning variants) are configurations
+// of the same operators.
+package exec
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"github.com/spilly-db/spilly/internal/codec"
+	"github.com/spilly-db/spilly/internal/core"
+	"github.com/spilly-db/spilly/internal/data"
+	"github.com/spilly-db/spilly/internal/pages"
+)
+
+// Ctx carries per-query execution settings and statistics.
+type Ctx struct {
+	// Workers is the number of worker goroutines per pipeline.
+	Workers int
+	// Budget is the query's materialization memory budget (shared by all
+	// materializing operators, per the engine-wide budget Spilly uses).
+	Budget *pages.Budget
+	// Mode is the materialization strategy for all operators (Umami's
+	// adaptive mode by default; baselines for the paper's experiments).
+	Mode core.Mode
+	// Spill enables out-of-memory processing (nil = in-memory only).
+	Spill *core.SpillConfig
+	// PageSize for materialization (0 = 64 KiB default).
+	PageSize int
+	// Partitions per operator (0 = 64).
+	Partitions int
+	// PartitionAt is the adaptive partition trigger fraction (0 = 0.5).
+	PartitionAt float64
+	// Stats accumulates query statistics; may be nil.
+	Stats *Stats
+	// ForceGrace makes every join run as a classical grace hash join —
+	// the always-partitioning baseline of Figure 2.
+	ForceGrace bool
+	// NoPreAgg disables local pre-aggregation — the classical
+	// partitioning-aggregation baseline of Figure 2.
+	NoPreAgg bool
+}
+
+func (c *Ctx) workers() int {
+	if c.Workers <= 0 {
+		return 1
+	}
+	return c.Workers
+}
+
+func (c *Ctx) coreConfig() core.Config {
+	return core.Config{
+		PageSize:    c.PageSize,
+		Partitions:  c.Partitions,
+		Budget:      c.Budget,
+		PartitionAt: c.PartitionAt,
+		Mode:        c.Mode,
+		Spill:       c.Spill,
+	}
+}
+
+// Stats are cumulative per-query counters.
+type Stats struct {
+	ScannedRows    atomic.Int64
+	ScannedBytes   atomic.Int64
+	SpilledBytes   atomic.Int64 // raw page bytes spilled
+	WrittenBytes   atomic.Int64 // post-compression bytes written
+	SpillReadBytes atomic.Int64
+	PartitionedOps atomic.Int64 // operators that enabled partitioning
+	SpilledOps     atomic.Int64 // operators that spilled
+
+	histMu sync.Mutex
+	hist   map[codec.ID]int64 // spilled pages per compression scheme
+}
+
+func (s *Stats) addResult(r *core.Result) {
+	if s == nil {
+		return
+	}
+	s.SpilledBytes.Add(r.SpilledBytes)
+	s.WrittenBytes.Add(r.WrittenBytes)
+	if r.HasSpilled() {
+		s.SpilledOps.Add(1)
+	}
+	if len(r.SchemeHistogram) > 0 {
+		s.histMu.Lock()
+		if s.hist == nil {
+			s.hist = map[codec.ID]int64{}
+		}
+		for id, n := range r.SchemeHistogram {
+			s.hist[id] += n
+		}
+		s.histMu.Unlock()
+	}
+}
+
+// SchemeHistogram returns spilled pages per compression scheme (Figure 11
+// right panel).
+func (s *Stats) SchemeHistogram() map[codec.ID]int64 {
+	s.histMu.Lock()
+	defer s.histMu.Unlock()
+	out := make(map[codec.ID]int64, len(s.hist))
+	for id, n := range s.hist {
+		out[id] = n
+	}
+	return out
+}
+
+// Stream is a parallel batch stream: workers 0..Workers-1 each repeatedly
+// call Next with their id until it returns 0 rows. Work distribution
+// (morsel stealing) happens inside the stream.
+type Stream struct {
+	schema *data.Schema
+	// next fills b (after resetting it) and returns the row count, 0 at
+	// end of stream for that worker.
+	next func(w int, b *data.Batch) (int, error)
+	// abandon, if set, tells the stream that worker w will never call
+	// Next again (it failed). Streams with cross-worker synchronization
+	// (the join's phase barrier) deregister the worker so the others do
+	// not wait for it forever; wrappers forward to their child.
+	abandon func(w int)
+}
+
+// Schema returns the stream's output schema.
+func (s *Stream) Schema() *data.Schema { return s.schema }
+
+// Next pulls the next batch for worker w.
+func (s *Stream) Next(w int, b *data.Batch) (int, error) { return s.next(w, b) }
+
+// Abandon marks worker w as permanently gone (after an error or panic).
+func (s *Stream) Abandon(w int) {
+	if s.abandon != nil {
+		s.abandon(w)
+	}
+}
+
+// Node is a physical plan node.
+type Node interface {
+	// Schema returns the node's output schema.
+	Schema() *data.Schema
+	// Run executes the node's blocking phases (if any) and returns its
+	// output stream for the parent to consume.
+	Run(ctx *Ctx) (*Stream, error)
+}
+
+// runWorkers runs fn for each worker id in parallel, converting Umami's
+// out-of-memory panic into ErrOutOfMemory and returning the first error.
+func runWorkers(workers int, fn func(w int) error) error {
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			defer core.RecoverOOM(&errs[w])
+			errs[w] = fn(w)
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Drain consumes a stream to completion, calling sink for every batch.
+// sink is called concurrently from different workers. Workers that fail —
+// by error or by Umami's out-of-memory panic — abandon the stream so that
+// streams with internal barriers release the surviving workers.
+func Drain(ctx *Ctx, s *Stream, sink func(w int, b *data.Batch) error) error {
+	return runWorkers(ctx.workers(), func(w int) error {
+		done := false
+		defer func() {
+			if !done {
+				s.Abandon(w)
+			}
+		}()
+		b := data.NewBatch(s.schema, 1024)
+		for {
+			n, err := s.Next(w, b)
+			if err != nil {
+				return err
+			}
+			if n == 0 {
+				done = true
+				return nil
+			}
+			if sink != nil {
+				if err := sink(w, b); err != nil {
+					return err
+				}
+			}
+		}
+	})
+}
+
+// Collect runs a plan and gathers its entire output into one batch
+// (results of TPC-H queries are small).
+func Collect(ctx *Ctx, n Node) (*data.Batch, error) {
+	s, err := n.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	out := data.NewBatch(s.schema, 1024)
+	var mu sync.Mutex
+	err = Drain(ctx, s, func(w int, b *data.Batch) error {
+		mu.Lock()
+		defer mu.Unlock()
+		for r := 0; r < b.Len(); r++ {
+			out.AppendRowFrom(b, r)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// barrier is a single-use latch: workers wait until every registered
+// worker has either arrived or deregistered (used between the streaming and
+// the spilled-partition phase of unified operators). Deregistration keeps
+// a worker that died from an error or OOM from deadlocking the rest.
+type barrier struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	total    int
+	arrived  int
+	released bool
+}
+
+func newBarrier(total int) *barrier {
+	b := &barrier{total: total}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// wait blocks until all still-registered workers arrive.
+func (b *barrier) wait() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.arrived++
+	if b.arrived >= b.total {
+		b.released = true
+		b.cond.Broadcast()
+	}
+	for !b.released {
+		b.cond.Wait()
+	}
+}
+
+// deregister removes one never-arriving worker.
+func (b *barrier) deregister() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.total--
+	if b.arrived >= b.total {
+		b.released = true
+		b.cond.Broadcast()
+	}
+}
+
+// errValue lets concurrent workers publish a first error.
+type errValue struct {
+	mu  sync.Mutex
+	err error
+}
+
+func (e *errValue) set(err error) {
+	if err == nil {
+		return
+	}
+	e.mu.Lock()
+	if e.err == nil {
+		e.err = err
+	}
+	e.mu.Unlock()
+}
+
+func (e *errValue) get() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.err
+}
+
+func checkSchemaCols(s *data.Schema, cols []string) error {
+	for _, c := range cols {
+		if s.Index(c) < 0 {
+			return fmt.Errorf("exec: column %q not in schema", c)
+		}
+	}
+	return nil
+}

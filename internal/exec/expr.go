@@ -1,0 +1,376 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/spilly-db/spilly/internal/data"
+)
+
+// Expr is a compiled scalar expression over batch rows. Expressions are
+// compiled against a schema into closures — the stdlib-Go analogue of the
+// per-query code generation the paper's engine performs. Exactly one of
+// the evaluator functions is set, according to Type.
+type Expr struct {
+	Type data.Type
+	I    func(b *data.Batch, r int) int64
+	F    func(b *data.Batch, r int) float64
+	S    func(b *data.Batch, r int) string
+}
+
+// Bool evaluates a boolean expression.
+func (e Expr) Bool(b *data.Batch, r int) bool { return e.I(b, r) != 0 }
+
+// AsFloat coerces a numeric expression to float64 evaluation.
+func (e Expr) AsFloat() Expr {
+	switch e.Type {
+	case data.Float64:
+		return e
+	case data.Int64, data.Date, data.Bool:
+		i := e.I
+		return Expr{Type: data.Float64, F: func(b *data.Batch, r int) float64 { return float64(i(b, r)) }}
+	default:
+		panic(fmt.Sprintf("exec: cannot coerce %v to float", e.Type))
+	}
+}
+
+// Col compiles a column reference.
+func Col(s *data.Schema, name string) Expr {
+	idx := s.MustIndex(name)
+	switch s.Cols[idx].Type {
+	case data.Float64:
+		return Expr{Type: data.Float64, F: func(b *data.Batch, r int) float64 { return b.Cols[idx].F[r] }}
+	case data.String:
+		return Expr{Type: data.String, S: func(b *data.Batch, r int) string { return b.Cols[idx].S[r] }}
+	default:
+		t := s.Cols[idx].Type
+		return Expr{Type: t, I: func(b *data.Batch, r int) int64 { return b.Cols[idx].I[r] }}
+	}
+}
+
+// ConstInt compiles an integer literal.
+func ConstInt(v int64) Expr {
+	return Expr{Type: data.Int64, I: func(*data.Batch, int) int64 { return v }}
+}
+
+// ConstFloat compiles a float literal.
+func ConstFloat(v float64) Expr {
+	return Expr{Type: data.Float64, F: func(*data.Batch, int) float64 { return v }}
+}
+
+// ConstStr compiles a string literal.
+func ConstStr(v string) Expr {
+	return Expr{Type: data.String, S: func(*data.Batch, int) string { return v }}
+}
+
+// ConstDate compiles a date literal from "YYYY-MM-DD".
+func ConstDate(s string) Expr {
+	v := data.ParseDate(s)
+	return Expr{Type: data.Date, I: func(*data.Batch, int) int64 { return v }}
+}
+
+// ConstBool compiles a boolean literal.
+func ConstBool(v bool) Expr {
+	i := int64(0)
+	if v {
+		i = 1
+	}
+	return Expr{Type: data.Bool, I: func(*data.Batch, int) int64 { return i }}
+}
+
+func arith(a, b Expr, iop func(x, y int64) int64, fop func(x, y float64) float64) Expr {
+	if a.Type == data.Float64 || b.Type == data.Float64 {
+		af, bf := a.AsFloat().F, b.AsFloat().F
+		return Expr{Type: data.Float64, F: func(ba *data.Batch, r int) float64 { return fop(af(ba, r), bf(ba, r)) }}
+	}
+	ai, bi := a.I, b.I
+	return Expr{Type: data.Int64, I: func(ba *data.Batch, r int) int64 { return iop(ai(ba, r), bi(ba, r)) }}
+}
+
+// Add compiles a + b with int→float promotion.
+func Add(a, b Expr) Expr {
+	return arith(a, b, func(x, y int64) int64 { return x + y }, func(x, y float64) float64 { return x + y })
+}
+
+// Sub compiles a - b.
+func Sub(a, b Expr) Expr {
+	return arith(a, b, func(x, y int64) int64 { return x - y }, func(x, y float64) float64 { return x - y })
+}
+
+// Mul compiles a * b.
+func Mul(a, b Expr) Expr {
+	return arith(a, b, func(x, y int64) int64 { return x * y }, func(x, y float64) float64 { return x * y })
+}
+
+// Div compiles a / b (always float, SQL decimal division).
+func Div(a, b Expr) Expr {
+	af, bf := a.AsFloat().F, b.AsFloat().F
+	return Expr{Type: data.Float64, F: func(ba *data.Batch, r int) float64 { return af(ba, r) / bf(ba, r) }}
+}
+
+func boolExpr(f func(b *data.Batch, r int) bool) Expr {
+	return Expr{Type: data.Bool, I: func(b *data.Batch, r int) int64 {
+		if f(b, r) {
+			return 1
+		}
+		return 0
+	}}
+}
+
+// Cmp compiles a comparison. op is one of "<", "<=", ">", ">=", "=", "<>".
+func Cmp(op string, a, b Expr) Expr {
+	if a.Type == data.String || b.Type == data.String {
+		if a.Type != data.String || b.Type != data.String {
+			panic("exec: comparing string with non-string")
+		}
+		as, bs := a.S, b.S
+		switch op {
+		case "<":
+			return boolExpr(func(ba *data.Batch, r int) bool { return as(ba, r) < bs(ba, r) })
+		case "<=":
+			return boolExpr(func(ba *data.Batch, r int) bool { return as(ba, r) <= bs(ba, r) })
+		case ">":
+			return boolExpr(func(ba *data.Batch, r int) bool { return as(ba, r) > bs(ba, r) })
+		case ">=":
+			return boolExpr(func(ba *data.Batch, r int) bool { return as(ba, r) >= bs(ba, r) })
+		case "=":
+			return boolExpr(func(ba *data.Batch, r int) bool { return as(ba, r) == bs(ba, r) })
+		case "<>":
+			return boolExpr(func(ba *data.Batch, r int) bool { return as(ba, r) != bs(ba, r) })
+		}
+		panic("exec: unknown comparison " + op)
+	}
+	if a.Type == data.Float64 || b.Type == data.Float64 {
+		af, bf := a.AsFloat().F, b.AsFloat().F
+		switch op {
+		case "<":
+			return boolExpr(func(ba *data.Batch, r int) bool { return af(ba, r) < bf(ba, r) })
+		case "<=":
+			return boolExpr(func(ba *data.Batch, r int) bool { return af(ba, r) <= bf(ba, r) })
+		case ">":
+			return boolExpr(func(ba *data.Batch, r int) bool { return af(ba, r) > bf(ba, r) })
+		case ">=":
+			return boolExpr(func(ba *data.Batch, r int) bool { return af(ba, r) >= bf(ba, r) })
+		case "=":
+			return boolExpr(func(ba *data.Batch, r int) bool { return af(ba, r) == bf(ba, r) })
+		case "<>":
+			return boolExpr(func(ba *data.Batch, r int) bool { return af(ba, r) != bf(ba, r) })
+		}
+		panic("exec: unknown comparison " + op)
+	}
+	ai, bi := a.I, b.I
+	switch op {
+	case "<":
+		return boolExpr(func(ba *data.Batch, r int) bool { return ai(ba, r) < bi(ba, r) })
+	case "<=":
+		return boolExpr(func(ba *data.Batch, r int) bool { return ai(ba, r) <= bi(ba, r) })
+	case ">":
+		return boolExpr(func(ba *data.Batch, r int) bool { return ai(ba, r) > bi(ba, r) })
+	case ">=":
+		return boolExpr(func(ba *data.Batch, r int) bool { return ai(ba, r) >= bi(ba, r) })
+	case "=":
+		return boolExpr(func(ba *data.Batch, r int) bool { return ai(ba, r) == bi(ba, r) })
+	case "<>":
+		return boolExpr(func(ba *data.Batch, r int) bool { return ai(ba, r) != bi(ba, r) })
+	}
+	panic("exec: unknown comparison " + op)
+}
+
+// And compiles a short-circuit conjunction.
+func And(exprs ...Expr) Expr {
+	return boolExpr(func(b *data.Batch, r int) bool {
+		for _, e := range exprs {
+			if e.I(b, r) == 0 {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// Or compiles a short-circuit disjunction.
+func Or(exprs ...Expr) Expr {
+	return boolExpr(func(b *data.Batch, r int) bool {
+		for _, e := range exprs {
+			if e.I(b, r) != 0 {
+				return true
+			}
+		}
+		return false
+	})
+}
+
+// Not compiles a negation.
+func Not(e Expr) Expr {
+	return boolExpr(func(b *data.Batch, r int) bool { return e.I(b, r) == 0 })
+}
+
+// Like compiles a SQL LIKE pattern with % and _ wildcards.
+func Like(e Expr, pattern string) Expr {
+	m := compileLike(pattern)
+	s := e.S
+	return boolExpr(func(b *data.Batch, r int) bool { return m(s(b, r)) })
+}
+
+// NotLike compiles NOT LIKE.
+func NotLike(e Expr, pattern string) Expr { return Not(Like(e, pattern)) }
+
+// compileLike builds a matcher for a LIKE pattern, fast-pathing the common
+// shapes (%x%, x%, %x, exact) and falling back to a general matcher.
+func compileLike(pattern string) func(string) bool {
+	if !strings.ContainsAny(pattern, "_") {
+		parts := strings.Split(pattern, "%")
+		switch {
+		case len(parts) == 1:
+			return func(s string) bool { return s == pattern }
+		case len(parts) == 2 && parts[0] == "":
+			suf := parts[1]
+			return func(s string) bool { return strings.HasSuffix(s, suf) }
+		case len(parts) == 2 && parts[1] == "":
+			pre := parts[0]
+			return func(s string) bool { return strings.HasPrefix(s, pre) }
+		case len(parts) == 3 && parts[0] == "" && parts[2] == "":
+			mid := parts[1]
+			return func(s string) bool { return strings.Contains(s, mid) }
+		default:
+			// General %-only pattern: ordered substring search.
+			return func(s string) bool {
+				rest := s
+				for i, p := range parts {
+					if p == "" {
+						continue
+					}
+					idx := strings.Index(rest, p)
+					if idx < 0 {
+						return false
+					}
+					if i == 0 && idx != 0 {
+						return false
+					}
+					rest = rest[idx+len(p):]
+				}
+				if last := parts[len(parts)-1]; last != "" && !strings.HasSuffix(s, last) {
+					return false
+				}
+				return true
+			}
+		}
+	}
+	// General matcher with _ support (rare in TPC-H).
+	return func(s string) bool { return likeMatch(pattern, s) }
+}
+
+func likeMatch(pattern, s string) bool {
+	// Simple backtracking matcher.
+	var pi, si, star, mark int
+	star = -1
+	for si < len(s) {
+		switch {
+		case pi < len(pattern) && (pattern[pi] == '_' || pattern[pi] == s[si]):
+			pi++
+			si++
+		case pi < len(pattern) && pattern[pi] == '%':
+			star = pi
+			mark = si
+			pi++
+		case star >= 0:
+			pi = star + 1
+			mark++
+			si = mark
+		default:
+			return false
+		}
+	}
+	for pi < len(pattern) && pattern[pi] == '%' {
+		pi++
+	}
+	return pi == len(pattern)
+}
+
+// InStr compiles membership in a string set.
+func InStr(e Expr, vals ...string) Expr {
+	set := make(map[string]struct{}, len(vals))
+	for _, v := range vals {
+		set[v] = struct{}{}
+	}
+	s := e.S
+	return boolExpr(func(b *data.Batch, r int) bool {
+		_, ok := set[s(b, r)]
+		return ok
+	})
+}
+
+// InInt compiles membership in an integer set.
+func InInt(e Expr, vals ...int64) Expr {
+	set := make(map[int64]struct{}, len(vals))
+	for _, v := range vals {
+		set[v] = struct{}{}
+	}
+	i := e.I
+	return boolExpr(func(b *data.Batch, r int) bool {
+		_, ok := set[i(b, r)]
+		return ok
+	})
+}
+
+// Case compiles CASE WHEN cond THEN a ELSE b END.
+func Case(cond, then, els Expr) Expr {
+	if then.Type != els.Type && !(then.Type != data.String && els.Type != data.String) {
+		panic("exec: CASE branches of incompatible types")
+	}
+	switch {
+	case then.Type == data.String:
+		t, e, c := then.S, els.S, cond.I
+		return Expr{Type: data.String, S: func(b *data.Batch, r int) string {
+			if c(b, r) != 0 {
+				return t(b, r)
+			}
+			return e(b, r)
+		}}
+	case then.Type == data.Float64 || els.Type == data.Float64:
+		t, e, c := then.AsFloat().F, els.AsFloat().F, cond.I
+		return Expr{Type: data.Float64, F: func(b *data.Batch, r int) float64 {
+			if c(b, r) != 0 {
+				return t(b, r)
+			}
+			return e(b, r)
+		}}
+	default:
+		t, e, c := then.I, els.I, cond.I
+		return Expr{Type: then.Type, I: func(b *data.Batch, r int) int64 {
+			if c(b, r) != 0 {
+				return t(b, r)
+			}
+			return e(b, r)
+		}}
+	}
+}
+
+// YearOf compiles EXTRACT(YEAR FROM date).
+func YearOf(e Expr) Expr {
+	i := e.I
+	return Expr{Type: data.Int64, I: func(b *data.Batch, r int) int64 { return data.Year(i(b, r)) }}
+}
+
+// Substr compiles SUBSTRING(s FROM start FOR length) with 1-based start.
+func Substr(e Expr, start, length int) Expr {
+	s := e.S
+	return Expr{Type: data.String, S: func(b *data.Batch, r int) string {
+		v := s(b, r)
+		lo := start - 1
+		if lo < 0 || lo >= len(v) {
+			return ""
+		}
+		hi := lo + length
+		if hi > len(v) {
+			hi = len(v)
+		}
+		return v[lo:hi]
+	}}
+}
+
+// IsNotNull compiles col IS NOT NULL for the named column.
+func IsNotNull(s *data.Schema, name string) Expr {
+	idx := s.MustIndex(name)
+	return boolExpr(func(b *data.Batch, r int) bool { return !b.IsNull(idx, r) })
+}

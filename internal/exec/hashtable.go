@@ -1,0 +1,194 @@
+package exec
+
+import (
+	"sync/atomic"
+
+	"github.com/spilly-db/spilly/internal/data"
+	"github.com/spilly-db/spilly/internal/pages"
+)
+
+// hashTable is the chaining hash table used by phase 2 of the unified
+// operators: buckets hold indices into a flat entry array whose entries
+// reference tuples stored on Umami pages (the paper's hash table "links to
+// tuples on pages", §4.4). The bucket index is a *prefix* of the hash so
+// that partition bits map to contiguous bucket ranges — the locality and
+// contention optimization of §5.3.
+type hashTable struct {
+	entries []htEntry
+	buckets []int32 // head entry index + 1; 0 = empty
+	shift   uint    // bucket = hash >> shift
+	pages   []*pages.Page
+	rc      *data.RowCodec
+	keys    []int
+}
+
+type htEntry struct {
+	hash uint64
+	page int32
+	tup  int32
+	next int32 // entry index + 1; 0 = end
+}
+
+// buildHashTable constructs a table over the tuples of pgs in parallel.
+// distinctHint sizes the bucket array (the paper derives it from the
+// HyperLogLog sketches built during materialization); 0 falls back to the
+// total tuple count.
+func buildHashTable(pgs []*pages.Page, rc *data.RowCodec, keys []int, distinctHint int64, workers int) *hashTable {
+	total := 0
+	base := make([]int, len(pgs)+1)
+	for i, p := range pgs {
+		base[i] = total
+		total += p.Tuples()
+	}
+	base[len(pgs)] = total
+
+	size := distinctHint
+	if size <= 0 {
+		size = int64(total)
+	}
+	nBuckets := int64(1024)
+	for nBuckets < size*2 {
+		nBuckets *= 2
+	}
+	ht := &hashTable{
+		entries: make([]htEntry, total),
+		buckets: make([]int32, nBuckets),
+		shift:   uint(64 - log2(uint64(nBuckets))),
+		pages:   pgs,
+		rc:      rc,
+		keys:    keys,
+	}
+	if total == 0 {
+		return ht
+	}
+
+	// Phase A: hash every tuple. Pages are distributed via an atomic
+	// cursor; since the page list is grouped by partition, consecutive
+	// pages share partitions and workers enjoy the §5.3 locality.
+	var cursor atomic.Int64
+	runWorkers(workers, func(w int) error {
+		for {
+			pi := int(cursor.Add(1) - 1)
+			if pi >= len(pgs) {
+				return nil
+			}
+			p := pgs[pi]
+			off := base[pi]
+			for t := 0; t < p.Tuples(); t++ {
+				tuple := p.Tuple(t)
+				ht.entries[off+t] = htEntry{
+					hash: rc.HashTuple(tuple, keys),
+					page: int32(pi),
+					tup:  int32(t),
+				}
+			}
+		}
+	})
+
+	// Phase B: link entries into buckets with CAS pushes. Entry ranges
+	// follow page order, so contention mirrors partition overlap only.
+	var cursor2 atomic.Int64
+	const chunk = 4096
+	runWorkers(workers, func(w int) error {
+		for {
+			lo := int(cursor2.Add(chunk) - chunk)
+			if lo >= total {
+				return nil
+			}
+			hi := lo + chunk
+			if hi > total {
+				hi = total
+			}
+			for i := lo; i < hi; i++ {
+				b := ht.entries[i].hash >> ht.shift
+				for {
+					head := atomic.LoadInt32(&ht.buckets[b])
+					ht.entries[i].next = head
+					if atomic.CompareAndSwapInt32(&ht.buckets[b], head, int32(i+1)) {
+						break
+					}
+				}
+			}
+		}
+	})
+	return ht
+}
+
+func log2(v uint64) int {
+	n := 0
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// probeRow iterates matches of the given batch row's key columns, calling
+// fn with each matching build tuple. It returns whether any match existed.
+func (h *hashTable) probeRow(hash uint64, b *data.Batch, keyCols []int, r int, fn func(tuple []byte)) bool {
+	matched := false
+	for e := h.buckets[hash>>h.shift]; e != 0; {
+		ent := &h.entries[e-1]
+		e = ent.next
+		if ent.hash != hash {
+			continue
+		}
+		tuple := h.pages[ent.page].Tuple(int(ent.tup))
+		if h.rc.KeyEqualRow(tuple, h.keys, b, keyCols, r) {
+			matched = true
+			if fn != nil {
+				fn(tuple)
+			} else {
+				return true // existence check only
+			}
+		}
+	}
+	return matched
+}
+
+// probeTuple iterates matches of an encoded tuple's key fields (used in the
+// spilled-partition phase where both sides are materialized).
+func (h *hashTable) probeTuple(hash uint64, tuple []byte, rc *data.RowCodec, keyFields []int, fn func(buildTuple []byte)) bool {
+	matched := false
+	for e := h.buckets[hash>>h.shift]; e != 0; {
+		ent := &h.entries[e-1]
+		e = ent.next
+		if ent.hash != hash {
+			continue
+		}
+		bt := h.pages[ent.page].Tuple(int(ent.tup))
+		if keyFieldsEqual(h.rc, bt, h.keys, rc, tuple, keyFields) {
+			matched = true
+			if fn != nil {
+				fn(bt)
+			} else {
+				return true
+			}
+		}
+	}
+	return matched
+}
+
+// keyFieldsEqual compares key fields across two differently-coded tuples.
+func keyFieldsEqual(arc *data.RowCodec, a []byte, aKeys []int, brc *data.RowCodec, b []byte, bKeys []int) bool {
+	for i := range aKeys {
+		af, bf := aKeys[i], bKeys[i]
+		an, bn := arc.IsNull(a, af), brc.IsNull(b, bf)
+		if an != bn {
+			return false
+		}
+		if an {
+			continue
+		}
+		if arc.Types()[af] == data.String {
+			if arc.Str(a, af) != brc.Str(b, bf) {
+				return false
+			}
+		} else {
+			if arc.Int(a, af) != brc.Int(b, bf) {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,657 @@
+package exec
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"github.com/spilly-db/spilly/internal/core"
+	"github.com/spilly-db/spilly/internal/data"
+	"github.com/spilly-db/spilly/internal/hll"
+	"github.com/spilly-db/spilly/internal/pages"
+)
+
+// JoinKind selects the join semantics. All kinds are probe-side preserving
+// where applicable: Outer emits every probe row (padding build columns with
+// NULL when unmatched), matching the paper's inner/semi/anti/outer set.
+type JoinKind int
+
+// Join kinds.
+const (
+	Inner JoinKind = iota
+	Semi
+	Anti
+	Outer
+)
+
+// Join is the unified hash join (§4.5). It materializes the build side
+// through Umami — so it starts as a simple in-memory hash join and
+// adaptively partitions and spills — and executes its probe side like a
+// hybrid hash join when partitions were spilled: probe tuples of spilled
+// partitions first probe the in-memory table (which holds everything
+// materialized before partitioning began), then follow their partition to
+// the spilled phase.
+//
+// With Grace set, the operator instead behaves as the classical grace hash
+// join baseline (§4.1): both sides always partition and every partition is
+// joined separately — no streaming probe phase.
+type Join struct {
+	Build, Probe         Node
+	BuildKeys, ProbeKeys []string
+	Kind                 JoinKind
+	Grace                bool
+
+	schema *data.Schema
+}
+
+// NewJoin constructs a join node. The output schema is probe ⊕ build for
+// Inner and Outer, probe only for Semi and Anti.
+func NewJoin(kind JoinKind, build Node, buildKeys []string, probe Node, probeKeys []string) *Join {
+	j := &Join{Build: build, Probe: probe, BuildKeys: buildKeys, ProbeKeys: probeKeys, Kind: kind}
+	if len(buildKeys) != len(probeKeys) || len(buildKeys) == 0 {
+		panic("exec: join key lists must be non-empty and of equal length")
+	}
+	switch kind {
+	case Semi, Anti:
+		j.schema = probe.Schema()
+	default:
+		j.schema = probe.Schema().Concat(build.Schema())
+	}
+	return j
+}
+
+// Schema implements Node.
+func (j *Join) Schema() *data.Schema { return j.schema }
+
+// grace reports whether this join runs as a grace hash join, either by its
+// own flag or by the context-wide baseline switch.
+func (j *Join) grace(ctx *Ctx) bool { return j.Grace || ctx.ForceGrace }
+
+func indicesOf(s *data.Schema, names []string) []int {
+	out := make([]int, len(names))
+	for i, n := range names {
+		out[i] = s.MustIndex(n)
+	}
+	return out
+}
+
+// Run implements Node.
+func (j *Join) Run(ctx *Ctx) (*Stream, error) {
+	if err := checkSchemaCols(j.Build.Schema(), j.BuildKeys); err != nil {
+		return nil, err
+	}
+	if err := checkSchemaCols(j.Probe.Schema(), j.ProbeKeys); err != nil {
+		return nil, err
+	}
+	bres, rcB, bKeyFields, est, err := j.runBuild(ctx)
+	if err != nil {
+		return nil, err
+	}
+	workers := ctx.workers()
+
+	// Phase 2 preparation: the single in-memory hash table over ALL
+	// in-memory pages — partitioned or not (§4.2 "Independence"). The
+	// grace baseline has no streaming phase and builds no global table.
+	var ht *hashTable
+	routedMask := bres.Mask
+	if j.grace(ctx) {
+		routedMask = ^uint64(0) >> (64 - uint(bres.Partitions))
+	} else {
+		memPages := make([]*pages.Page, 0, len(bres.Unpartitioned)+len(bres.InMemory))
+		memPages = append(memPages, bres.Unpartitioned...)
+		memPages = append(memPages, bres.InMemory...)
+		ht = buildHashTable(memPages, rcB, bKeyFields, est, workers)
+	}
+
+	return j.probeStream(ctx, bres, rcB, bKeyFields, ht, routedMask)
+}
+
+// runBuild materializes the build side through Umami.
+func (j *Join) runBuild(ctx *Ctx) (*core.Result, *data.RowCodec, []int, int64, error) {
+	bs, err := j.Build.Run(ctx)
+	if err != nil {
+		return nil, nil, nil, 0, err
+	}
+	bSchema := j.Build.Schema()
+	rcB := data.NewRowCodec(bSchema.Types())
+	bKeyCols := indicesOf(bSchema, j.BuildKeys)
+
+	cfg := ctx.coreConfig()
+	if j.grace(ctx) {
+		cfg.Mode = core.ModeAlwaysPartition
+	}
+	shared := core.NewShared(cfg)
+	workers := ctx.workers()
+	sketches := make([]*hll.Sketch, workers)
+	err = runWorkers(workers, func(w int) error {
+		done := false
+		defer func() {
+			if !done {
+				bs.Abandon(w)
+			}
+		}()
+		buf := shared.NewBuffer()
+		sk := hll.New()
+		sketches[w] = sk
+		b := data.NewBatch(bSchema, 0)
+		for {
+			n, err := bs.Next(w, b)
+			if err != nil {
+				return err
+			}
+			if n == 0 {
+				done = true
+				return buf.Finish()
+			}
+			for r := 0; r < n; r++ {
+				// The HyperLogLog sketch computes a key hash anyway; Umami
+				// reuses it for adaptive partitioning for free (§4.5).
+				h := data.HashRow(b, bKeyCols, r)
+				sk.Add(h)
+				dst := buf.AllocTuple(rcB.Size(b, r), h)
+				rcB.Encode(dst, b, r)
+			}
+		}
+	})
+	if err != nil {
+		return nil, nil, nil, 0, err
+	}
+	bres, err := shared.Finalize()
+	if err != nil {
+		return nil, nil, nil, 0, err
+	}
+	if ctx.Stats != nil {
+		ctx.Stats.addResult(bres)
+		if shared.PartitioningActive() {
+			ctx.Stats.PartitionedOps.Add(1)
+		}
+	}
+	merged := hll.New()
+	for _, sk := range sketches {
+		merged.Merge(sk)
+	}
+	bKeyFields := bKeyCols // build tuples carry the full build schema
+	return bres, rcB, bKeyFields, int64(merged.Estimate()), nil
+}
+
+// joinShared is the probe-phase state shared by all workers.
+type joinShared struct {
+	j       *Join
+	ctx     *Ctx
+	bres    *core.Result
+	rcB     *data.RowCodec
+	bKeys   []int
+	ht      *hashTable
+	mask    uint64
+	shiftP  uint // partition shift (64 - log2 partitions)
+	nBuild  int  // build schema width
+
+	pSchema  *data.Schema
+	pmSchema *data.Schema // probe materialization schema (probe ⊕ matched flag for Outer)
+	rcP      *data.RowCodec
+	pKeys    []int
+
+	probeIn *Stream
+	pshared *core.Shared
+
+	bar        *barrier
+	finalOnce  sync.Once
+	pres       *core.Result
+	routed     []int
+	partCursor atomic.Int64
+	err        errValue
+}
+
+func (j *Join) probeStream(ctx *Ctx, bres *core.Result, rcB *data.RowCodec, bKeys []int, ht *hashTable, routedMask uint64) (*Stream, error) {
+	ps, err := j.Probe.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	pSchema := j.Probe.Schema()
+	pmSchema := pSchema
+	if j.Kind == Outer {
+		pmSchema = pSchema.Concat(data.NewSchema(data.ColumnDef{Name: "__matched", Type: data.Bool}))
+	}
+
+	js := &joinShared{
+		j:        j,
+		ctx:      ctx,
+		bres:     bres,
+		rcB:      rcB,
+		bKeys:    bKeys,
+		ht:       ht,
+		mask:     routedMask,
+		shiftP:   uint(64 - log2(uint64(bres.Partitions))),
+		nBuild:   j.Build.Schema().Len(),
+		pSchema:  pSchema,
+		pmSchema: pmSchema,
+		rcP:      data.NewRowCodec(pmSchema.Types()),
+		pKeys:    indicesOf(pSchema, j.ProbeKeys),
+		probeIn:  ps,
+		bar:      newBarrier(ctx.workers()),
+	}
+	if routedMask != 0 {
+		pcfg := ctx.coreConfig()
+		pcfg.Mode = core.ModeAlwaysPartition
+		pcfg.Partitions = bres.Partitions
+		js.pshared = core.NewShared(pcfg)
+	}
+
+	workers := make([]*joinWorker, ctx.workers())
+	var mu sync.Mutex
+	return &Stream{
+		schema: j.schema,
+		next: func(w int, b *data.Batch) (int, error) {
+			mu.Lock()
+			jw := workers[w]
+			if jw == nil {
+				jw = newJoinWorker(js, w)
+				workers[w] = jw
+			}
+			mu.Unlock()
+			return jw.next(b)
+		},
+		abandon: func(w int) {
+			mu.Lock()
+			jw := workers[w]
+			mu.Unlock()
+			// A worker that never reached the phase barrier will never
+			// arrive: release the others.
+			if jw == nil || jw.stage == 1 {
+				js.bar.deregister()
+			}
+			js.probeIn.Abandon(w)
+		},
+	}, nil
+}
+
+// joinWorker is one worker's probe state machine: stage 1 streams the probe
+// input against the in-memory table, stage 2 (after a barrier) joins the
+// routed partitions one at a time.
+type joinWorker struct {
+	js   *joinShared
+	wid  int // this worker's stream id
+	pbuf *core.Buffer
+	in   *data.Batch
+	flag []int64 // scratch matched-flag column (Outer)
+
+	stage int // 1 streaming, 2 partitions, 3 done
+	cur   *partJoinState
+}
+
+type partJoinState struct {
+	ht         *hashTable
+	probePages []*pages.Page
+	idx        int
+}
+
+func newJoinWorker(js *joinShared, wid int) *joinWorker {
+	jw := &joinWorker{js: js, wid: wid, in: data.NewBatch(js.pSchema, 0), stage: 1}
+	if js.pshared != nil {
+		jw.pbuf = js.pshared.NewBuffer()
+	}
+	return jw
+}
+
+func (jw *joinWorker) next(b *data.Batch) (int, error) {
+	b.Reset()
+	for {
+		if err := jw.js.err.get(); err != nil {
+			return 0, err
+		}
+		switch jw.stage {
+		case 1:
+			n, err := jw.js.probeIn.Next(jw.workerID(), jw.in)
+			if err != nil {
+				jw.js.err.set(err)
+				return 0, err
+			}
+			if n == 0 {
+				if jw.pbuf != nil {
+					if err := jw.pbuf.Finish(); err != nil {
+						jw.js.err.set(err)
+					}
+				}
+				jw.js.bar.wait()
+				if err := jw.finalizeProbe(); err != nil {
+					jw.js.err.set(err)
+					return 0, err
+				}
+				jw.stage = 2
+				continue
+			}
+			if out := jw.streamBatch(b); out > 0 {
+				return out, nil
+			}
+		case 2:
+			n, err := jw.partitionStep(b)
+			if err != nil {
+				jw.js.err.set(err)
+				return 0, err
+			}
+			if n > 0 {
+				return n, nil
+			}
+			if jw.stage == 3 {
+				return 0, nil
+			}
+		default:
+			return 0, nil
+		}
+	}
+}
+
+// workerID returns this worker's probe-stream id, bound at creation.
+func (jw *joinWorker) workerID() int { return jw.wid }
+
+// streamBatch probes jw.in against the in-memory table, emitting into b and
+// routing tuples of spilled (or grace) partitions into the probe buffer.
+func (jw *joinWorker) streamBatch(b *data.Batch) int {
+	js := jw.js
+	in := jw.in
+	var wrap *data.Batch
+	if js.j.Kind == Outer {
+		if cap(jw.flag) < in.Len() {
+			jw.flag = make([]int64, in.Len())
+		}
+		jw.flag = jw.flag[:in.Len()]
+		cols := make([]data.Column, 0, len(in.Cols)+1)
+		cols = append(cols, in.Cols...)
+		cols = append(cols, data.Column{Type: data.Bool, I: jw.flag})
+		wrap = &data.Batch{Schema: js.pmSchema, Cols: cols}
+		wrap.SetLen(in.Len())
+	}
+	for r := 0; r < in.Len(); r++ {
+		h := data.HashRow(in, js.pKeys, r)
+		part := int(h >> js.shiftP)
+		routed := js.mask&(1<<uint(part)) != 0
+
+		matched := false
+		if js.ht != nil {
+			switch js.j.Kind {
+			case Inner, Outer:
+				js.ht.probeRow(h, in, js.pKeys, r, func(bt []byte) {
+					matched = true
+					emitJoined(b, in, r, js.rcB, bt, js.nBuild)
+				})
+			case Semi, Anti:
+				matched = js.ht.probeRow(h, in, js.pKeys, r, nil)
+			}
+		}
+
+		if !routed {
+			switch js.j.Kind {
+			case Semi:
+				if matched {
+					b.AppendRowFrom(in, r)
+				}
+			case Anti:
+				if !matched {
+					b.AppendRowFrom(in, r)
+				}
+			case Outer:
+				if !matched {
+					emitPadded(b, in, r, js.j.Build.Schema())
+				}
+			}
+			continue
+		}
+
+		// Routed partition: decide whether the tuple continues to the
+		// spilled phase (see §4.3/§4.5 hybrid semantics per join kind).
+		switch js.j.Kind {
+		case Inner:
+			jw.store(in, r, h)
+		case Semi:
+			if matched {
+				b.AppendRowFrom(in, r)
+			} else {
+				jw.store(in, r, h)
+			}
+		case Anti:
+			if !matched {
+				jw.store(in, r, h)
+			}
+		case Outer:
+			jw.flag[r] = 0
+			if matched {
+				jw.flag[r] = 1
+			}
+			jw.storeWrap(wrap, r, h)
+		}
+	}
+	return b.Len()
+}
+
+func (jw *joinWorker) store(in *data.Batch, r int, h uint64) {
+	dst := jw.pbuf.AllocTuple(jw.js.rcP.Size(in, r), h)
+	jw.js.rcP.Encode(dst, in, r)
+}
+
+func (jw *joinWorker) storeWrap(wrap *data.Batch, r int, h uint64) {
+	dst := jw.pbuf.AllocTuple(jw.js.rcP.Size(wrap, r), h)
+	jw.js.rcP.Encode(dst, wrap, r)
+}
+
+// finalizeProbe merges the probe-side materialization once all workers have
+// finished stage 1.
+func (jw *joinWorker) finalizeProbe() error {
+	js := jw.js
+	var ferr error
+	js.finalOnce.Do(func() {
+		if js.pshared != nil {
+			pres, err := js.pshared.Finalize()
+			if err != nil {
+				ferr = err
+				return
+			}
+			js.pres = pres
+			if js.ctx.Stats != nil {
+				js.ctx.Stats.addResult(pres)
+			}
+		}
+		for p := 0; p < js.bres.Partitions; p++ {
+			if js.mask&(1<<uint(p)) != 0 {
+				js.routed = append(js.routed, p)
+			}
+		}
+	})
+	return ferr
+}
+
+// partitionStep processes (part of) one routed partition, emitting into b.
+func (jw *joinWorker) partitionStep(b *data.Batch) (int, error) {
+	js := jw.js
+	for {
+		if jw.cur == nil {
+			i := int(js.partCursor.Add(1) - 1)
+			if i >= len(js.routed) {
+				jw.stage = 3
+				return 0, nil
+			}
+			st, err := jw.openPartition(js.routed[i])
+			if err != nil {
+				return 0, err
+			}
+			jw.cur = st
+		}
+		st := jw.cur
+		if st.idx >= len(st.probePages) {
+			jw.cur = nil
+			continue
+		}
+		pg := st.probePages[st.idx]
+		st.idx++
+		jw.emitProbePage(b, st, pg)
+		if b.Len() > 0 {
+			return b.Len(), nil
+		}
+	}
+}
+
+// openPartition assembles the build table and probe pages of partition p.
+func (jw *joinWorker) openPartition(p int) (*partJoinState, error) {
+	js := jw.js
+	cfg := core.Config{PageSize: js.ctx.PageSize}
+	pageSize := cfg.PageSize
+	if pageSize == 0 {
+		pageSize = pages.DefaultPageSize
+	}
+
+	// Build side: spilled pages always; in-memory partition pages only for
+	// the grace baseline (the unified join already covered them in the
+	// global in-memory table).
+	var bpgs []*pages.Page
+	if js.j.grace(js.ctx) {
+		bpgs = append(bpgs, js.bres.InMemoryByPart(p)...)
+	}
+	if slots := js.bres.Spilled[p]; len(slots) > 0 {
+		r := core.NewPartitionReader(js.ctx.Spill.Array, pageSize, slots, 8)
+		pgs, err := r.ReadAll()
+		if err != nil {
+			return nil, fmt.Errorf("exec: join reading build partition %d: %w", p, err)
+		}
+		if js.ctx.Stats != nil {
+			js.ctx.Stats.SpillReadBytes.Add(r.BytesRead())
+		}
+		bpgs = append(bpgs, pgs...)
+	}
+	ht := buildHashTable(bpgs, js.rcB, js.bKeys, 0, 1)
+
+	var ppgs []*pages.Page
+	if js.pres != nil {
+		ppgs = append(ppgs, js.pres.InMemoryByPart(p)...)
+		if slots := js.pres.Spilled[p]; len(slots) > 0 {
+			r := core.NewPartitionReader(js.ctx.Spill.Array, pageSize, slots, 8)
+			pgs, err := r.ReadAll()
+			if err != nil {
+				return nil, fmt.Errorf("exec: join reading probe partition %d: %w", p, err)
+			}
+			if js.ctx.Stats != nil {
+				js.ctx.Stats.SpillReadBytes.Add(r.BytesRead())
+			}
+			ppgs = append(ppgs, pgs...)
+		}
+	}
+	return &partJoinState{ht: ht, probePages: ppgs}, nil
+}
+
+// emitProbePage probes every tuple of one materialized probe page.
+func (jw *joinWorker) emitProbePage(b *data.Batch, st *partJoinState, pg *pages.Page) {
+	js := jw.js
+	nProbe := js.pSchema.Len()
+	for t := 0; t < pg.Tuples(); t++ {
+		tuple := pg.Tuple(t)
+		h := js.rcP.HashTuple(tuple, js.pKeys)
+		switch js.j.Kind {
+		case Inner:
+			st.ht.probeTuple(h, tuple, js.rcP, js.pKeys, func(bt []byte) {
+				appendTupleCols(b, 0, js.rcP, tuple, nProbe)
+				appendTupleCols(b, nProbe, js.rcB, bt, js.nBuild)
+				b.SetLen(b.Len() + 1)
+			})
+		case Semi:
+			if st.ht.probeTuple(h, tuple, js.rcP, js.pKeys, nil) {
+				appendTupleCols(b, 0, js.rcP, tuple, nProbe)
+				b.SetLen(b.Len() + 1)
+			}
+		case Anti:
+			if !st.ht.probeTuple(h, tuple, js.rcP, js.pKeys, nil) {
+				appendTupleCols(b, 0, js.rcP, tuple, nProbe)
+				b.SetLen(b.Len() + 1)
+			}
+		case Outer:
+			matched := st.ht.probeTuple(h, tuple, js.rcP, js.pKeys, func(bt []byte) {
+				appendTupleCols(b, 0, js.rcP, tuple, nProbe)
+				appendTupleCols(b, nProbe, js.rcB, bt, js.nBuild)
+				b.SetLen(b.Len() + 1)
+			})
+			flagField := nProbe // the appended __matched field
+			if !matched && js.rcP.Int(tuple, flagField) == 0 {
+				appendTupleCols(b, 0, js.rcP, tuple, nProbe)
+				appendNullCols(b, nProbe, js.j.Build.Schema())
+				b.SetLen(b.Len() + 1)
+			}
+		}
+	}
+}
+
+// emitJoined appends probe row r of in ⊕ decoded build tuple to out.
+func emitJoined(out *data.Batch, in *data.Batch, r int, rcB *data.RowCodec, buildTuple []byte, nBuild int) {
+	appendBatchRowCols(out, 0, in, r)
+	appendTupleCols(out, in.Schema.Len(), rcB, buildTuple, nBuild)
+	out.SetLen(out.Len() + 1)
+}
+
+// emitPadded appends probe row r with NULL build columns (outer join).
+func emitPadded(out *data.Batch, in *data.Batch, r int, buildSchema *data.Schema) {
+	appendBatchRowCols(out, 0, in, r)
+	appendNullCols(out, in.Schema.Len(), buildSchema)
+	out.SetLen(out.Len() + 1)
+}
+
+// appendBatchRowCols copies row r of in into out columns [start, start+w).
+func appendBatchRowCols(out *data.Batch, start int, in *data.Batch, r int) {
+	for i := range in.Cols {
+		src := &in.Cols[i]
+		dst := &out.Cols[start+i]
+		switch dst.Type {
+		case data.Float64:
+			dst.F = append(dst.F, src.F[r])
+		case data.String:
+			dst.S = append(dst.S, src.S[r])
+		default:
+			dst.I = append(dst.I, src.I[r])
+		}
+		appendNullMark(dst, out.Len(), src.Null != nil && src.Null[r])
+	}
+}
+
+// appendTupleCols decodes the first n fields of tuple into out columns
+// [start, start+n).
+func appendTupleCols(out *data.Batch, start int, rc *data.RowCodec, tuple []byte, n int) {
+	for f := 0; f < n; f++ {
+		dst := &out.Cols[start+f]
+		switch rc.Types()[f] {
+		case data.Float64:
+			dst.F = append(dst.F, rc.Float(tuple, f))
+		case data.String:
+			dst.S = append(dst.S, rc.Str(tuple, f))
+		default:
+			dst.I = append(dst.I, rc.Int(tuple, f))
+		}
+		appendNullMark(dst, out.Len(), rc.IsNull(tuple, f))
+	}
+}
+
+// appendNullCols appends NULL values for every column of schema into out
+// columns [start, start+len).
+func appendNullCols(out *data.Batch, start int, schema *data.Schema) {
+	for i, cd := range schema.Cols {
+		dst := &out.Cols[start+i]
+		switch cd.Type {
+		case data.Float64:
+			dst.F = append(dst.F, 0)
+		case data.String:
+			dst.S = append(dst.S, "")
+		default:
+			dst.I = append(dst.I, 0)
+		}
+		appendNullMark(dst, out.Len(), true)
+	}
+}
+
+// appendNullMark maintains a column's null bitmap while appending row
+// rowIdx (the batch length before the row is complete).
+func appendNullMark(c *data.Column, rowIdx int, null bool) {
+	if c.Null == nil {
+		if !null {
+			return
+		}
+		c.Null = make([]bool, rowIdx)
+	}
+	for len(c.Null) < rowIdx {
+		c.Null = append(c.Null, false)
+	}
+	c.Null = append(c.Null, null)
+}

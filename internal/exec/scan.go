@@ -1,0 +1,253 @@
+package exec
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"github.com/spilly-db/spilly/internal/colstore"
+	"github.com/spilly-db/spilly/internal/data"
+)
+
+// Scan reads a table (in memory or from the NVMe array — the reader hides
+// the difference, §5.2) with an optional projection and a pushed-down
+// filter predicate.
+type Scan struct {
+	Table  colstore.Table
+	Cols   []string // projection; nil = all columns
+	Filter Expr     // boolean predicate over the projected schema; zero = none
+
+	schema *data.Schema
+	proj   []int
+}
+
+// NewScan builds a scan of the named columns (all columns when none given).
+func NewScan(t colstore.Table, cols ...string) *Scan {
+	s := &Scan{Table: t, Cols: cols}
+	full := t.Schema()
+	if len(cols) == 0 {
+		s.schema = full
+		for i := range full.Cols {
+			s.proj = append(s.proj, i)
+		}
+		return s
+	}
+	s.schema = full.Project(cols...)
+	for _, c := range cols {
+		s.proj = append(s.proj, full.MustIndex(c))
+	}
+	return s
+}
+
+// Schema implements Node.
+func (s *Scan) Schema() *data.Schema { return s.schema }
+
+// Run implements Node.
+func (s *Scan) Run(ctx *Ctx) (*Stream, error) {
+	var cursor atomic.Int64
+	readers := make([]colstore.Reader, ctx.workers())
+	var mu sync.Mutex
+	hasFilter := s.Filter.I != nil
+	scratchPool := sync.Pool{New: func() interface{} { return data.NewBatch(s.schema, 0) }}
+	return &Stream{
+		schema: s.schema,
+		next: func(w int, b *data.Batch) (int, error) {
+			mu.Lock()
+			if readers[w] == nil {
+				readers[w] = s.Table.NewReader(s.proj, &cursor)
+			}
+			r := readers[w]
+			mu.Unlock()
+			for {
+				var in *data.Batch
+				if hasFilter {
+					in = scratchPool.Get().(*data.Batch)
+				} else {
+					in = b
+				}
+				n, err := r.Next(in)
+				if err != nil || n == 0 {
+					if hasFilter {
+						scratchPool.Put(in)
+					}
+					return 0, err
+				}
+				if ctx.Stats != nil {
+					ctx.Stats.ScannedRows.Add(int64(n))
+					ctx.Stats.ScannedBytes.Add(batchBytes(in))
+				}
+				if !hasFilter {
+					return n, nil
+				}
+				kept := filterInto(b, in, s.Filter)
+				scratchPool.Put(in)
+				if kept > 0 {
+					return kept, nil
+				}
+				// Whole batch filtered out; fetch the next morsel.
+			}
+		},
+	}, nil
+}
+
+// batchBytes estimates the raw byte volume of a batch (8 bytes per fixed
+// value, string lengths for strings) — the "scanned bytes" currency of the
+// paper's cycles-per-byte metric (§4.4).
+func batchBytes(b *data.Batch) int64 {
+	var n int64
+	for i := range b.Cols {
+		c := &b.Cols[i]
+		if c.Type == data.String {
+			for _, s := range c.S {
+				n += int64(len(s))
+			}
+		} else {
+			n += 8 * int64(b.Len())
+		}
+	}
+	return n
+}
+
+// filterInto copies rows of in that satisfy pred into out (after reset).
+func filterInto(out, in *data.Batch, pred Expr) int {
+	out.Reset()
+	for r := 0; r < in.Len(); r++ {
+		if pred.I(in, r) != 0 {
+			out.AppendRowFrom(in, r)
+		}
+	}
+	return out.Len()
+}
+
+// FilterNode filters any child stream (used when a predicate cannot be
+// pushed into the scan, e.g. post-join residuals).
+type FilterNode struct {
+	Child Node
+	Pred  Expr
+}
+
+// Schema implements Node.
+func (f *FilterNode) Schema() *data.Schema { return f.Child.Schema() }
+
+// Run implements Node.
+func (f *FilterNode) Run(ctx *Ctx) (*Stream, error) {
+	in, err := f.Child.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	scratchPool := sync.Pool{New: func() interface{} { return data.NewBatch(in.schema, 0) }}
+	return &Stream{
+		schema:  in.schema,
+		abandon: in.Abandon,
+		next: func(w int, b *data.Batch) (int, error) {
+			for {
+				tmp := scratchPool.Get().(*data.Batch)
+				n, err := in.Next(w, tmp)
+				if err != nil || n == 0 {
+					scratchPool.Put(tmp)
+					return 0, err
+				}
+				kept := filterInto(b, tmp, f.Pred)
+				scratchPool.Put(tmp)
+				if kept > 0 {
+					return kept, nil
+				}
+			}
+		},
+	}, nil
+}
+
+// Project computes expressions over the child stream.
+type Project struct {
+	Child Node
+	Names []string
+	Exprs []Expr
+
+	schema *data.Schema
+}
+
+// NewProject builds a projection; names and exprs correspond pairwise.
+func NewProject(child Node, names []string, exprs []Expr) *Project {
+	p := &Project{Child: child, Names: names, Exprs: exprs}
+	sch := &data.Schema{}
+	for i, n := range names {
+		sch.Cols = append(sch.Cols, data.ColumnDef{Name: n, Type: exprs[i].Type})
+	}
+	p.schema = sch
+	return p
+}
+
+// Schema implements Node.
+func (p *Project) Schema() *data.Schema { return p.schema }
+
+// Run implements Node.
+func (p *Project) Run(ctx *Ctx) (*Stream, error) {
+	in, err := p.Child.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	scratchPool := sync.Pool{New: func() interface{} { return data.NewBatch(in.schema, 0) }}
+	return &Stream{
+		schema:  p.schema,
+		abandon: in.Abandon,
+		next: func(w int, b *data.Batch) (int, error) {
+			tmp := scratchPool.Get().(*data.Batch)
+			defer scratchPool.Put(tmp)
+			n, err := in.Next(w, tmp)
+			if err != nil || n == 0 {
+				return 0, err
+			}
+			b.Reset()
+			projectInto(b, tmp, p.Exprs)
+			return n, nil
+		},
+	}, nil
+}
+
+// projectInto evaluates exprs over every row of in, appending to out.
+func projectInto(out, in *data.Batch, exprs []Expr) {
+	for i, e := range exprs {
+		c := &out.Cols[i]
+		switch e.Type {
+		case data.Float64:
+			for r := 0; r < in.Len(); r++ {
+				c.F = append(c.F, e.F(in, r))
+			}
+		case data.String:
+			for r := 0; r < in.Len(); r++ {
+				c.S = append(c.S, e.S(in, r))
+			}
+		default:
+			for r := 0; r < in.Len(); r++ {
+				c.I = append(c.I, e.I(in, r))
+			}
+		}
+	}
+	out.SetLen(out.Len() + in.Len())
+}
+
+// ValuesNode exposes a pre-computed batch as a plan node (scalar subquery
+// results, tiny literal relations).
+type ValuesNode struct {
+	Batch *data.Batch
+}
+
+// Schema implements Node.
+func (v *ValuesNode) Schema() *data.Schema { return v.Batch.Schema }
+
+// Run implements Node.
+func (v *ValuesNode) Run(ctx *Ctx) (*Stream, error) {
+	var taken atomic.Bool
+	return &Stream{
+		schema: v.Batch.Schema,
+		next: func(w int, b *data.Batch) (int, error) {
+			if taken.Swap(true) {
+				return 0, nil
+			}
+			b.Reset()
+			for r := 0; r < v.Batch.Len(); r++ {
+				b.AppendRowFrom(v.Batch, r)
+			}
+			return v.Batch.Len(), nil
+		},
+	}, nil
+}

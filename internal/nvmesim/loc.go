@@ -1,0 +1,48 @@
+package nvmesim
+
+import "fmt"
+
+// Loc is the on-disk location of a spilled block, packed into a single
+// 64-bit integer exactly as the paper describes (§5.3): device id, offset,
+// and size fit because offset and size must be multiples of the device
+// block size.
+//
+// Layout (low to high): 40 bits offset-in-blocks, 16 bits size-in-blocks,
+// 8 bits device id. That addresses 512 TiB per device with blocks up to
+// 32 MiB, far beyond the engine's 64 KiB pages and staging areas.
+type Loc uint64
+
+const (
+	locOffsetBits = 40
+	locSizeBits   = 16
+	locOffsetMask = 1<<locOffsetBits - 1
+	locSizeMask   = 1<<locSizeBits - 1
+)
+
+// MakeLoc packs a location. Offset and size must be block-aligned and in
+// range; it panics otherwise, since locations are engine-internal.
+func MakeLoc(dev int, offset int64, size int) Loc {
+	if offset%BlockSize != 0 {
+		panic(fmt.Sprintf("nvmesim: unaligned offset %d", offset))
+	}
+	ob := uint64(offset / BlockSize)
+	sb := uint64(alignUp(size) / BlockSize)
+	if ob > locOffsetMask || sb > locSizeMask || dev < 0 || dev > 255 {
+		panic(fmt.Sprintf("nvmesim: location out of range dev=%d off=%d size=%d", dev, offset, size))
+	}
+	return Loc(ob | sb<<locOffsetBits | uint64(dev)<<(locOffsetBits+locSizeBits))
+}
+
+// Device returns the device id.
+func (l Loc) Device() int { return int(l >> (locOffsetBits + locSizeBits)) }
+
+// Offset returns the byte offset on the device.
+func (l Loc) Offset() int64 { return int64(l&locOffsetMask) * BlockSize }
+
+// Size returns the block-aligned size in bytes.
+func (l Loc) Size() int { return int(l>>locOffsetBits&locSizeMask) * BlockSize }
+
+// String implements fmt.Stringer.
+func (l Loc) String() string {
+	return fmt.Sprintf("dev%d@%d+%d", l.Device(), l.Offset(), l.Size())
+}

@@ -1,0 +1,311 @@
+package pages
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSlottedAppendAndRead(t *testing.T) {
+	p := New(4096)
+	tuples := [][]byte{
+		[]byte("alpha"), []byte(""), []byte("a much longer tuple with padding"),
+		{0, 1, 2, 3}, []byte("z"),
+	}
+	for _, tup := range tuples {
+		if _, ok := p.Append(tup); !ok {
+			t.Fatalf("append of %q failed unexpectedly", tup)
+		}
+	}
+	if p.Tuples() != len(tuples) {
+		t.Fatalf("Tuples() = %d, want %d", p.Tuples(), len(tuples))
+	}
+	for i, want := range tuples {
+		if got := p.Tuple(i); !bytes.Equal(got, want) {
+			t.Fatalf("tuple %d = %q, want %q", i, got, want)
+		}
+	}
+}
+
+func TestFixedAppendAndRead(t *testing.T) {
+	p := NewFixed(1024, 8)
+	for i := 0; i < 10; i++ {
+		tup := []byte{byte(i), 0, 0, 0, 0, 0, 0, byte(i)}
+		if _, ok := p.Append(tup); !ok {
+			t.Fatalf("append %d failed", i)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		got := p.Tuple(i)
+		if got[0] != byte(i) || got[7] != byte(i) {
+			t.Fatalf("tuple %d corrupted: %v", i, got)
+		}
+	}
+}
+
+func TestAppendUntilFull(t *testing.T) {
+	p := New(512)
+	tup := make([]byte, 60)
+	n := 0
+	for {
+		if _, ok := p.Append(tup); !ok {
+			break
+		}
+		n++
+	}
+	if n == 0 {
+		t.Fatal("no tuple fit on a 512-byte page")
+	}
+	// Page must reject further tuples but keep existing ones intact.
+	if p.HasSpace(60) {
+		t.Fatal("HasSpace true after Append returned false")
+	}
+	if p.Tuples() != n {
+		t.Fatalf("tuple count changed after full: %d != %d", p.Tuples(), n)
+	}
+}
+
+func TestFixedFullBoundary(t *testing.T) {
+	// Page with exact space for 4 tuples of 100 bytes after the header.
+	p := NewFixed(headerSize+400, 100)
+	for i := 0; i < 4; i++ {
+		if _, ok := p.Append(make([]byte, 100)); !ok {
+			t.Fatalf("tuple %d should fit", i)
+		}
+	}
+	if _, ok := p.Append(make([]byte, 100)); ok {
+		t.Fatal("5th tuple should not fit")
+	}
+}
+
+func TestAllocInPlace(t *testing.T) {
+	p := New(1024)
+	dst, ok := p.Alloc(5)
+	if !ok {
+		t.Fatal("alloc failed")
+	}
+	copy(dst, "hello")
+	if got := p.Tuple(0); string(got) != "hello" {
+		t.Fatalf("in-place tuple = %q", got)
+	}
+}
+
+func TestSealLoadRoundTripSlotted(t *testing.T) {
+	p := New(2048)
+	var want [][]byte
+	rng := rand.New(rand.NewSource(7))
+	for {
+		tup := make([]byte, rng.Intn(50))
+		rng.Read(tup)
+		if _, ok := p.Append(tup); !ok {
+			break
+		}
+		want = append(want, tup)
+	}
+	block := p.Seal()
+	got, err := Load(block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Tuples() != len(want) {
+		t.Fatalf("loaded %d tuples, want %d", got.Tuples(), len(want))
+	}
+	for i, w := range want {
+		if !bytes.Equal(got.Tuple(i), w) {
+			t.Fatalf("tuple %d mismatch after round trip", i)
+		}
+	}
+}
+
+func TestSealLoadRoundTripFixed(t *testing.T) {
+	p := NewFixed(2048, 16)
+	for i := 0; i < 20; i++ {
+		tup := make([]byte, 16)
+		tup[0] = byte(i)
+		p.Append(tup)
+	}
+	got, err := Load(p.Seal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.FixedTupleSize() != 16 || got.Tuples() != 20 {
+		t.Fatalf("loaded fixed=%d tuples=%d", got.FixedTupleSize(), got.Tuples())
+	}
+	for i := 0; i < 20; i++ {
+		if got.Tuple(i)[0] != byte(i) {
+			t.Fatalf("tuple %d mismatch", i)
+		}
+	}
+}
+
+func TestLoadRejectsCorrupt(t *testing.T) {
+	cases := map[string][]byte{
+		"too short":     make([]byte, 8),
+		"zeroed header": make([]byte, 256),
+	}
+	// dataEnd beyond page size.
+	p := New(256)
+	p.Append([]byte("x"))
+	bad := append([]byte(nil), p.Seal()...)
+	bad[4] = 0xff
+	bad[5] = 0xff
+	cases["dataEnd overflow"] = bad
+
+	// Slot offset pointing backwards.
+	p2 := New(256)
+	p2.Append([]byte("aa"))
+	p2.Append([]byte("bb"))
+	bad2 := append([]byte(nil), p2.Seal()...)
+	bad2[len(bad2)-slotSize] = 0 // first slot offset -> 0 (< headerSize)
+	cases["bad slot offset"] = bad2
+
+	for name, block := range cases {
+		if name == "zeroed header" {
+			// A zeroed header means dataEnd=0 < headerSize: must fail.
+			if _, err := Load(block); err == nil {
+				t.Errorf("%s: Load accepted corrupt block", name)
+			}
+			continue
+		}
+		if _, err := Load(block); err == nil {
+			t.Errorf("%s: Load accepted corrupt block", name)
+		}
+	}
+}
+
+func TestResetClearsState(t *testing.T) {
+	p := New(512)
+	p.Append([]byte("data"))
+	p.Part = 3
+	p.Reset()
+	if p.Tuples() != 0 || p.Part != PartUnpartitioned || p.UsedBytes() != headerSize {
+		t.Fatalf("reset left state: tuples=%d part=%d used=%d", p.Tuples(), p.Part, p.UsedBytes())
+	}
+}
+
+func TestQuickSlottedRoundTrip(t *testing.T) {
+	f := func(raw [][]byte) bool {
+		p := New(DefaultPageSize)
+		var stored [][]byte
+		for _, tup := range raw {
+			if len(tup) > 1000 {
+				tup = tup[:1000]
+			}
+			if _, ok := p.Append(tup); ok {
+				stored = append(stored, tup)
+			}
+		}
+		loaded, err := Load(p.Seal())
+		if err != nil {
+			return false
+		}
+		if loaded.Tuples() != len(stored) {
+			return false
+		}
+		for i, w := range stored {
+			if !bytes.Equal(loaded.Tuple(i), w) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBudget(t *testing.T) {
+	b := NewBudget(1000)
+	if !b.TryReserve(600) {
+		t.Fatal("reserve 600 of 1000 failed")
+	}
+	if b.TryReserve(500) {
+		t.Fatal("reserve beyond limit succeeded")
+	}
+	if !b.TryReserve(400) {
+		t.Fatal("reserve exactly to limit failed")
+	}
+	b.Release(1000)
+	if b.Used() != 0 {
+		t.Fatalf("used = %d after full release", b.Used())
+	}
+}
+
+func TestBudgetUnlimited(t *testing.T) {
+	b := NewBudget(0)
+	if !b.TryReserve(1 << 40) {
+		t.Fatal("unlimited budget refused reservation")
+	}
+	if b.Exhausted(1 << 20) {
+		t.Fatal("unlimited budget reports exhausted")
+	}
+}
+
+func TestBudgetExhausted(t *testing.T) {
+	b := NewBudget(100)
+	if b.Exhausted(50) {
+		t.Fatal("fresh budget exhausted")
+	}
+	b.Reserve(60)
+	if !b.Exhausted(50) {
+		t.Fatal("60+50 > 100 should be exhausted")
+	}
+	if b.Exhausted(40) {
+		t.Fatal("60+40 <= 100 should fit")
+	}
+}
+
+func TestPoolReuse(t *testing.T) {
+	bud := NewBudget(0)
+	pool := NewPool(512, 0, bud)
+	a := pool.Get()
+	a.Append([]byte("x"))
+	pool.Put(a)
+	c := pool.Get()
+	if c != a {
+		t.Fatal("pool did not reuse freed page")
+	}
+	if c.Tuples() != 0 {
+		t.Fatal("reused page not reset")
+	}
+	if pool.Created() != 1 {
+		t.Fatalf("created = %d, want 1", pool.Created())
+	}
+}
+
+func TestPoolBudgetAccounting(t *testing.T) {
+	bud := NewBudget(0)
+	pool := NewPool(1024, 0, bud)
+	p1 := pool.Get()
+	_ = pool.Get()
+	if bud.Used() != 2048 {
+		t.Fatalf("budget used = %d, want 2048", bud.Used())
+	}
+	pool.Discard(p1)
+	if bud.Used() != 1024 {
+		t.Fatalf("budget used = %d after discard, want 1024", bud.Used())
+	}
+}
+
+func BenchmarkAppendSlotted(b *testing.B) {
+	p := New(DefaultPageSize)
+	tup := make([]byte, 64)
+	b.SetBytes(64)
+	for i := 0; i < b.N; i++ {
+		if _, ok := p.Append(tup); !ok {
+			p.Reset()
+		}
+	}
+}
+
+func BenchmarkAppendFixed(b *testing.B) {
+	p := NewFixed(DefaultPageSize, 64)
+	tup := make([]byte, 64)
+	b.SetBytes(64)
+	for i := 0; i < b.N; i++ {
+		if _, ok := p.Append(tup); !ok {
+			p.Reset()
+		}
+	}
+}

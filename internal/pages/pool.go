@@ -1,0 +1,137 @@
+package pages
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Budget tracks page memory allocated across all worker threads of an
+// operator (or of the whole engine). Umami consults the budget on every page
+// allocation: once it is exhausted, threads switch to spilling full pages
+// instead of allocating new ones (paper §4.2, "Deciding whether to spill").
+//
+// All methods are safe for concurrent use.
+type Budget struct {
+	limit int64 // bytes; 0 means unlimited
+	used  atomic.Int64
+}
+
+// NewBudget returns a budget of limit bytes. limit <= 0 means unlimited.
+func NewBudget(limit int64) *Budget {
+	if limit < 0 {
+		limit = 0
+	}
+	return &Budget{limit: limit}
+}
+
+// Limit returns the configured limit in bytes (0 = unlimited).
+func (b *Budget) Limit() int64 { return b.limit }
+
+// Used returns the bytes currently accounted.
+func (b *Budget) Used() int64 { return b.used.Load() }
+
+// TryReserve reserves n bytes if the budget allows it.
+func (b *Budget) TryReserve(n int64) bool {
+	if b == nil {
+		return true
+	}
+	for {
+		cur := b.used.Load()
+		if b.limit > 0 && cur+n > b.limit {
+			return false
+		}
+		if b.used.CompareAndSwap(cur, cur+n) {
+			return true
+		}
+	}
+}
+
+// Reserve reserves n bytes unconditionally (used for the bounded page pools
+// themselves, which must exist for spilling to make progress).
+func (b *Budget) Reserve(n int64) {
+	if b != nil {
+		b.used.Add(n)
+	}
+}
+
+// Release returns n bytes to the budget.
+func (b *Budget) Release(n int64) {
+	if b == nil {
+		return
+	}
+	if b.used.Add(-n) < 0 {
+		panic(fmt.Sprintf("pages: budget released below zero (by %d)", n))
+	}
+}
+
+// Exhausted reports whether the budget has no room for one more page of the
+// given size. This is the per-allocation spill trigger.
+func (b *Budget) Exhausted(pageSize int) bool {
+	if b == nil || b.limit <= 0 {
+		return false
+	}
+	return b.used.Load()+int64(pageSize) > b.limit
+}
+
+// Pool is a thread-local free list of pages. Spilling buffers draw clean
+// pages from the pool while full ones are written out asynchronously
+// (paper Listing 2); the pool's fixed size bounds per-thread memory during
+// spilling regardless of input size.
+//
+// Pool is not safe for concurrent use.
+type Pool struct {
+	pageSize int
+	fixed    int // fixed tuple size for pages from this pool; 0 = slotted
+	free     []*Page
+	budget   *Budget
+	created  int
+}
+
+// NewPool returns a pool creating pages of pageSize bytes. If fixedTupleSize
+// is nonzero all pages use the fixed layout. The budget, if non-nil, is
+// charged for every page the pool creates and credited when pages are
+// discarded via Discard.
+func NewPool(pageSize, fixedTupleSize int, budget *Budget) *Pool {
+	return &Pool{pageSize: pageSize, fixed: fixedTupleSize, budget: budget}
+}
+
+// PageSize returns the size of pages this pool manages.
+func (p *Pool) PageSize() int { return p.pageSize }
+
+// Get returns a clean page, reusing a freed one when available. It charges
+// the budget for newly created pages but never fails: budget pressure is
+// handled by the caller deciding to spill, not by allocation failure.
+func (p *Pool) Get() *Page {
+	if n := len(p.free); n > 0 {
+		pg := p.free[n-1]
+		p.free = p.free[:n-1]
+		pg.Reset()
+		return pg
+	}
+	p.budget.Reserve(int64(p.pageSize))
+	p.created++
+	if p.fixed != 0 {
+		return NewFixed(p.pageSize, p.fixed)
+	}
+	return New(p.pageSize)
+}
+
+// Put returns a page to the free list for reuse. The budget is unaffected:
+// the memory is still held.
+func (p *Pool) Put(pg *Page) {
+	if pg.Size() != p.pageSize {
+		panic("pages: returning foreign-size page to pool")
+	}
+	p.free = append(p.free, pg)
+}
+
+// Discard drops a page entirely, releasing its budget share.
+func (p *Pool) Discard(pg *Page) {
+	p.budget.Release(int64(pg.Size()))
+}
+
+// FreePages returns the number of pages currently on the free list.
+func (p *Pool) FreePages() int { return len(p.free) }
+
+// Created returns the number of pages this pool has ever allocated.
+func (p *Pool) Created() int { return p.created }

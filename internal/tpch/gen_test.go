@@ -1,0 +1,273 @@
+package tpch
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/spilly-db/spilly/internal/data"
+)
+
+func TestCardinalities(t *testing.T) {
+	g := &Gen{SF: 0.01}
+	tables := g.All()
+	if got := tables[Region].Rows(); got != 5 {
+		t.Fatalf("region rows = %d", got)
+	}
+	if got := tables[Nation].Rows(); got != 25 {
+		t.Fatalf("nation rows = %d", got)
+	}
+	if got := tables[Supplier].Rows(); got != 100 {
+		t.Fatalf("supplier rows = %d", got)
+	}
+	if got := tables[Customer].Rows(); got != 1500 {
+		t.Fatalf("customer rows = %d", got)
+	}
+	if got := tables[Part].Rows(); got != 2000 {
+		t.Fatalf("part rows = %d", got)
+	}
+	if got := tables[PartSupp].Rows(); got != 8000 {
+		t.Fatalf("partsupp rows = %d", got)
+	}
+	if got := tables[Orders].Rows(); got != 15000 {
+		t.Fatalf("orders rows = %d", got)
+	}
+	li := tables[Lineitem].Rows()
+	// 1-7 lines per order, uniform: expect ~4x orders.
+	if li < 3*15000 || li > 5*15000 {
+		t.Fatalf("lineitem rows = %d, want about 60000", li)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a := (&Gen{SF: 0.005}).Table(Lineitem)
+	b := (&Gen{SF: 0.005}).Table(Lineitem)
+	if a.Rows() != b.Rows() {
+		t.Fatal("row counts differ between runs")
+	}
+	for c := 0; c < a.Schema().Len(); c++ {
+		ca, cb := a.Column(c), b.Column(c)
+		for r := 0; r < int(a.Rows()); r += 97 {
+			switch ca.Type {
+			case data.Float64:
+				if ca.F[r] != cb.F[r] {
+					t.Fatalf("col %d row %d differs", c, r)
+				}
+			case data.String:
+				if ca.S[r] != cb.S[r] {
+					t.Fatalf("col %d row %d differs", c, r)
+				}
+			default:
+				if ca.I[r] != cb.I[r] {
+					t.Fatalf("col %d row %d differs", c, r)
+				}
+			}
+		}
+	}
+}
+
+func TestOrderKeysSparse(t *testing.T) {
+	if orderKey(0) != 1 || orderKey(7) != 8 || orderKey(8) != 33 {
+		t.Fatalf("sparse keys: %d %d %d", orderKey(0), orderKey(7), orderKey(8))
+	}
+	seen := map[int64]bool{}
+	for i := int64(0); i < 1000; i++ {
+		k := orderKey(i)
+		if seen[k] {
+			t.Fatalf("duplicate order key %d", k)
+		}
+		seen[k] = true
+		if (k-1)%32 >= 8 {
+			t.Fatalf("order key %d outside the low-8 block residues", k)
+		}
+	}
+}
+
+func TestCustkeySkipsEveryThird(t *testing.T) {
+	g := &Gen{SF: 0.01}
+	orders := g.Table(Orders)
+	ck := orders.Column(1)
+	for r := 0; r < int(orders.Rows()); r++ {
+		if ck.I[r]%3 == 0 {
+			t.Fatalf("order %d references custkey %d (divisible by 3)", r, ck.I[r])
+		}
+	}
+}
+
+func TestLineitemConsistency(t *testing.T) {
+	g := &Gen{SF: 0.01}
+	li := g.Table(Lineitem)
+	sch := Schemas[Lineitem]
+	qty := li.Column(sch.MustIndex("l_quantity"))
+	ep := li.Column(sch.MustIndex("l_extendedprice"))
+	pk := li.Column(sch.MustIndex("l_partkey"))
+	ship := li.Column(sch.MustIndex("l_shipdate"))
+	rcpt := li.Column(sch.MustIndex("l_receiptdate"))
+	rf := li.Column(sch.MustIndex("l_returnflag"))
+	ls := li.Column(sch.MustIndex("l_linestatus"))
+	disc := li.Column(sch.MustIndex("l_discount"))
+	sk := li.Column(sch.MustIndex("l_suppkey"))
+	suppliers := g.suppliers()
+	for r := 0; r < int(li.Rows()); r++ {
+		if got := qty.F[r] * retailPrice(pk.I[r]); ep.F[r] != got {
+			t.Fatalf("row %d: extendedprice %v != qty*retail %v", r, ep.F[r], got)
+		}
+		if rcpt.I[r] <= ship.I[r] {
+			t.Fatalf("row %d: receipt %d <= ship %d", r, rcpt.I[r], ship.I[r])
+		}
+		if rcpt.I[r] <= CurrentDate && rf.S[r] == "N" {
+			t.Fatalf("row %d: received in the past but returnflag N", r)
+		}
+		if rcpt.I[r] > CurrentDate && rf.S[r] != "N" {
+			t.Fatalf("row %d: future receipt with returnflag %s", r, rf.S[r])
+		}
+		if (ship.I[r] <= CurrentDate) != (ls.S[r] == "F") {
+			t.Fatalf("row %d: linestatus inconsistent with shipdate", r)
+		}
+		if disc.F[r] < 0 || disc.F[r] > 0.10 {
+			t.Fatalf("row %d: discount %v out of range", r, disc.F[r])
+		}
+		if sk.I[r] < 1 || sk.I[r] > suppliers {
+			t.Fatalf("row %d: suppkey %d out of range", r, sk.I[r])
+		}
+	}
+}
+
+func TestSuppkeyMatchesPartsupp(t *testing.T) {
+	g := &Gen{SF: 0.01}
+	ps := g.Table(PartSupp)
+	valid := map[[2]int64]bool{}
+	for r := 0; r < int(ps.Rows()); r++ {
+		valid[[2]int64{ps.Column(0).I[r], ps.Column(1).I[r]}] = true
+	}
+	li := g.Table(Lineitem)
+	sch := Schemas[Lineitem]
+	pk := li.Column(sch.MustIndex("l_partkey"))
+	sk := li.Column(sch.MustIndex("l_suppkey"))
+	for r := 0; r < int(li.Rows()); r++ {
+		if !valid[[2]int64{pk.I[r], sk.I[r]}] {
+			t.Fatalf("lineitem row %d references (part %d, supp %d) absent from partsupp", r, pk.I[r], sk.I[r])
+		}
+	}
+}
+
+func TestOrderStatusDerived(t *testing.T) {
+	g := &Gen{SF: 0.005}
+	orders := g.Table(Orders)
+	li := g.Table(Lineitem)
+	status := map[int64][2]int{} // orderkey -> {F count, O count}
+	for r := 0; r < int(li.Rows()); r++ {
+		k := li.Column(0).I[r]
+		s := status[k]
+		if li.Column(9).S[r] == "F" {
+			s[0]++
+		} else {
+			s[1]++
+		}
+		status[k] = s
+	}
+	for r := 0; r < int(orders.Rows()); r++ {
+		k := orders.Column(0).I[r]
+		got := orders.Column(2).S[r]
+		s := status[k]
+		want := "P"
+		if s[1] == 0 {
+			want = "F"
+		} else if s[0] == 0 {
+			want = "O"
+		}
+		if got != want {
+			t.Fatalf("order %d status %s, want %s (%d F / %d O lines)", k, got, want, s[0], s[1])
+		}
+	}
+}
+
+func TestQueryPatternFrequencies(t *testing.T) {
+	g := &Gen{SF: 0.02}
+	// Supplier complaints: 5 per 10000 (Q16).
+	sup := g.Table(Supplier)
+	complaints := 0
+	for r := 0; r < int(sup.Rows()); r++ {
+		c := sup.Column(6).S[r]
+		if i := strings.Index(c, "Customer"); i >= 0 && strings.Contains(c[i:], "Complaints") {
+			complaints++
+		}
+	}
+	if complaints == 0 {
+		t.Fatal("no supplier complaint comments generated")
+	}
+	// Part names contain the colors Q9/Q20 select on.
+	part := g.Table(Part)
+	green, forest := 0, 0
+	for r := 0; r < int(part.Rows()); r++ {
+		name := part.Column(1).S[r]
+		if strings.Contains(name, "green") {
+			green++
+		}
+		if strings.HasPrefix(name, "forest") {
+			forest++
+		}
+	}
+	if green == 0 || forest == 0 {
+		t.Fatalf("color patterns missing: green=%d forest=%d", green, forest)
+	}
+	// Order comments contain the Q13 pattern in ~1% of rows.
+	orders := g.Table(Orders)
+	special := 0
+	for r := 0; r < int(orders.Rows()); r++ {
+		c := orders.Column(8).S[r]
+		if i := strings.Index(c, "special"); i >= 0 && strings.Contains(c[i:], "requests") {
+			special++
+		}
+	}
+	frac := float64(special) / float64(orders.Rows())
+	if frac < 0.003 || frac > 0.05 {
+		t.Fatalf("special-requests fraction %.4f outside expected band", frac)
+	}
+}
+
+func TestPhonesEncodeNation(t *testing.T) {
+	g := &Gen{SF: 0.01}
+	cust := g.Table(Customer)
+	for r := 0; r < int(cust.Rows()); r += 13 {
+		nk := cust.Column(3).I[r]
+		ph := cust.Column(4).S[r]
+		if !strings.HasPrefix(ph, "") || ph[:2] == "" {
+			t.Fatal("phone empty")
+		}
+		var cc int64
+		if _, err := fmtSscan(ph, &cc); err != nil {
+			t.Fatalf("phone %q unparsable", ph)
+		}
+		if cc != nk+10 {
+			t.Fatalf("phone %q country code %d, want %d", ph, cc, nk+10)
+		}
+	}
+}
+
+// fmtSscan parses the leading integer of a phone string.
+func fmtSscan(s string, out *int64) (int, error) {
+	var v int64
+	i := 0
+	for i < len(s) && s[i] >= '0' && s[i] <= '9' {
+		v = v*10 + int64(s[i]-'0')
+		i++
+	}
+	*out = v
+	return i, nil
+}
+
+func TestScaleProportionality(t *testing.T) {
+	small := (&Gen{SF: 0.01}).Table(Orders).Rows()
+	big := (&Gen{SF: 0.02}).Table(Orders).Rows()
+	if big != 2*small {
+		t.Fatalf("orders rows not proportional: %d vs %d", small, big)
+	}
+}
+
+func BenchmarkGenerateLineitemSF001(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		g := &Gen{SF: 0.01}
+		t := g.Table(Lineitem)
+		b.SetBytes(t.Rows() * 100)
+	}
+}

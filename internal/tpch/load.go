@@ -1,0 +1,120 @@
+package tpch
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/spilly-db/spilly/internal/colstore"
+	"github.com/spilly-db/spilly/internal/data"
+)
+
+// parseTblDate parses a dbgen date without panicking on malformed input
+// (external files are untrusted, unlike plan literals).
+func parseTblDate(s string) (int64, error) {
+	t, err := time.Parse("2006-01-02", s)
+	if err != nil {
+		return 0, err
+	}
+	return int64(t.Unix() / 86400), nil
+}
+
+// LoadTbl reads one table from a dbgen-format .tbl file (pipe-separated,
+// trailing separator). It accepts files produced by the official dbgen or
+// by cmd/tpchgen, so measured results can be validated against real TPC-H
+// data as well as the built-in generator.
+func LoadTbl(path, table string) (*colstore.MemTable, error) {
+	schema, ok := Schemas[table]
+	if !ok {
+		return nil, fmt.Errorf("tpch: unknown table %q", table)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	t := colstore.NewMemTable(table, schema, 0)
+	b := data.NewBatch(schema, 4096)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	flush := func() {
+		if b.Len() > 0 {
+			t.Append(b)
+			b.Reset()
+		}
+	}
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		line = strings.TrimSuffix(line, "|")
+		fields := strings.Split(line, "|")
+		if len(fields) != schema.Len() {
+			return nil, fmt.Errorf("tpch: %s line %d: %d fields, want %d", path, lineNo, len(fields), schema.Len())
+		}
+		for i, cd := range schema.Cols {
+			c := &b.Cols[i]
+			switch cd.Type {
+			case data.Float64:
+				v, err := strconv.ParseFloat(fields[i], 64)
+				if err != nil {
+					return nil, fmt.Errorf("tpch: %s line %d col %s: %v", path, lineNo, cd.Name, err)
+				}
+				c.F = append(c.F, v)
+			case data.String:
+				c.S = append(c.S, fields[i])
+			case data.Date:
+				v, err := parseTblDate(fields[i])
+				if err != nil {
+					return nil, fmt.Errorf("tpch: %s line %d col %s: %v", path, lineNo, cd.Name, err)
+				}
+				c.I = append(c.I, v)
+			default:
+				v, err := strconv.ParseInt(fields[i], 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("tpch: %s line %d col %s: %v", path, lineNo, cd.Name, err)
+				}
+				c.I = append(c.I, v)
+			}
+		}
+		b.SetLen(b.Len() + 1)
+		if b.Len() == 4096 {
+			flush()
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	flush()
+	return t, nil
+}
+
+// LoadTblDir loads every .tbl file in dir into a DB. Missing tables are
+// simply absent from the catalog; sf records the caller's scale factor for
+// SF-dependent query parameters (Q11).
+func LoadTblDir(dir string, sf float64) (*DB, error) {
+	db := &DB{SF: sf, Tables: map[string]colstore.Table{}}
+	for _, name := range TableNames {
+		path := filepath.Join(dir, name+".tbl")
+		if _, err := os.Stat(path); err != nil {
+			continue
+		}
+		t, err := LoadTbl(path, name)
+		if err != nil {
+			return nil, err
+		}
+		db.Tables[name] = t
+	}
+	if len(db.Tables) == 0 {
+		return nil, fmt.Errorf("tpch: no .tbl files found in %s", dir)
+	}
+	return db, nil
+}

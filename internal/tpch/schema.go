@@ -1,0 +1,123 @@
+// Package tpch implements a deterministic TPC-H data generator (dbgen
+// equivalent) and the 22 TPC-H queries as hand-built physical plans against
+// the execution engine.
+//
+// The paper evaluates Spilly end-to-end on TPC-H (§6); this package is the
+// substrate those experiments run on. The generator follows the TPC-H
+// specification's key distributions, value domains, and derivation rules
+// (sparse order keys, the part-supplier association formula, derived order
+// status and total price, return flags from the spec's "current date",
+// ...). Text columns use the spec's word lists with a simplified grammar;
+// the substring patterns the queries select on (%green%, forest%,
+// Customer...Complaints, special...requests, %BRASS, ...) are preserved
+// with their specified frequencies.
+package tpch
+
+import "github.com/spilly-db/spilly/internal/data"
+
+// Table names.
+const (
+	Region   = "region"
+	Nation   = "nation"
+	Supplier = "supplier"
+	Customer = "customer"
+	Part     = "part"
+	PartSupp = "partsupp"
+	Orders   = "orders"
+	Lineitem = "lineitem"
+)
+
+// TableNames lists all eight TPC-H tables in generation order.
+var TableNames = []string{Region, Nation, Supplier, Customer, Part, PartSupp, Orders, Lineitem}
+
+func col(name string, t data.Type) data.ColumnDef { return data.ColumnDef{Name: name, Type: t} }
+
+// Schemas maps each table to its schema.
+var Schemas = map[string]*data.Schema{
+	Region: data.NewSchema(
+		col("r_regionkey", data.Int64),
+		col("r_name", data.String),
+		col("r_comment", data.String),
+	),
+	Nation: data.NewSchema(
+		col("n_nationkey", data.Int64),
+		col("n_name", data.String),
+		col("n_regionkey", data.Int64),
+		col("n_comment", data.String),
+	),
+	Supplier: data.NewSchema(
+		col("s_suppkey", data.Int64),
+		col("s_name", data.String),
+		col("s_address", data.String),
+		col("s_nationkey", data.Int64),
+		col("s_phone", data.String),
+		col("s_acctbal", data.Float64),
+		col("s_comment", data.String),
+	),
+	Customer: data.NewSchema(
+		col("c_custkey", data.Int64),
+		col("c_name", data.String),
+		col("c_address", data.String),
+		col("c_nationkey", data.Int64),
+		col("c_phone", data.String),
+		col("c_acctbal", data.Float64),
+		col("c_mktsegment", data.String),
+		col("c_comment", data.String),
+	),
+	Part: data.NewSchema(
+		col("p_partkey", data.Int64),
+		col("p_name", data.String),
+		col("p_mfgr", data.String),
+		col("p_brand", data.String),
+		col("p_type", data.String),
+		col("p_size", data.Int64),
+		col("p_container", data.String),
+		col("p_retailprice", data.Float64),
+		col("p_comment", data.String),
+	),
+	PartSupp: data.NewSchema(
+		col("ps_partkey", data.Int64),
+		col("ps_suppkey", data.Int64),
+		col("ps_availqty", data.Int64),
+		col("ps_supplycost", data.Float64),
+		col("ps_comment", data.String),
+	),
+	Orders: data.NewSchema(
+		col("o_orderkey", data.Int64),
+		col("o_custkey", data.Int64),
+		col("o_orderstatus", data.String),
+		col("o_totalprice", data.Float64),
+		col("o_orderdate", data.Date),
+		col("o_orderpriority", data.String),
+		col("o_clerk", data.String),
+		col("o_shippriority", data.Int64),
+		col("o_comment", data.String),
+	),
+	Lineitem: data.NewSchema(
+		col("l_orderkey", data.Int64),
+		col("l_partkey", data.Int64),
+		col("l_suppkey", data.Int64),
+		col("l_linenumber", data.Int64),
+		col("l_quantity", data.Float64),
+		col("l_extendedprice", data.Float64),
+		col("l_discount", data.Float64),
+		col("l_tax", data.Float64),
+		col("l_returnflag", data.String),
+		col("l_linestatus", data.String),
+		col("l_shipdate", data.Date),
+		col("l_commitdate", data.Date),
+		col("l_receiptdate", data.Date),
+		col("l_shipinstruct", data.String),
+		col("l_shipmode", data.String),
+		col("l_comment", data.String),
+	),
+}
+
+// Base cardinalities at scale factor 1.
+const (
+	suppliersPerSF = 10_000
+	customersPerSF = 150_000
+	partsPerSF     = 200_000
+	ordersPerSF    = 1_500_000
+	suppsPerPart   = 4
+)

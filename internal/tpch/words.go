@@ -1,0 +1,67 @@
+package tpch
+
+// Word lists from the TPC-H specification (§4.2.2/§4.2.3).
+
+var regionNames = []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}
+
+var nations = []struct {
+	Name   string
+	Region int64
+}{
+	{"ALGERIA", 0}, {"ARGENTINA", 1}, {"BRAZIL", 1}, {"CANADA", 1},
+	{"EGYPT", 4}, {"ETHIOPIA", 0}, {"FRANCE", 3}, {"GERMANY", 3},
+	{"INDIA", 2}, {"INDONESIA", 2}, {"IRAN", 4}, {"IRAQ", 4},
+	{"JAPAN", 2}, {"JORDAN", 4}, {"KENYA", 0}, {"MOROCCO", 0},
+	{"MOZAMBIQUE", 0}, {"PERU", 1}, {"CHINA", 2}, {"ROMANIA", 3},
+	{"SAUDI ARABIA", 4}, {"VIETNAM", 2}, {"RUSSIA", 3},
+	{"UNITED KINGDOM", 3}, {"UNITED STATES", 1},
+}
+
+// colors is the spec's P_NAME word list (92 entries). Queries depend on
+// specific members: "green" (Q9), "forest" (Q20).
+var colors = []string{
+	"almond", "antique", "aquamarine", "azure", "beige", "bisque", "black",
+	"blanched", "blue", "blush", "brown", "burlywood", "burnished",
+	"chartreuse", "chiffon", "chocolate", "coral", "cornflower", "cornsilk",
+	"cream", "cyan", "dark", "deep", "dim", "dodger", "drab", "firebrick",
+	"floral", "forest", "frosted", "gainsboro", "ghost", "goldenrod",
+	"green", "grey", "honeydew", "hot", "indian", "ivory", "khaki", "lace",
+	"lavender", "lawn", "lemon", "light", "lime", "linen", "magenta",
+	"maroon", "medium", "metallic", "midnight", "mint", "misty", "moccasin",
+	"navajo", "navy", "olive", "orange", "orchid", "pale", "papaya",
+	"peach", "peru", "pink", "plum", "powder", "puff", "purple", "red",
+	"rose", "rosy", "royal", "saddle", "salmon", "sandy", "seashell",
+	"sienna", "sky", "slate", "smoke", "snow", "spring", "steel", "tan",
+	"thistle", "tomato", "turquoise", "violet", "wheat", "white", "yellow",
+	"peru",
+}
+
+var typeSyl1 = []string{"STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"}
+var typeSyl2 = []string{"ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"}
+var typeSyl3 = []string{"TIN", "NICKEL", "BRASS", "STEEL", "COPPER"}
+
+var containerSyl1 = []string{"SM", "LG", "MED", "JUMBO", "WRAP"}
+var containerSyl2 = []string{"CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"}
+
+var segments = []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"}
+
+var priorities = []string{"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"}
+
+var instructions = []string{"DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"}
+
+var shipModes = []string{"REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"}
+
+// commentWords is a condensed version of the spec's text grammar
+// vocabulary; comments are random word sequences from it.
+var commentWords = []string{
+	"foxes", "deposits", "packages", "theodolites", "instructions",
+	"dependencies", "excuses", "platelets", "asymptotes", "courts",
+	"accounts", "requests", "sentiments", "ideas", "pinto", "beans",
+	"sleep", "wake", "nag", "cajole", "haggle", "detect", "integrate",
+	"snooze", "boost", "breach", "doze", "affix", "engage", "print",
+	"quickly", "slyly", "carefully", "furiously", "blithely", "daringly",
+	"ironic", "regular", "express", "unusual", "bold", "final", "pending",
+	"silent", "even", "special", "busy", "close", "dogged", "among",
+	"above", "beneath", "about", "along", "according", "to", "the",
+	"against", "never", "always",
+}

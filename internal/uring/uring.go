@@ -1,0 +1,211 @@
+// Package uring provides an io_uring-shaped asynchronous I/O interface over
+// the simulated NVMe array (paper §5.1).
+//
+// Each worker thread owns one Ring to avoid contention, mirroring Spilly's
+// one-io_uring-per-thread design. Requests are collected in a local
+// submission queue and flushed to the "OS" (the array) as a batch by Submit.
+// Completions are reaped by Poll, which — like a real completion queue —
+// only surfaces requests whose modeled device time has passed. Every
+// submission records its start timestamp, the trick the paper implements by
+// encoding the start time in the io_uring user-data field, so that the
+// self-regulating compression controller can compute I/O cost (cycles per
+// byte) from completion latencies (§4.4, Figure 4 B).
+package uring
+
+import (
+	"container/heap"
+	"time"
+
+	"github.com/spilly-db/spilly/internal/nvmesim"
+)
+
+// Op is the request type.
+type Op uint8
+
+// Request operations.
+const (
+	OpWrite Op = iota
+	OpRead
+)
+
+// Completion is one completed I/O request.
+type Completion struct {
+	UserData  uint64
+	Op        Op
+	Loc       nvmesim.Loc
+	Buf       []byte // the buffer the request owned; returned to the caller
+	N         int    // bytes transferred
+	Err       error
+	Submitted time.Time     // submission timestamp (user-data timestamp trick)
+	Latency   time.Duration // completion time - submission time
+	// DepthAtSubmit is the number of requests in flight when this one was
+	// submitted (including itself); cost trackers combine it with the
+	// reap-time depth to estimate the parallelism its latency was shared
+	// across (§4.4, Figure 4 B).
+	DepthAtSubmit int
+}
+
+// sqe is a pending submission queue entry.
+type sqe struct {
+	op       Op
+	dev      int // write target device (-1 = ring picks round-robin)
+	loc      nvmesim.Loc
+	buf      []byte
+	userData uint64
+}
+
+// cqe is an in-flight request ordered by readyAt.
+type cqe struct {
+	Completion
+	readyAt time.Time
+}
+
+type cqHeap []cqe
+
+func (h cqHeap) Len() int            { return len(h) }
+func (h cqHeap) Less(i, j int) bool  { return h[i].readyAt.Before(h[j].readyAt) }
+func (h cqHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *cqHeap) Push(x interface{}) { *h = append(*h, x.(cqe)) }
+func (h *cqHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Ring is a per-thread submission/completion ring. It is not safe for
+// concurrent use — by design, exactly like an io_uring instance.
+type Ring struct {
+	arr      *nvmesim.Array
+	clock    nvmesim.Clock
+	sq       []sqe
+	inflight cqHeap
+	lastDev  int // round-robin write spreading (paper §5.1)
+
+	// Cumulative counters for the harness.
+	writesQueued int64
+	readsQueued  int64
+	bytesWritten int64
+	bytesRead    int64
+}
+
+// New returns a ring over the given array.
+func New(arr *nvmesim.Array) *Ring {
+	return &Ring{arr: arr, clock: arr.Clock(), lastDev: -1}
+}
+
+// Array returns the underlying array.
+func (r *Ring) Array() *nvmesim.Array { return r.arr }
+
+// QueueWrite queues data to be written to the next device in the ring's
+// round-robin order and returns the location it will occupy. The ring owns
+// buf until the corresponding completion is reaped.
+func (r *Ring) QueueWrite(buf []byte, userData uint64) (nvmesim.Loc, error) {
+	r.lastDev = (r.lastDev + 1) % r.arr.Devices()
+	return r.QueueWriteDev(r.lastDev, buf, userData)
+}
+
+// QueueWriteDev queues a write to a specific device (used by the column
+// store to stripe chunks deterministically).
+func (r *Ring) QueueWriteDev(dev int, buf []byte, userData uint64) (nvmesim.Loc, error) {
+	off, err := r.arr.AllocSpill(dev, len(buf))
+	if err != nil {
+		return 0, err
+	}
+	loc := nvmesim.MakeLoc(dev, off, len(buf))
+	r.sq = append(r.sq, sqe{op: OpWrite, dev: dev, loc: loc, buf: buf, userData: userData})
+	r.writesQueued++
+	return loc, nil
+}
+
+// QueueRead queues a read of loc into buf, which must be at least
+// loc.Size() bytes minus alignment padding; the stored block length governs.
+func (r *Ring) QueueRead(loc nvmesim.Loc, buf []byte, userData uint64) {
+	r.sq = append(r.sq, sqe{op: OpRead, loc: loc, buf: buf, userData: userData})
+	r.readsQueued++
+}
+
+// Submit flushes the local submission queue to the array as one batch and
+// returns the number of requests submitted.
+func (r *Ring) Submit() int {
+	n := len(r.sq)
+	now := r.clock.Now()
+	for _, e := range r.sq {
+		c := cqe{Completion: Completion{
+			UserData:  e.userData,
+			Op:        e.op,
+			Loc:       e.loc,
+			Buf:       e.buf,
+			Submitted: now,
+		}}
+		switch e.op {
+		case OpWrite:
+			ready, err := r.arr.Write(e.loc.Device(), e.loc.Offset(), e.buf)
+			c.readyAt = ready
+			c.Err = err
+			c.N = len(e.buf)
+			if err == nil {
+				r.bytesWritten += int64(len(e.buf))
+			}
+		case OpRead:
+			ready, nr, err := r.arr.Read(e.loc.Device(), e.loc.Offset(), e.buf)
+			c.readyAt = ready
+			c.Err = err
+			c.N = nr
+			if err == nil {
+				r.bytesRead += int64(nr)
+			}
+		}
+		if c.Err != nil {
+			c.readyAt = now
+		}
+		c.DepthAtSubmit = len(r.inflight) + 1
+		heap.Push(&r.inflight, c)
+	}
+	r.sq = r.sq[:0]
+	return n
+}
+
+// Outstanding returns the number of submitted-but-unreaped requests.
+func (r *Ring) Outstanding() int { return len(r.inflight) }
+
+// Pending returns the number of queued-but-unsubmitted requests.
+func (r *Ring) Pending() int { return len(r.sq) }
+
+// Poll reaps completions whose device time has passed, appending them to out
+// and returning the extended slice. If block is true and at least one
+// request is in flight but none is ready, Poll sleeps until the earliest
+// completion instead of returning empty.
+func (r *Ring) Poll(out []Completion, block bool) []Completion {
+	for {
+		now := r.clock.Now()
+		got := false
+		for len(r.inflight) > 0 && !r.inflight[0].readyAt.After(now) {
+			c := heap.Pop(&r.inflight).(cqe)
+			cc := c.Completion
+			cc.Latency = c.readyAt.Sub(c.Submitted)
+			out = append(out, cc)
+			got = true
+		}
+		if got || !block || len(r.inflight) == 0 {
+			return out
+		}
+		r.clock.Sleep(r.inflight[0].readyAt.Sub(now))
+	}
+}
+
+// WaitAll submits any pending requests and blocks until every in-flight
+// request has completed, returning all completions.
+func (r *Ring) WaitAll(out []Completion) []Completion {
+	r.Submit()
+	for len(r.inflight) > 0 {
+		out = r.Poll(out, true)
+	}
+	return out
+}
+
+// Counters reports cumulative request and byte counts for the harness.
+func (r *Ring) Counters() (writes, reads, bytesWritten, bytesRead int64) {
+	return r.writesQueued, r.readsQueued, r.bytesWritten, r.bytesRead
+}

@@ -1,0 +1,190 @@
+package uring
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"github.com/spilly-db/spilly/internal/nvmesim"
+)
+
+var spec = nvmesim.DeviceSpec{
+	ReadBandwidth:  1e6,
+	WriteBandwidth: 1e6,
+	Latency:        time.Millisecond,
+}
+
+func newRing(devs int) (*Ring, *nvmesim.VirtualClock) {
+	clk := nvmesim.NewVirtualClock(time.Unix(0, 0))
+	return New(nvmesim.New(devs, spec, clk)), clk
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	r, _ := newRing(2)
+	data := bytes.Repeat([]byte{0x5a}, 2048)
+	loc, err := r.QueueWrite(append([]byte(nil), data...), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comps := r.WaitAll(nil)
+	if len(comps) != 1 || comps[0].Err != nil || comps[0].UserData != 1 {
+		t.Fatalf("write completions: %+v", comps)
+	}
+	dst := make([]byte, 2048)
+	r.QueueRead(loc, dst, 2)
+	comps = r.WaitAll(nil)
+	if len(comps) != 1 || comps[0].Err != nil {
+		t.Fatalf("read completions: %+v", comps)
+	}
+	if !bytes.Equal(dst, data) {
+		t.Fatal("data mismatch after round trip")
+	}
+}
+
+func TestRoundRobinSpreading(t *testing.T) {
+	r, _ := newRing(4)
+	devs := map[int]int{}
+	for i := 0; i < 8; i++ {
+		loc, err := r.QueueWrite(make([]byte, 512), uint64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		devs[loc.Device()]++
+	}
+	for dev := 0; dev < 4; dev++ {
+		if devs[dev] != 2 {
+			t.Fatalf("device %d got %d writes, want 2 (round robin)", dev, devs[dev])
+		}
+	}
+}
+
+func TestBatchedSubmission(t *testing.T) {
+	r, _ := newRing(1)
+	for i := 0; i < 5; i++ {
+		if _, err := r.QueueWrite(make([]byte, 512), uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r.Pending() != 5 || r.Outstanding() != 0 {
+		t.Fatalf("pending=%d outstanding=%d before submit", r.Pending(), r.Outstanding())
+	}
+	if n := r.Submit(); n != 5 {
+		t.Fatalf("Submit returned %d", n)
+	}
+	if r.Pending() != 0 || r.Outstanding() != 5 {
+		t.Fatalf("pending=%d outstanding=%d after submit", r.Pending(), r.Outstanding())
+	}
+}
+
+func TestPollRespectsModelTime(t *testing.T) {
+	r, clk := newRing(1)
+	// 1 MB at 1 MB/s = 1 s + 1 ms latency.
+	r.QueueWrite(make([]byte, 1_000_000), 7)
+	r.Submit()
+	if got := r.Poll(nil, false); len(got) != 0 {
+		t.Fatalf("completion surfaced before model time: %+v", got)
+	}
+	clk.Advance(500 * time.Millisecond)
+	if got := r.Poll(nil, false); len(got) != 0 {
+		t.Fatal("completion surfaced halfway through transfer")
+	}
+	clk.Advance(501 * time.Millisecond)
+	got := r.Poll(nil, false)
+	if len(got) != 1 {
+		t.Fatal("completion missing after model time passed")
+	}
+	if got[0].Latency < time.Second {
+		t.Fatalf("latency %v, want >= 1s", got[0].Latency)
+	}
+}
+
+func TestBlockingPollSleeps(t *testing.T) {
+	r, clk := newRing(1)
+	r.QueueWrite(make([]byte, 1_000_000), 1)
+	r.Submit()
+	start := clk.Now()
+	got := r.Poll(nil, true)
+	if len(got) != 1 {
+		t.Fatal("blocking poll returned nothing")
+	}
+	if clk.Now().Sub(start) < time.Second {
+		t.Fatal("blocking poll did not advance the clock to completion time")
+	}
+}
+
+func TestCompletionOrderByReadyTime(t *testing.T) {
+	r, _ := newRing(2)
+	// Big write on dev 0 completes after small write on dev 1.
+	r.QueueWriteDev(0, make([]byte, 1_000_000), 100)
+	r.QueueWriteDev(1, make([]byte, 1_000), 200)
+	comps := r.WaitAll(nil)
+	if len(comps) != 2 {
+		t.Fatalf("got %d completions", len(comps))
+	}
+	if comps[0].UserData != 200 || comps[1].UserData != 100 {
+		t.Fatalf("completions out of ready order: %v, %v", comps[0].UserData, comps[1].UserData)
+	}
+}
+
+func TestErrorSurfacesInCompletion(t *testing.T) {
+	r, _ := newRing(1)
+	r.Array().InjectFailures(0, 1)
+	r.QueueWrite(make([]byte, 512), 9)
+	comps := r.WaitAll(nil)
+	if len(comps) != 1 || comps[0].Err == nil {
+		t.Fatalf("injected error not surfaced: %+v", comps)
+	}
+	// A read of a location whose write failed must error too.
+	dst := make([]byte, 512)
+	r.QueueRead(comps[0].Loc, dst, 10)
+	comps = r.WaitAll(nil)
+	if comps[0].Err == nil {
+		t.Fatal("read of failed write did not error")
+	}
+}
+
+func TestBufferOwnershipReturned(t *testing.T) {
+	r, _ := newRing(1)
+	buf := make([]byte, 512)
+	r.QueueWrite(buf, 3)
+	comps := r.WaitAll(nil)
+	if &comps[0].Buf[0] != &buf[0] {
+		t.Fatal("completion does not return the submitted buffer")
+	}
+}
+
+func TestCounters(t *testing.T) {
+	r, _ := newRing(1)
+	loc, _ := r.QueueWrite(make([]byte, 1024), 1)
+	r.WaitAll(nil)
+	r.QueueRead(loc, make([]byte, 1024), 2)
+	r.WaitAll(nil)
+	w, rd, bw, br := r.Counters()
+	if w != 1 || rd != 1 || bw != 1024 || br != 1024 {
+		t.Fatalf("counters: w=%d r=%d bw=%d br=%d", w, rd, bw, br)
+	}
+}
+
+func TestManyInflight(t *testing.T) {
+	r, _ := newRing(4)
+	const n = 256
+	for i := 0; i < n; i++ {
+		if _, err := r.QueueWrite(make([]byte, 4096), uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	comps := r.WaitAll(nil)
+	if len(comps) != n {
+		t.Fatalf("got %d completions, want %d", len(comps), n)
+	}
+	seen := map[uint64]bool{}
+	for _, c := range comps {
+		if c.Err != nil {
+			t.Fatal(c.Err)
+		}
+		if seen[c.UserData] {
+			t.Fatalf("duplicate completion for %d", c.UserData)
+		}
+		seen[c.UserData] = true
+	}
+}

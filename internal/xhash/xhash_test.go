@@ -1,0 +1,125 @@
+package xhash
+
+import (
+	"math/bits"
+	"testing"
+	"testing/quick"
+)
+
+func TestU64Deterministic(t *testing.T) {
+	if U64(42, 7) != U64(42, 7) {
+		t.Fatal("U64 not deterministic")
+	}
+	if U64(42, 7) == U64(42, 8) {
+		t.Fatal("seed has no effect")
+	}
+	if U64(42, 7) == U64(43, 7) {
+		t.Fatal("value has no effect")
+	}
+}
+
+func TestBytesMatchesLengths(t *testing.T) {
+	// Every length from 0..200 must hash without panicking and produce
+	// values that differ when any byte changes.
+	for n := 0; n <= 200; n++ {
+		buf := make([]byte, n)
+		for i := range buf {
+			buf[i] = byte(i * 31)
+		}
+		h := Bytes(buf, 1)
+		for i := range buf {
+			buf[i] ^= 0xff
+			if Bytes(buf, 1) == h {
+				t.Fatalf("len=%d: flipping byte %d did not change hash", n, i)
+			}
+			buf[i] ^= 0xff
+		}
+		if Bytes(buf, 1) != h {
+			t.Fatalf("len=%d: hash not deterministic", n)
+		}
+	}
+}
+
+func TestStringMatchesBytes(t *testing.T) {
+	if String("hello world", 3) != Bytes([]byte("hello world"), 3) {
+		t.Fatal("String and Bytes disagree")
+	}
+}
+
+// TestAvalancheU64 checks that flipping any single input bit flips roughly
+// half of the output bits on average — the property Umami partitioning
+// relies on, since it consumes hash *prefix* bits.
+func TestAvalancheU64(t *testing.T) {
+	const trials = 512
+	var totalFlips, totalBits int
+	for i := 0; i < trials; i++ {
+		x := uint64(i)*0x9e3779b97f4a7c15 + 1
+		h := U64(x, 0)
+		for bit := 0; bit < 64; bit++ {
+			h2 := U64(x^(1<<bit), 0)
+			totalFlips += bits.OnesCount64(h ^ h2)
+			totalBits += 64
+		}
+	}
+	ratio := float64(totalFlips) / float64(totalBits)
+	if ratio < 0.45 || ratio > 0.55 {
+		t.Fatalf("avalanche ratio %.3f outside [0.45, 0.55]", ratio)
+	}
+}
+
+// TestHighBitsUniform checks that the top 8 bits (used as partition numbers)
+// are close to uniformly distributed over sequential keys.
+func TestHighBitsUniform(t *testing.T) {
+	const n = 1 << 16
+	var counts [256]int
+	for i := 0; i < n; i++ {
+		counts[U64(uint64(i), 0)>>56]++
+	}
+	want := n / 256
+	for p, c := range counts {
+		if c < want/2 || c > want*2 {
+			t.Fatalf("partition %d has %d keys, want about %d", p, c, want)
+		}
+	}
+}
+
+func TestCombineOrderDependent(t *testing.T) {
+	if Combine(1, 2) == Combine(2, 1) {
+		t.Fatal("Combine should be order-dependent")
+	}
+}
+
+func TestBytesQuick(t *testing.T) {
+	// Property: equal inputs hash equal; unequal inputs (almost surely)
+	// hash unequal.
+	f := func(a, b []byte, seed uint64) bool {
+		ha, hb := Bytes(a, seed), Bytes(b, seed)
+		if string(a) == string(b) {
+			return ha == hb
+		}
+		return ha != hb // collision chance about 2^-64, fine for quick
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkU64(b *testing.B) {
+	var acc uint64
+	for i := 0; i < b.N; i++ {
+		acc += U64(uint64(i), 0)
+	}
+	sink = acc
+}
+
+func BenchmarkBytes64(b *testing.B) {
+	buf := make([]byte, 64)
+	b.SetBytes(64)
+	var acc uint64
+	for i := 0; i < b.N; i++ {
+		acc += Bytes(buf, uint64(i))
+	}
+	sink = acc
+}
+
+var sink uint64

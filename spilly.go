@@ -1,0 +1,397 @@
+// Package spilly is a Go reproduction of the query engine Spilly from
+// "High-Performance Query Processing with NVMe Arrays: Spilling without
+// Killing Performance" (SIGMOD 2024).
+//
+// The engine executes analytical queries over columnar tables with
+// operators built on Umami — the paper's unified materialization interface —
+// so the same hash join and hash aggregation run at in-memory speed on
+// small inputs and transparently partition, compress, and spill to a
+// (simulated) NVMe array when memory runs out. See DESIGN.md for the
+// architecture and the hardware-simulation substitutions.
+//
+// Basic use:
+//
+//	eng, _ := spilly.Open(spilly.Config{MemoryBudget: 1 << 30})
+//	eng.LoadTPCH(0.01, false)
+//	res, _ := eng.RunTPCH(1)
+//	fmt.Println(res.Table())
+package spilly
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"github.com/spilly-db/spilly/internal/codec"
+	"github.com/spilly-db/spilly/internal/colstore"
+	"github.com/spilly-db/spilly/internal/core"
+	"github.com/spilly-db/spilly/internal/data"
+	"github.com/spilly-db/spilly/internal/exec"
+	"github.com/spilly-db/spilly/internal/metrics"
+	"github.com/spilly-db/spilly/internal/nvmesim"
+	"github.com/spilly-db/spilly/internal/pages"
+	"github.com/spilly-db/spilly/internal/tpch"
+)
+
+// Mode selects the materialization strategy (see the paper's §4.1/§4.2).
+type Mode = core.Mode
+
+// Materialization modes: Adaptive is Umami's default; the others are the
+// paper's experimental baselines.
+const (
+	Adaptive        = core.ModeAdaptive
+	NeverPartition  = core.ModeNeverPartition
+	AlwaysPartition = core.ModeAlwaysPartition
+	SpillAll        = core.ModeSpillAll
+)
+
+// DeviceSpec describes one simulated NVMe SSD.
+type DeviceSpec = nvmesim.DeviceSpec
+
+// Config configures an Engine. The zero value gives a laptop-scaled replica
+// of the paper's testbed: 8 simulated SSDs whose bandwidths follow the
+// Kioxia CM7-R (11 GB/s read / 6.2 GB/s write) scaled down 100× to match
+// this environment's single-core CPU budget, keeping the paper's
+// CPU-to-I/O cycles-per-byte ratio (§4.4).
+type Config struct {
+	// Workers is the number of worker goroutines per query (default:
+	// GOMAXPROCS).
+	Workers int
+	// MemoryBudget bounds operator materialization memory per query in
+	// bytes (0 = unlimited; nothing ever partitions or spills).
+	MemoryBudget int64
+	// Mode is the materialization strategy (default Adaptive).
+	Mode Mode
+	// DisableSpill makes out-of-memory queries fail instead of spilling
+	// (the pure in-memory engine of the evaluation).
+	DisableSpill bool
+	// Compression enables self-regulating compression for spilled data.
+	Compression bool
+	// TableDevices and SpillDevices size the two simulated NVMe arrays
+	// (defaults: 8 and 8). The paper's §6.8 experiment varies the spill
+	// array size.
+	TableDevices int
+	SpillDevices int
+	// Device is the per-SSD performance profile (default: scaled CM7-R).
+	Device DeviceSpec
+	// CacheBytes sizes the table buffer cache (0 = no cache; scans are
+	// always cold).
+	CacheBytes int64
+	// PageSize, Partitions, PartitionAt tune Umami (defaults 64 KiB, 64,
+	// 0.5).
+	PageSize    int
+	Partitions  int
+	PartitionAt float64
+	// ForceGrace runs every join as a classical grace hash join and
+	// NoPreAgg disables local pre-aggregation — together they make the
+	// engine behave like the always-partitioning systems of Figure 2.
+	ForceGrace bool
+	NoPreAgg   bool
+}
+
+// DefaultDevice is the default simulated SSD: the paper's Kioxia CM7-R
+// scaled down 100×.
+var DefaultDevice = nvmesim.KioxiaCM7.Scaled(0.01)
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.TableDevices <= 0 {
+		c.TableDevices = 8
+	}
+	if c.SpillDevices <= 0 {
+		c.SpillDevices = 8
+	}
+	if c.Device == (DeviceSpec{}) {
+		c.Device = DefaultDevice
+	}
+	return c
+}
+
+// Engine is a Spilly instance: a catalog of tables plus the simulated NVMe
+// arrays for table storage and spilling.
+type Engine struct {
+	cfg      Config
+	tableArr *nvmesim.Array
+	spillArr *nvmesim.Array
+	cache    *colstore.Cache
+	store    *colstore.Store
+	tables   map[string]colstore.Table
+	sf       float64
+}
+
+// Open creates an engine.
+func Open(cfg Config) (*Engine, error) {
+	c := cfg.withDefaults()
+	e := &Engine{
+		cfg:      c,
+		tableArr: nvmesim.New(c.TableDevices, c.Device, nvmesim.RealClock{}),
+		spillArr: nvmesim.New(c.SpillDevices, c.Device, nvmesim.RealClock{}),
+		tables:   map[string]colstore.Table{},
+	}
+	if c.CacheBytes > 0 {
+		e.cache = colstore.NewCache(c.CacheBytes)
+	}
+	e.store = colstore.NewStore(e.tableArr, e.cache)
+	return e, nil
+}
+
+// RegisterTable adds an in-memory table to the catalog.
+func (e *Engine) RegisterTable(t *colstore.MemTable) { e.tables[t.Name()] = t }
+
+// StoreOnArray moves a registered in-memory table onto the simulated NVMe
+// array (compressed column chunks striped across devices, §5.2).
+func (e *Engine) StoreOnArray(name string) error {
+	mt, ok := e.tables[name].(*colstore.MemTable)
+	if !ok {
+		return fmt.Errorf("spilly: table %q is not in memory", name)
+	}
+	dt, err := e.store.WriteTable(mt)
+	if err != nil {
+		return err
+	}
+	e.tables[name] = dt
+	return nil
+}
+
+// Table returns a catalog table.
+func (e *Engine) Table(name string) (colstore.Table, error) {
+	t, ok := e.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("spilly: unknown table %q", name)
+	}
+	return t, nil
+}
+
+// LoadTPCH generates and registers the TPC-H tables at the given scale
+// factor; onArray stores them on the simulated NVMe array (external scans)
+// instead of keeping them in memory.
+func (e *Engine) LoadTPCH(sf float64, onArray bool) error {
+	g := &tpch.Gen{SF: sf}
+	for name, t := range g.All() {
+		e.RegisterTable(t)
+		if onArray {
+			if err := e.StoreOnArray(name); err != nil {
+				return err
+			}
+		}
+	}
+	e.sf = sf
+	return nil
+}
+
+// LoadTPCHTbl loads TPC-H tables from dbgen-format .tbl files (official
+// dbgen output or cmd/tpchgen -out) instead of generating them. sf is the
+// data's scale factor (some query parameters depend on it).
+func (e *Engine) LoadTPCHTbl(dir string, sf float64, onArray bool) error {
+	db, err := tpch.LoadTblDir(dir, sf)
+	if err != nil {
+		return err
+	}
+	for name, t := range db.Tables {
+		mt, ok := t.(*colstore.MemTable)
+		if !ok {
+			return fmt.Errorf("spilly: loaded table %q has unexpected type", name)
+		}
+		e.RegisterTable(mt)
+		if onArray {
+			if err := e.StoreOnArray(name); err != nil {
+				return err
+			}
+		}
+	}
+	e.sf = sf
+	return nil
+}
+
+// TPCH returns the TPC-H catalog view used to build the 22 queries.
+func (e *Engine) TPCH() *tpch.DB {
+	return &tpch.DB{SF: e.sf, Tables: e.tables}
+}
+
+// ClearCaches empties the buffer cache (cold runs, §6.1).
+func (e *Engine) ClearCaches() {
+	if e.cache != nil {
+		e.cache.Clear()
+	}
+}
+
+// SpillArray exposes the spill target array (harness instrumentation).
+func (e *Engine) SpillArray() *nvmesim.Array { return e.spillArr }
+
+// TableArray exposes the table storage array.
+func (e *Engine) TableArray() *nvmesim.Array { return e.tableArr }
+
+// NewCtx builds a fresh per-query execution context. When the budget is
+// tight, partition count and page size are reduced so the active page
+// working set (workers × partitions × page size) stays within the budget —
+// the knob a real engine would derive from its memory grant.
+func (e *Engine) NewCtx() *exec.Ctx {
+	ctx := &exec.Ctx{
+		Workers:     e.cfg.Workers,
+		Mode:        e.cfg.Mode,
+		PageSize:    e.cfg.PageSize,
+		Partitions:  e.cfg.Partitions,
+		PartitionAt: e.cfg.PartitionAt,
+		ForceGrace:  e.cfg.ForceGrace,
+		NoPreAgg:    e.cfg.NoPreAgg,
+		Stats:       &exec.Stats{},
+	}
+	if e.cfg.MemoryBudget > 0 {
+		ctx.Budget = pages.NewBudget(e.cfg.MemoryBudget)
+		if ctx.Partitions == 0 && ctx.PageSize == 0 {
+			parts, pageSize := tuneForBudget(e.cfg.MemoryBudget, e.cfg.Workers)
+			ctx.Partitions = parts
+			ctx.PageSize = pageSize
+		}
+	}
+	if !e.cfg.DisableSpill {
+		ctx.Spill = &core.SpillConfig{Array: e.spillArr, Compress: e.cfg.Compression}
+	}
+	return ctx
+}
+
+// tuneForBudget picks a partition count and page size whose active working
+// set (workers × partitions × page size) stays around 1/16 of the budget.
+// A query pipelines several materializing operators at once (e.g. Q9 holds
+// five join builds), so each operator's working-set floor must be a small
+// fraction of the whole budget or memory pressure turns into thrash.
+func tuneForBudget(budget int64, workers int) (parts, pageSize int) {
+	parts, pageSize = 64, 64<<10
+	target := budget / 16
+	for parts > 8 && int64(workers*parts*pageSize) > target {
+		parts /= 2
+	}
+	for pageSize > 4<<10 && int64(workers*parts*pageSize) > target {
+		pageSize /= 2
+	}
+	return parts, pageSize
+}
+
+// Stats summarizes one query execution.
+type Stats struct {
+	Duration       time.Duration
+	ScannedRows    int64
+	ScannedBytes   int64
+	SpilledBytes   int64 // raw page bytes spilled
+	WrittenBytes   int64 // post-compression bytes written to the array
+	SpillReadBytes int64
+	SpilledOps     int64
+	// TuplesPerSec is scanned tuples divided by execution time — the
+	// paper's headline throughput metric (§6.1).
+	TuplesPerSec float64
+	// CyclesPerByte is the §4.4 cost metric over scanned bytes.
+	CyclesPerByte float64
+	// Schemes counts spilled pages per compression scheme name (§6.8).
+	Schemes map[string]int64
+}
+
+// Result is a query result with its statistics.
+type Result struct {
+	Batch *data.Batch
+	Stats Stats
+}
+
+// Table renders the result as an ASCII table (for examples and tools).
+func (r *Result) Table() string { return FormatBatch(r.Batch, 50) }
+
+// Run executes a plan and collects its result.
+func (e *Engine) Run(node exec.Node) (*Result, error) {
+	ctx := e.NewCtx()
+	return e.RunCtx(ctx, node)
+}
+
+// RunCtx executes a plan under a caller-provided context.
+func (e *Engine) RunCtx(ctx *exec.Ctx, node exec.Node) (*Result, error) {
+	e.spillArr.Reset() // spill areas are per-query scratch space
+	start := time.Now()
+	out, err := exec.Collect(ctx, node)
+	if err != nil {
+		return nil, err
+	}
+	dur := time.Since(start)
+	s := ctx.Stats
+	st := Stats{
+		Duration:       dur,
+		ScannedRows:    s.ScannedRows.Load(),
+		ScannedBytes:   s.ScannedBytes.Load(),
+		SpilledBytes:   s.SpilledBytes.Load(),
+		WrittenBytes:   s.WrittenBytes.Load(),
+		SpillReadBytes: s.SpillReadBytes.Load(),
+		SpilledOps:     s.SpilledOps.Load(),
+	}
+	if dur > 0 {
+		st.TuplesPerSec = float64(st.ScannedRows) / dur.Seconds()
+	}
+	st.CyclesPerByte = metrics.CyclesPerByte(dur, st.ScannedBytes)
+	if hist := s.SchemeHistogram(); len(hist) > 0 {
+		st.Schemes = map[string]int64{}
+		for id, n := range hist {
+			name := "raw"
+			if c := codec.ByID(id); c != nil {
+				name = c.Name()
+			}
+			st.Schemes[name] += n
+		}
+	}
+	return &Result{Batch: out, Stats: st}, nil
+}
+
+// AggMicroPlan builds the paper's §6.3 spilling-aggregation
+// microbenchmark over the loaded TPC-H data.
+func (e *Engine) AggMicroPlan() exec.Node { return tpch.AggMicro(e.TPCH()) }
+
+// JoinMicroPlan builds the paper's §6.7 spilling-join microbenchmark.
+func (e *Engine) JoinMicroPlan() exec.Node { return tpch.JoinMicro(e.TPCH()) }
+
+// RunTPCH builds and runs TPC-H query q (1–22).
+func (e *Engine) RunTPCH(q int) (*Result, error) {
+	ctx := e.NewCtx()
+	node, err := tpch.BuildQuery(ctx, e.TPCH(), q)
+	if err != nil {
+		return nil, err
+	}
+	return e.RunCtx(ctx, node)
+}
+
+// TraceQuery runs a plan while sampling engine utilization at the given
+// interval (Figure 8). The returned samples carry rates for keys
+// "tuples" (scanned rows/s), "spill_write" and "spill_read" (bytes/s on
+// the spill array), "table_read" (bytes/s on the table array), and
+// "mem_bytes" (a memory-bandwidth proxy: all bytes touched/s).
+func (e *Engine) TraceQuery(node exec.Node, interval time.Duration) (*Result, []metrics.Sample, error) {
+	ctx := e.NewCtx()
+	e.spillArr.Reset()
+	tracer := metrics.NewTracer(interval, func() map[string]float64 {
+		sp := e.spillArr.Stats()
+		tb := e.tableArr.Stats()
+		rows := float64(ctx.Stats.ScannedRows.Load())
+		scanned := float64(ctx.Stats.ScannedBytes.Load())
+		return map[string]float64{
+			"tuples":      rows,
+			"spill_write": float64(sp.BytesWritten),
+			"spill_read":  float64(sp.BytesRead),
+			"table_read":  float64(tb.BytesRead),
+			"mem_bytes":   scanned + float64(sp.BytesWritten) + float64(sp.BytesRead),
+		}
+	})
+	tracer.Start()
+	start := time.Now()
+	out, err := exec.Collect(ctx, node)
+	samples := tracer.Stop()
+	if err != nil {
+		return nil, nil, err
+	}
+	dur := time.Since(start)
+	st := Stats{
+		Duration:     dur,
+		ScannedRows:  ctx.Stats.ScannedRows.Load(),
+		ScannedBytes: ctx.Stats.ScannedBytes.Load(),
+		SpilledBytes: ctx.Stats.SpilledBytes.Load(),
+	}
+	if dur > 0 {
+		st.TuplesPerSec = float64(st.ScannedRows) / dur.Seconds()
+	}
+	return &Result{Batch: out, Stats: st}, samples, nil
+}
