@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: all tier1 race bench-vectorize clean
+
+all: tier1
+
+# Tier-1 gate: everything must build, vet clean, and pass tests.
+tier1:
+	$(GO) build ./...
+	$(GO) vet ./...
+	$(GO) test ./...
+
+# Race-detector pass over the concurrency-heavy packages (morsel workers,
+# partition spilling, per-worker stats accumulators).
+race:
+	$(GO) test -race -short ./internal/exec/ ./internal/core/
+
+# Vectorization microbenchmarks (expression kernels, batch hash/encode).
+bench-vectorize:
+	$(GO) test -run=^$$ -bench 'Vectorized|Scalar|HashColumns|HashRow|EncodeAll|EncodeRow' -benchmem ./internal/exec/ ./internal/data/
+
+clean:
+	$(GO) clean ./...

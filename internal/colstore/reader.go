@@ -8,6 +8,12 @@ import (
 	"github.com/spilly-db/spilly/internal/uring"
 )
 
+// defaultScanPrefetch is the number of row groups each external-scan
+// reader keeps in flight. With one reader per worker, the per-reader
+// lookahead times the worker count keeps the array's I/O queues full
+// across morsel boundaries (§5.2).
+const defaultScanPrefetch = 4
+
 // diskReader is a per-worker external scan (§5.2): it pulls row-group
 // morsels from the shared cursor, schedules asynchronous reads for the
 // projected column chunks of several groups ahead — "aiming to maintain a
@@ -47,7 +53,7 @@ func (t *DiskTable) NewReader(proj []int, cursor *atomic.Int64) Reader {
 		proj:     proj,
 		cursor:   cursor,
 		ring:     uring.New(t.store.arr),
-		prefetch: 4,
+		prefetch: defaultScanPrefetch,
 		pending:  map[uint64]*chunkRead{},
 	}
 }

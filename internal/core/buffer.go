@@ -117,7 +117,7 @@ func (c *Config) withDefaults() Config {
 		panic(fmt.Sprintf("core: Partitions must be a power of two <= %d, got %d", MaxPartitions, out.Partitions))
 	}
 	if out.PartitionAt == 0 {
-		out.PartitionAt = 0.5
+		out.PartitionAt = DefaultPartitionAt
 	}
 	if out.Spill != nil {
 		s := *out.Spill

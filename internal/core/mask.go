@@ -7,6 +7,11 @@ import "sync/atomic"
 // (§4.3, §5.3).
 const MaxPartitions = 64
 
+// DefaultPartitionAt is the default fraction of the memory budget in use
+// at which adaptive partitioning starts (§5.3: partitioning must begin
+// while enough headroom remains to repartition resident data).
+const DefaultPartitionAt = 0.5
+
 // SpillMask tracks which partitions have been chosen for spilling, shared
 // by all threads of an operator. The paper guards the bitmask with an
 // optimistic lock: a thread picks a victim, then publishes it, scrapping

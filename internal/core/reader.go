@@ -41,11 +41,18 @@ type blockGroup struct {
 	buf   []byte
 }
 
+// DefaultReadDepth is the default number of concurrent block reads per
+// partition reader. Spilled partitions are read back by several workers at
+// once, so a moderate per-reader depth already saturates the array's
+// aggregate queue depth (§5.2: NVMe arrays need parallel, deep queues).
+const DefaultReadDepth = 8
+
 // NewPartitionReader returns a reader over the given spilled slots (as
-// recorded in a Result). depth bounds concurrent block reads per reader.
+// recorded in a Result). depth bounds concurrent block reads per reader
+// (<= 0 selects DefaultReadDepth).
 func NewPartitionReader(arr *nvmesim.Array, pageSize int, slots []SpilledSlot, depth int) *PartitionReader {
 	if depth <= 0 {
-		depth = 8
+		depth = DefaultReadDepth
 	}
 	r := &PartitionReader{
 		ring:     uring.New(arr),

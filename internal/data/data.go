@@ -124,7 +124,14 @@ type Column struct {
 type Batch struct {
 	Schema *Schema
 	Cols   []Column
-	n      int
+	// Sel, when non-nil, is a selection vector: the live rows of the batch
+	// are Sel[0], Sel[1], ... (physical row indices into the columns, in
+	// ascending order). Filters produce selection vectors instead of
+	// compacting columns, so a scan batch survives predicates without a
+	// single copy. Consumers iterate Rows()/Row(i) or pass Sel to the
+	// vectorized kernels; Reset and Flatten clear it.
+	Sel []int32
+	n   int
 }
 
 // NewBatch returns an empty batch with capacity hint cap.
@@ -144,13 +151,30 @@ func NewBatch(schema *Schema, capHint int) *Batch {
 	return b
 }
 
-// Len returns the number of rows.
+// Len returns the number of physical rows (ignoring any selection vector).
 func (b *Batch) Len() int { return b.n }
 
 // SetLen declares the row count after columns were filled directly.
 func (b *Batch) SetLen(n int) { b.n = n }
 
-// Reset clears all rows, keeping capacity.
+// Rows returns the number of live rows: the selection vector's length when
+// one is set, the physical row count otherwise.
+func (b *Batch) Rows() int {
+	if b.Sel != nil {
+		return len(b.Sel)
+	}
+	return b.n
+}
+
+// Row maps live row i to its physical row index.
+func (b *Batch) Row(i int) int {
+	if b.Sel != nil {
+		return int(b.Sel[i])
+	}
+	return i
+}
+
+// Reset clears all rows and the selection vector, keeping capacity.
 func (b *Batch) Reset() {
 	for i := range b.Cols {
 		c := &b.Cols[i]
@@ -159,7 +183,49 @@ func (b *Batch) Reset() {
 		c.S = c.S[:0]
 		c.Null = nil
 	}
+	b.Sel = nil
 	b.n = 0
+}
+
+// Flatten materializes the selection vector by compacting the columns in
+// place (ascending Sel makes the in-place shift safe) and clearing Sel.
+// It must not be called on batches that alias table storage (in-memory
+// scans hand out views): compacting would corrupt the table. Operators
+// therefore consume Sel via Rows()/Row(i) instead; Flatten exists for
+// owned batches and tests.
+func (b *Batch) Flatten() {
+	if b.Sel == nil {
+		return
+	}
+	sel := b.Sel
+	for i := range b.Cols {
+		c := &b.Cols[i]
+		switch {
+		case c.F != nil:
+			for j, r := range sel {
+				c.F[j] = c.F[r]
+			}
+			c.F = c.F[:len(sel)]
+		case c.S != nil:
+			for j, r := range sel {
+				c.S[j] = c.S[r]
+			}
+			c.S = c.S[:len(sel)]
+		default:
+			for j, r := range sel {
+				c.I[j] = c.I[r]
+			}
+			c.I = c.I[:len(sel)]
+		}
+		if c.Null != nil {
+			for j, r := range sel {
+				c.Null[j] = c.Null[r]
+			}
+			c.Null = c.Null[:len(sel)]
+		}
+	}
+	b.n = len(sel)
+	b.Sel = nil
 }
 
 // IsNull reports whether column col is NULL at row.

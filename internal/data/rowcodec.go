@@ -18,6 +18,7 @@ import (
 // can be copied, spilled, and read back byte-identically.
 type RowCodec struct {
 	types     []Type
+	strFields []int // indices of String fields, in order
 	nullBytes int
 	fixedEnd  int // nullBytes + 8*len(types)
 }
@@ -25,7 +26,13 @@ type RowCodec struct {
 // NewRowCodec returns a codec for the given column types.
 func NewRowCodec(types []Type) *RowCodec {
 	nb := (len(types) + 7) / 8
-	return &RowCodec{types: types, nullBytes: nb, fixedEnd: nb + 8*len(types)}
+	rc := &RowCodec{types: types, nullBytes: nb, fixedEnd: nb + 8*len(types)}
+	for i, t := range types {
+		if t == String {
+			rc.strFields = append(rc.strFields, i)
+		}
+	}
+	return rc
 }
 
 // Fields returns the number of fields per row.
@@ -69,6 +76,119 @@ func (rc *RowCodec) Encode(dst []byte, b *Batch, r int) {
 			varOff += len(s)
 		default:
 			binary.LittleEndian.PutUint64(slot, uint64(c.I[r]))
+		}
+	}
+}
+
+// FixedSize returns the encoded tuple size when the codec has no string
+// fields, in which case every tuple is the same width.
+func (rc *RowCodec) FixedSize() (int, bool) {
+	return rc.fixedEnd, len(rc.strFields) == 0
+}
+
+// SizeAll appends the encoded size of every live row of b to out
+// (returned). For all-fixed schemas this is a constant fill; otherwise the
+// per-row base cost is filled once and only string columns are walked —
+// amortizing the per-row type loop Size performs.
+func (rc *RowCodec) SizeAll(b *Batch, sel []int32, out []int) []int {
+	n := b.n
+	if sel != nil {
+		n = len(sel)
+	}
+	base := len(out)
+	for i := 0; i < n; i++ {
+		out = append(out, rc.fixedEnd)
+	}
+	sizes := out[base:]
+	for _, f := range rc.strFields {
+		vals := b.Cols[f].S
+		if sel == nil {
+			for i := 0; i < n; i++ {
+				sizes[i] += len(vals[i])
+			}
+		} else {
+			for i, r := range sel {
+				sizes[i] += len(vals[r])
+			}
+		}
+	}
+	return out
+}
+
+// EncodeAll encodes the live rows of b into dsts, one pre-allocated
+// destination per live row (each exactly the corresponding SizeAll size,
+// e.g. allocated in place on Umami pages). It is column-at-a-time: per
+// column the type dispatch happens once and a tight loop writes all rows,
+// where Encode re-dispatches per row.
+func (rc *RowCodec) EncodeAll(dsts [][]byte, b *Batch, sel []int32) {
+	n := b.n
+	if sel != nil {
+		n = len(sel)
+	}
+	if len(dsts) != n {
+		panic("data: EncodeAll destination count mismatch")
+	}
+	for i := range dsts {
+		for j := 0; j < rc.nullBytes; j++ {
+			dsts[i][j] = 0
+		}
+	}
+	// varOff tracks, per row, where the next string body lands; only
+	// needed when the schema has string fields.
+	var varOffs []int
+	if len(rc.strFields) > 0 {
+		varOffs = make([]int, n)
+		for i := range varOffs {
+			varOffs[i] = rc.fixedEnd
+		}
+	}
+	for f, t := range rc.types {
+		c := &b.Cols[f]
+		slotOff := rc.nullBytes + 8*f
+		switch t {
+		case Float64:
+			vals := c.F
+			for i := range dsts {
+				r := i
+				if sel != nil {
+					r = int(sel[i])
+				}
+				binary.LittleEndian.PutUint64(dsts[i][slotOff:], math.Float64bits(vals[r]))
+			}
+		case String:
+			vals := c.S
+			for i := range dsts {
+				r := i
+				if sel != nil {
+					r = int(sel[i])
+				}
+				s := vals[r]
+				dst := dsts[i]
+				binary.LittleEndian.PutUint32(dst[slotOff:], uint32(varOffs[i]))
+				binary.LittleEndian.PutUint32(dst[slotOff+4:], uint32(len(s)))
+				copy(dst[varOffs[i]:], s)
+				varOffs[i] += len(s)
+			}
+		default:
+			vals := c.I
+			for i := range dsts {
+				r := i
+				if sel != nil {
+					r = int(sel[i])
+				}
+				binary.LittleEndian.PutUint64(dsts[i][slotOff:], uint64(vals[r]))
+			}
+		}
+		if c.Null != nil {
+			for i := range dsts {
+				r := i
+				if sel != nil {
+					r = int(sel[i])
+				}
+				if c.Null[r] {
+					dsts[i][f/8] |= 1 << uint(f%8)
+				}
+			}
 		}
 	}
 }
@@ -126,20 +246,20 @@ func (rc *RowCodec) AppendTo(b *Batch, tuple []byte) {
 // partitioning). NULL fields hash to a fixed tag so NULL == NULL groups
 // together in aggregations.
 func HashRow(b *Batch, keyCols []int, r int) uint64 {
-	h := uint64(0x517cc1b727220a95)
+	h := uint64(hashSeed)
 	for _, col := range keyCols {
 		c := &b.Cols[col]
 		if c.Null != nil && c.Null[r] {
-			h = xhash.Combine(h, 0x9e3779b97f4a7c15)
+			h = xhash.Combine(h, hashNullTag)
 			continue
 		}
 		switch c.Type {
 		case Float64:
-			h = xhash.Combine(h, xhash.U64(math.Float64bits(c.F[r]), 17))
+			h = xhash.Combine(h, xhash.U64(math.Float64bits(c.F[r]), hashField))
 		case String:
-			h = xhash.Combine(h, xhash.String(c.S[r], 17))
+			h = xhash.Combine(h, xhash.String(c.S[r], hashField))
 		default:
-			h = xhash.Combine(h, xhash.U64(uint64(c.I[r]), 17))
+			h = xhash.Combine(h, xhash.U64(uint64(c.I[r]), hashField))
 		}
 	}
 	return h
@@ -148,19 +268,19 @@ func HashRow(b *Batch, keyCols []int, r int) uint64 {
 // HashTuple hashes the given key fields of an encoded tuple, consistently
 // with HashRow over the same values.
 func (rc *RowCodec) HashTuple(tuple []byte, keyFields []int) uint64 {
-	h := uint64(0x517cc1b727220a95)
+	h := uint64(hashSeed)
 	for _, f := range keyFields {
 		if rc.IsNull(tuple, f) {
-			h = xhash.Combine(h, 0x9e3779b97f4a7c15)
+			h = xhash.Combine(h, hashNullTag)
 			continue
 		}
 		switch rc.types[f] {
 		case Float64:
-			h = xhash.Combine(h, xhash.U64(binary.LittleEndian.Uint64(tuple[rc.nullBytes+8*f:]), 17))
+			h = xhash.Combine(h, xhash.U64(binary.LittleEndian.Uint64(tuple[rc.nullBytes+8*f:]), hashField))
 		case String:
-			h = xhash.Combine(h, xhash.String(rc.Str(tuple, f), 17))
+			h = xhash.Combine(h, xhash.String(rc.Str(tuple, f), hashField))
 		default:
-			h = xhash.Combine(h, xhash.U64(uint64(rc.Int(tuple, f)), 17))
+			h = xhash.Combine(h, xhash.U64(uint64(rc.Int(tuple, f)), hashField))
 		}
 	}
 	return h

@@ -1,0 +1,197 @@
+package data
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+var vecTestSchema = NewSchema(
+	ColumnDef{"k", Int64},
+	ColumnDef{"v", Float64},
+	ColumnDef{"s", String},
+	ColumnDef{"d", Date},
+	ColumnDef{"n", Int64},
+)
+
+// randVecBatch builds a random batch over vecTestSchema: random row count,
+// sometimes a null mask, sometimes an ascending selection vector.
+func randVecBatch(rng *rand.Rand) *Batch {
+	n := 1 + rng.Intn(150)
+	b := NewBatch(vecTestSchema, n)
+	for i := 0; i < n; i++ {
+		b.Cols[0].I = append(b.Cols[0].I, rng.Int63n(1000)-200)
+		b.Cols[1].F = append(b.Cols[1].F, rng.Float64()*1e4-5e3)
+		b.Cols[2].S = append(b.Cols[2].S, fmt.Sprintf("str-%d", rng.Intn(100)))
+		b.Cols[3].I = append(b.Cols[3].I, DateOf(1992+rng.Intn(7), 1+rng.Intn(12), 1+rng.Intn(28)))
+		b.Cols[4].I = append(b.Cols[4].I, rng.Int63n(50))
+	}
+	b.SetLen(n)
+	if rng.Intn(2) == 0 {
+		null := make([]bool, n)
+		for i := range null {
+			null[i] = rng.Intn(4) == 0
+		}
+		b.Cols[4].Null = null
+	}
+	if rng.Intn(2) == 0 {
+		sel := make([]int32, 0, n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(3) != 0 {
+				sel = append(sel, int32(i))
+			}
+		}
+		b.Sel = sel
+	}
+	return b
+}
+
+// TestHashColumnsMatchesHashRow: the batch hash kernel must be
+// bit-identical to the per-row hash for every key-column combination —
+// partition routing depends on it (a spilled build tuple and its probe
+// row must land in the same partition whichever path hashed them).
+func TestHashColumnsMatchesHashRow(t *testing.T) {
+	keySets := [][]int{{0}, {1}, {2}, {4}, {0, 2}, {0, 1, 2, 3, 4}}
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := randVecBatch(rng)
+		for _, keys := range keySets {
+			hs := HashColumns(b, b.Sel, keys, nil)
+			if len(hs) != b.Rows() {
+				t.Logf("seed %d keys %v: got %d hashes, want %d", seed, keys, len(hs), b.Rows())
+				return false
+			}
+			for i := 0; i < b.Rows(); i++ {
+				if want := HashRow(b, keys, b.Row(i)); hs[i] != want {
+					t.Logf("seed %d keys %v row %d: HashColumns %x, HashRow %x", seed, keys, i, hs[i], want)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSizeAllEncodeAllMatchScalar: batch sizing and encoding must produce
+// byte-identical tuples to the per-row Size/Encode pair.
+func TestSizeAllEncodeAllMatchScalar(t *testing.T) {
+	rc := NewRowCodec(vecTestSchema.Types())
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := randVecBatch(rng)
+		sizes := rc.SizeAll(b, b.Sel, nil)
+		if len(sizes) != b.Rows() {
+			t.Logf("seed %d: SizeAll returned %d sizes, want %d", seed, len(sizes), b.Rows())
+			return false
+		}
+		dsts := make([][]byte, b.Rows())
+		for i, sz := range sizes {
+			if want := rc.Size(b, b.Row(i)); sz != want {
+				t.Logf("seed %d row %d: SizeAll %d, Size %d", seed, i, sz, want)
+				return false
+			}
+			dsts[i] = make([]byte, sz)
+		}
+		rc.EncodeAll(dsts, b, b.Sel)
+		for i := range dsts {
+			want := make([]byte, sizes[i])
+			rc.Encode(want, b, b.Row(i))
+			if !bytes.Equal(dsts[i], want) {
+				t.Logf("seed %d row %d: EncodeAll %x, Encode %x", seed, i, dsts[i], want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func benchVecBatch(n int) *Batch {
+	rng := rand.New(rand.NewSource(1))
+	b := NewBatch(vecTestSchema, n)
+	for i := 0; i < n; i++ {
+		b.Cols[0].I = append(b.Cols[0].I, rng.Int63n(1000))
+		b.Cols[1].F = append(b.Cols[1].F, rng.Float64())
+		b.Cols[2].S = append(b.Cols[2].S, fmt.Sprintf("str-%d", rng.Intn(100)))
+		b.Cols[3].I = append(b.Cols[3].I, DateOf(1995, 1, 1+rng.Intn(28)))
+		b.Cols[4].I = append(b.Cols[4].I, rng.Int63n(50))
+	}
+	b.SetLen(n)
+	return b
+}
+
+func BenchmarkHashRow(b *testing.B) {
+	batch := benchVecBatch(4096)
+	keys := []int{0, 2}
+	out := make([]uint64, 4096)
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for r := 0; r < 4096; r++ {
+			out[r] = HashRow(batch, keys, r)
+		}
+	}
+}
+
+func BenchmarkHashColumns(b *testing.B) {
+	batch := benchVecBatch(4096)
+	keys := []int{0, 2}
+	var out []uint64
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out = HashColumns(batch, nil, keys, out[:0])
+	}
+}
+
+func BenchmarkEncodeRow(b *testing.B) {
+	batch := benchVecBatch(4096)
+	rc := NewRowCodec(vecTestSchema.Types())
+	var buf []byte
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for r := 0; r < 4096; r++ {
+			sz := rc.Size(batch, r)
+			if cap(buf) < sz {
+				buf = make([]byte, sz)
+			}
+			rc.Encode(buf[:sz], batch, r)
+		}
+	}
+}
+
+func BenchmarkEncodeAll(b *testing.B) {
+	batch := benchVecBatch(4096)
+	rc := NewRowCodec(vecTestSchema.Types())
+	var sizes []int
+	var enc []byte
+	var dsts [][]byte
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sizes = rc.SizeAll(batch, nil, sizes[:0])
+		total := 0
+		for _, s := range sizes {
+			total += s
+		}
+		if cap(enc) < total {
+			enc = make([]byte, total)
+		}
+		enc = enc[:total]
+		dsts = dsts[:0]
+		off := 0
+		for _, s := range sizes {
+			dsts = append(dsts, enc[off:off+s:off+s])
+			off += s
+		}
+		rc.EncodeAll(dsts, batch, nil)
+	}
+}

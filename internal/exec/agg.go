@@ -163,6 +163,8 @@ func (a *Agg) Run(ctx *Ctx) (*Stream, error) {
 				in.Abandon(w)
 			}
 		}()
+		nk := len(keyCols)
+		nv := a.partial.Len() - nk
 		aw := &aggWorker{
 			a:       a,
 			rcPart:  rcPart,
@@ -170,6 +172,15 @@ func (a *Agg) Run(ctx *Ctx) (*Stream, error) {
 			buf:     shared.NewBuffer(),
 			pb:      data.NewBatch(a.partial, 1),
 			preAgg:  !a.DisablePreAgg && !ctx.NoPreAgg,
+			nk:      nk,
+			nv:      nv,
+			// Group key/value widths are fixed per query, so local groups
+			// carve their slices out of flat arenas instead of allocating
+			// three slices per group (a measured phase-1 hotspot).
+			keyArena:  make([]aggVal, localAggMax*nk),
+			nullArena: make([]bool, localAggMax*nk),
+			valArena:  make([]aggVal, localAggMax*nv),
+			groups:    make([]localGroup, 0, localAggMax),
 		}
 		aw.pb.SetLen(1)
 		for i := range a.partial.Cols {
@@ -222,19 +233,29 @@ type aggWorker struct {
 	buf     *core.Buffer
 	pb      *data.Batch // reusable 1-row partial batch for serialization
 	tmpVals []aggVal
+	hashes  []uint64 // per-batch key hashes (HashColumns output)
 
 	preAgg bool
 	probed int64
 	rows   int64
 
+	nk, nv    int // group key / value state widths
+	keyArena  []aggVal
+	nullArena []bool
+	valArena  []aggVal
+
 	slots  [localAggSlots]int32 // group index + 1; 0 = empty
 	groups []localGroup
 }
 
-// consume processes one input batch.
+// consume processes one input batch: key hashes are computed for the whole
+// batch column-at-a-time, then each live row folds into the local table.
 func (aw *aggWorker) consume(b *data.Batch) {
-	for r := 0; r < b.Len(); r++ {
-		h := data.HashRow(b, aw.keyCols, r)
+	aw.hashes = data.HashColumns(b, b.Sel, aw.keyCols, aw.hashes[:0])
+	n := b.Rows()
+	for i := 0; i < n; i++ {
+		r := b.Row(i)
+		h := aw.hashes[i]
 		if !aw.preAgg {
 			aw.materializeRow(b, r, h)
 			continue
@@ -271,14 +292,18 @@ func (aw *aggWorker) lookup(b *data.Batch, r int, h uint64) *localGroup {
 			aw.flushAll()
 			continue
 		}
+		gi := len(aw.groups)
 		aw.groups = append(aw.groups, localGroup{
 			hash:     h,
-			nk:       len(aw.keyCols),
-			keys:     make([]aggVal, len(aw.keyCols)),
-			keyNulls: make([]bool, len(aw.keyCols)),
-			vals:     make([]aggVal, aw.a.partial.Len()-len(aw.keyCols)),
+			nk:       aw.nk,
+			keys:     aw.keyArena[gi*aw.nk : (gi+1)*aw.nk : (gi+1)*aw.nk],
+			keyNulls: aw.nullArena[gi*aw.nk : (gi+1)*aw.nk : (gi+1)*aw.nk],
+			vals:     aw.valArena[gi*aw.nv : (gi+1)*aw.nv : (gi+1)*aw.nv],
 		})
 		g := &aw.groups[len(aw.groups)-1]
+		for i := range g.vals {
+			g.vals[i] = aggVal{}
+		}
 		for i, c := range aw.keyCols {
 			col := &b.Cols[c]
 			g.keyNulls[i] = col.Null != nil && col.Null[r]
@@ -552,6 +577,38 @@ type mergeTable struct {
 type mergeShard struct {
 	mu sync.Mutex
 	m  map[string]*finalGroup
+	// Block arenas for group state, carved under the shard lock: one
+	// finalGroup plus its keyVals/keyNulls/vals slices per new group
+	// would otherwise be four heap allocations each, and high-cardinality
+	// queries (Q13, Q18) insert one group per input tuple here.
+	groupArena []finalGroup
+	valArena   []aggVal
+	nullArena  []bool
+}
+
+// mergeArenaGroups is the arena block size (groups per block).
+const mergeArenaGroups = 256
+
+// newGroup carves one zeroed finalGroup with nk key slots and nv
+// aggregate slots from the shard's arenas.
+func (sh *mergeShard) newGroup(nk, nv int) *finalGroup {
+	if len(sh.groupArena) == 0 {
+		sh.groupArena = make([]finalGroup, mergeArenaGroups)
+	}
+	g := &sh.groupArena[0]
+	sh.groupArena = sh.groupArena[1:]
+	if len(sh.valArena) < nk+nv {
+		sh.valArena = make([]aggVal, mergeArenaGroups*(nk+nv))
+	}
+	g.keyVals = sh.valArena[:nk:nk]
+	g.vals = sh.valArena[nk : nk+nv : nk+nv]
+	sh.valArena = sh.valArena[nk+nv:]
+	if len(sh.nullArena) < nk {
+		sh.nullArena = make([]bool, mergeArenaGroups*nk)
+	}
+	g.keyNulls = sh.nullArena[:nk:nk]
+	sh.nullArena = sh.nullArena[nk:]
+	return g
 }
 
 func newMergeTable(shardCount int) *mergeTable {
@@ -563,7 +620,7 @@ func newMergeTable(shardCount int) *mergeTable {
 }
 
 // keyString builds the canonical key-bytes of a partial tuple's key fields.
-func keyString(rc *data.RowCodec, tuple []byte, nk int, scratch []byte) ([]byte, string) {
+func keyString(rc *data.RowCodec, tuple []byte, nk int, scratch []byte) []byte {
 	scratch = scratch[:0]
 	for f := 0; f < nk; f++ {
 		if rc.IsNull(tuple, f) {
@@ -582,23 +639,21 @@ func keyString(rc *data.RowCodec, tuple []byte, nk int, scratch []byte) ([]byte,
 			}
 		}
 	}
-	return scratch, string(scratch)
+	return scratch
 }
 
 // merge folds one partial tuple into the table.
 func (mt *mergeTable) merge(a *Agg, rc *data.RowCodec, tuple []byte, hash uint64, scratch []byte) []byte {
 	nk := len(a.GroupBy)
 	sh := &mt.shards[hash>>mt.shift]
-	var key string
-	scratch, key = keyString(rc, tuple, nk, scratch)
+	scratch = keyString(rc, tuple, nk, scratch)
 	sh.mu.Lock()
-	g, ok := sh.m[key]
+	// map[string] lookup keyed by a byte slice compiles to a zero-alloc
+	// probe; the key string is only materialized for new groups (a
+	// measured phase-2 hotspot: one alloc per tuple before).
+	g, ok := sh.m[string(scratch)]
 	if !ok {
-		g = &finalGroup{
-			keyVals:  make([]aggVal, nk),
-			keyNulls: make([]bool, nk),
-			vals:     make([]aggVal, a.partial.Len()-nk),
-		}
+		g = sh.newGroup(nk, a.partial.Len()-nk)
 		for f := 0; f < nk; f++ {
 			g.keyNulls[f] = rc.IsNull(tuple, f)
 			switch rc.Types()[f] {
@@ -616,7 +671,7 @@ func (mt *mergeTable) merge(a *Agg, rc *data.RowCodec, tuple []byte, hash uint64
 				g.vals[sd.fields[0]-nk].seen = false
 			}
 		}
-		sh.m[key] = g
+		sh.m[string(scratch)] = g
 	}
 	mergePartialTuple(a.states, g.vals, rc, tuple, nk)
 	sh.mu.Unlock()
@@ -736,7 +791,7 @@ func (a *Agg) emitPartition(ctx *Ctx, b *data.Batch, res *core.Result, rcPart *d
 		scratch = local.merge(a, rcPart, tuple, rcPart.HashTuple(tuple, keyFields), scratch)
 	}
 	if slots := res.Spilled[part]; len(slots) > 0 {
-		r := core.NewPartitionReader(ctx.Spill.Array, pageSize, slots, 8)
+		r := core.NewPartitionReader(ctx.Spill.Array, pageSize, slots, core.DefaultReadDepth)
 		for {
 			pg, err := r.Next()
 			if err != nil {

@@ -33,9 +33,10 @@ type Ctx struct {
 	Spill *core.SpillConfig
 	// PageSize for materialization (0 = 64 KiB default).
 	PageSize int
-	// Partitions per operator (0 = 64).
+	// Partitions per operator (0 = core.MaxPartitions, i.e. 64).
 	Partitions int
-	// PartitionAt is the adaptive partition trigger fraction (0 = 0.5).
+	// PartitionAt is the adaptive partition trigger fraction
+	// (0 = core.DefaultPartitionAt).
 	PartitionAt float64
 	// Stats accumulates query statistics; may be nil.
 	Stats *Stats
@@ -117,8 +118,9 @@ func (s *Stats) SchemeHistogram() map[codec.ID]int64 {
 // (morsel stealing) happens inside the stream.
 type Stream struct {
 	schema *data.Schema
-	// next fills b (after resetting it) and returns the row count, 0 at
-	// end of stream for that worker.
+	// next fills b (after resetting it) and returns the live row count
+	// (len of b's selection vector when one is set), 0 at end of stream
+	// for that worker.
 	next func(w int, b *data.Batch) (int, error)
 	// abandon, if set, tells the stream that worker w will never call
 	// Next again (it failed). Streams with cross-worker synchronization
@@ -214,8 +216,8 @@ func Collect(ctx *Ctx, n Node) (*data.Batch, error) {
 	err = Drain(ctx, s, func(w int, b *data.Batch) error {
 		mu.Lock()
 		defer mu.Unlock()
-		for r := 0; r < b.Len(); r++ {
-			out.AppendRowFrom(b, r)
+		for i, n := 0, b.Rows(); i < n; i++ {
+			out.AppendRowFrom(b, b.Row(i))
 		}
 		return nil
 	})

@@ -11,12 +11,36 @@ import (
 // compiled against a schema into closures — the stdlib-Go analogue of the
 // per-query code generation the paper's engine performs. Exactly one of
 // the evaluator functions is set, according to Type.
+//
+// Constructors additionally attach vectorized batch kernels (vecSel/vecI/
+// vecF/vecS, see vector.go) for the expression shapes that dominate
+// query plans; the Eval* entry points use them when present and fall back
+// to the scalar closures otherwise, so any expression works either way.
 type Expr struct {
 	Type data.Type
 	I    func(b *data.Batch, r int) int64
 	F    func(b *data.Batch, r int) float64
 	S    func(b *data.Batch, r int) string
+
+	// Vectorized fast paths; nil means scalar fallback.
+	vecSel func(b *data.Batch, sel []int32, out []int32) []int32
+	vecI   func(b *data.Batch, sel []int32, out []int64)
+	vecF   func(b *data.Batch, sel []int32, out []float64)
+	vecS   func(b *data.Batch, sel []int32, out []string)
+
+	// Shape metadata the kernel builders specialize on: col1 is the
+	// referenced column index + 1 for bare column refs (0 = not a column);
+	// constant marks literals, with the value in the cI/cF/cS matching Type.
+	col1     int32
+	constant bool
+	cI       int64
+	cF       float64
+	cS       string
 }
+
+func (e Expr) isColRef() bool { return e.col1 != 0 }
+func (e Expr) colIdx() int    { return int(e.col1) - 1 }
+func (e Expr) isConst() bool  { return e.constant }
 
 // Bool evaluates a boolean expression.
 func (e Expr) Bool(b *data.Batch, r int) bool { return e.I(b, r) != 0 }
@@ -28,46 +52,138 @@ func (e Expr) AsFloat() Expr {
 		return e
 	case data.Int64, data.Date, data.Bool:
 		i := e.I
-		return Expr{Type: data.Float64, F: func(b *data.Batch, r int) float64 { return float64(i(b, r)) }}
+		out := Expr{Type: data.Float64, F: func(b *data.Batch, r int) float64 { return float64(i(b, r)) }}
+		switch {
+		case e.constant:
+			k := float64(e.cI)
+			out.constant, out.cF = true, k
+			out.vecF = func(ba *data.Batch, sel []int32, o []float64) {
+				for j := range o {
+					o[j] = k
+				}
+			}
+		case e.isColRef():
+			ci := e.colIdx()
+			out.vecF = func(ba *data.Batch, sel []int32, o []float64) {
+				vals := ba.Cols[ci].I
+				if sel == nil {
+					for j := range o {
+						o[j] = float64(vals[j])
+					}
+					return
+				}
+				for j, r := range sel {
+					o[j] = float64(vals[r])
+				}
+			}
+		case e.vecI != nil:
+			iv := e.vecI
+			out.vecF = func(ba *data.Batch, sel []int32, o []float64) {
+				xp := getI64(len(o))
+				iv(ba, sel, *xp)
+				for j, x := range *xp {
+					o[j] = float64(x)
+				}
+				i64Pool.Put(xp)
+			}
+		}
+		return out
 	default:
 		panic(fmt.Sprintf("exec: cannot coerce %v to float", e.Type))
 	}
 }
 
-// Col compiles a column reference.
+// Col compiles a column reference. The vectorized kernels are gathers
+// (or straight copies when no selection vector is set).
 func Col(s *data.Schema, name string) Expr {
 	idx := s.MustIndex(name)
 	switch s.Cols[idx].Type {
 	case data.Float64:
-		return Expr{Type: data.Float64, F: func(b *data.Batch, r int) float64 { return b.Cols[idx].F[r] }}
+		e := Expr{Type: data.Float64, F: func(b *data.Batch, r int) float64 { return b.Cols[idx].F[r] }}
+		e.col1 = int32(idx) + 1
+		e.vecF = func(b *data.Batch, sel []int32, out []float64) {
+			vals := b.Cols[idx].F
+			if sel == nil {
+				copy(out, vals)
+				return
+			}
+			for i, r := range sel {
+				out[i] = vals[r]
+			}
+		}
+		return e
 	case data.String:
-		return Expr{Type: data.String, S: func(b *data.Batch, r int) string { return b.Cols[idx].S[r] }}
+		e := Expr{Type: data.String, S: func(b *data.Batch, r int) string { return b.Cols[idx].S[r] }}
+		e.col1 = int32(idx) + 1
+		e.vecS = func(b *data.Batch, sel []int32, out []string) {
+			vals := b.Cols[idx].S
+			if sel == nil {
+				copy(out, vals)
+				return
+			}
+			for i, r := range sel {
+				out[i] = vals[r]
+			}
+		}
+		return e
 	default:
 		t := s.Cols[idx].Type
-		return Expr{Type: t, I: func(b *data.Batch, r int) int64 { return b.Cols[idx].I[r] }}
+		e := Expr{Type: t, I: func(b *data.Batch, r int) int64 { return b.Cols[idx].I[r] }}
+		e.col1 = int32(idx) + 1
+		e.vecI = func(b *data.Batch, sel []int32, out []int64) {
+			vals := b.Cols[idx].I
+			if sel == nil {
+				copy(out, vals)
+				return
+			}
+			for i, r := range sel {
+				out[i] = vals[r]
+			}
+		}
+		return e
 	}
 }
 
-// ConstInt compiles an integer literal.
-func ConstInt(v int64) Expr {
-	return Expr{Type: data.Int64, I: func(*data.Batch, int) int64 { return v }}
+func constIntExpr(t data.Type, v int64) Expr {
+	e := Expr{Type: t, I: func(*data.Batch, int) int64 { return v }}
+	e.constant, e.cI = true, v
+	e.vecI = func(b *data.Batch, sel []int32, out []int64) {
+		for i := range out {
+			out[i] = v
+		}
+	}
+	return e
 }
+
+// ConstInt compiles an integer literal.
+func ConstInt(v int64) Expr { return constIntExpr(data.Int64, v) }
 
 // ConstFloat compiles a float literal.
 func ConstFloat(v float64) Expr {
-	return Expr{Type: data.Float64, F: func(*data.Batch, int) float64 { return v }}
+	e := Expr{Type: data.Float64, F: func(*data.Batch, int) float64 { return v }}
+	e.constant, e.cF = true, v
+	e.vecF = func(b *data.Batch, sel []int32, out []float64) {
+		for i := range out {
+			out[i] = v
+		}
+	}
+	return e
 }
 
 // ConstStr compiles a string literal.
 func ConstStr(v string) Expr {
-	return Expr{Type: data.String, S: func(*data.Batch, int) string { return v }}
+	e := Expr{Type: data.String, S: func(*data.Batch, int) string { return v }}
+	e.constant, e.cS = true, v
+	e.vecS = func(b *data.Batch, sel []int32, out []string) {
+		for i := range out {
+			out[i] = v
+		}
+	}
+	return e
 }
 
 // ConstDate compiles a date literal from "YYYY-MM-DD".
-func ConstDate(s string) Expr {
-	v := data.ParseDate(s)
-	return Expr{Type: data.Date, I: func(*data.Batch, int) int64 { return v }}
-}
+func ConstDate(s string) Expr { return constIntExpr(data.Date, data.ParseDate(s)) }
 
 // ConstBool compiles a boolean literal.
 func ConstBool(v bool) Expr {
@@ -75,37 +191,54 @@ func ConstBool(v bool) Expr {
 	if v {
 		i = 1
 	}
-	return Expr{Type: data.Bool, I: func(*data.Batch, int) int64 { return i }}
+	return constIntExpr(data.Bool, i)
 }
 
-func arith(a, b Expr, iop func(x, y int64) int64, fop func(x, y float64) float64) Expr {
+func arith(a, b Expr, op arithOp, iop func(x, y int64) int64, fop func(x, y float64) float64) Expr {
 	if a.Type == data.Float64 || b.Type == data.Float64 {
-		af, bf := a.AsFloat().F, b.AsFloat().F
-		return Expr{Type: data.Float64, F: func(ba *data.Batch, r int) float64 { return fop(af(ba, r), bf(ba, r)) }}
+		av, bv := a.AsFloat(), b.AsFloat()
+		if av.constant && bv.constant {
+			return ConstFloat(fop(av.cF, bv.cF))
+		}
+		af, bf := av.F, bv.F
+		e := Expr{Type: data.Float64, F: func(ba *data.Batch, r int) float64 { return fop(af(ba, r), bf(ba, r)) }}
+		e.vecF = binaryFKernel(av, bv, op)
+		return e
+	}
+	if a.constant && b.constant {
+		return ConstInt(iop(a.cI, b.cI))
 	}
 	ai, bi := a.I, b.I
-	return Expr{Type: data.Int64, I: func(ba *data.Batch, r int) int64 { return iop(ai(ba, r), bi(ba, r)) }}
+	e := Expr{Type: data.Int64, I: func(ba *data.Batch, r int) int64 { return iop(ai(ba, r), bi(ba, r)) }}
+	e.vecI = binaryIKernel(a, b, op)
+	return e
 }
 
 // Add compiles a + b with int→float promotion.
 func Add(a, b Expr) Expr {
-	return arith(a, b, func(x, y int64) int64 { return x + y }, func(x, y float64) float64 { return x + y })
+	return arith(a, b, aAdd, func(x, y int64) int64 { return x + y }, func(x, y float64) float64 { return x + y })
 }
 
 // Sub compiles a - b.
 func Sub(a, b Expr) Expr {
-	return arith(a, b, func(x, y int64) int64 { return x - y }, func(x, y float64) float64 { return x - y })
+	return arith(a, b, aSub, func(x, y int64) int64 { return x - y }, func(x, y float64) float64 { return x - y })
 }
 
 // Mul compiles a * b.
 func Mul(a, b Expr) Expr {
-	return arith(a, b, func(x, y int64) int64 { return x * y }, func(x, y float64) float64 { return x * y })
+	return arith(a, b, aMul, func(x, y int64) int64 { return x * y }, func(x, y float64) float64 { return x * y })
 }
 
 // Div compiles a / b (always float, SQL decimal division).
 func Div(a, b Expr) Expr {
-	af, bf := a.AsFloat().F, b.AsFloat().F
-	return Expr{Type: data.Float64, F: func(ba *data.Batch, r int) float64 { return af(ba, r) / bf(ba, r) }}
+	av, bv := a.AsFloat(), b.AsFloat()
+	if av.constant && bv.constant {
+		return ConstFloat(av.cF / bv.cF)
+	}
+	af, bf := av.F, bv.F
+	e := Expr{Type: data.Float64, F: func(ba *data.Batch, r int) float64 { return af(ba, r) / bf(ba, r) }}
+	e.vecF = binaryFKernel(av, bv, aDiv)
+	return e
 }
 
 func boolExpr(f func(b *data.Batch, r int) bool) Expr {
@@ -118,7 +251,16 @@ func boolExpr(f func(b *data.Batch, r int) bool) Expr {
 }
 
 // Cmp compiles a comparison. op is one of "<", "<=", ">", ">=", "=", "<>".
+// Comparisons against constants and between columns get vectorized
+// selection kernels (see attachCmpKernel); everything else falls back to
+// the scalar closure.
 func Cmp(op string, a, b Expr) Expr {
+	e := cmpScalar(op, a, b)
+	attachCmpKernel(&e, cmpOpOf(op), a, b)
+	return e
+}
+
+func cmpScalar(op string, a, b Expr) Expr {
 	if a.Type == data.String || b.Type == data.String {
 		if a.Type != data.String || b.Type != data.String {
 			panic("exec: comparing string with non-string")
@@ -176,9 +318,13 @@ func Cmp(op string, a, b Expr) Expr {
 	panic("exec: unknown comparison " + op)
 }
 
-// And compiles a short-circuit conjunction.
+// And compiles a short-circuit conjunction. The vectorized form is a
+// fused filter chain: the first conjunct produces a selection vector and
+// each following conjunct refines it in place, so later (often more
+// expensive) predicates only ever see rows that survived the earlier
+// ones — batch-level short-circuiting.
 func And(exprs ...Expr) Expr {
-	return boolExpr(func(b *data.Batch, r int) bool {
+	e := boolExpr(func(b *data.Batch, r int) bool {
 		for _, e := range exprs {
 			if e.I(b, r) == 0 {
 				return false
@@ -186,6 +332,23 @@ func And(exprs ...Expr) Expr {
 		}
 		return true
 	})
+	if len(exprs) > 0 {
+		es := append([]Expr(nil), exprs...)
+		e.vecSel = func(b *data.Batch, sel []int32, out []int32) []int32 {
+			out = es[0].EvalBool(b, sel, out)
+			for _, c := range es[1:] {
+				// Stop once the selection is empty: nothing left to
+				// refine, and a nil out must not reach refineSel, where
+				// it would read as "all physical rows".
+				if len(out) == 0 {
+					break
+				}
+				out = c.refineSel(b, out)
+			}
+			return out
+		}
+	}
+	return e
 }
 
 // Or compiles a short-circuit disjunction.
@@ -209,11 +372,46 @@ func Not(e Expr) Expr {
 func Like(e Expr, pattern string) Expr {
 	m := compileLike(pattern)
 	s := e.S
-	return boolExpr(func(b *data.Batch, r int) bool { return m(s(b, r)) })
+	out := boolExpr(func(b *data.Batch, r int) bool { return m(s(b, r)) })
+	if e.isColRef() {
+		ci := e.colIdx()
+		out.vecSel = func(b *data.Batch, sel []int32, o []int32) []int32 {
+			return selectStrCol(b.Cols[ci].S, b.Len(), sel, o, m, false)
+		}
+	}
+	return out
 }
 
 // NotLike compiles NOT LIKE.
-func NotLike(e Expr, pattern string) Expr { return Not(Like(e, pattern)) }
+func NotLike(e Expr, pattern string) Expr {
+	m := compileLike(pattern)
+	out := Not(Like(e, pattern))
+	if e.isColRef() {
+		ci := e.colIdx()
+		out.vecSel = func(b *data.Batch, sel []int32, o []int32) []int32 {
+			return selectStrCol(b.Cols[ci].S, b.Len(), sel, o, m, true)
+		}
+	}
+	return out
+}
+
+// selectStrCol appends the live rows for which match(vals[r]) != negate.
+func selectStrCol(vals []string, n int, sel []int32, out []int32, match func(string) bool, negate bool) []int32 {
+	if sel == nil {
+		for r := 0; r < n; r++ {
+			if match(vals[r]) != negate {
+				out = append(out, int32(r))
+			}
+		}
+		return out
+	}
+	for _, r := range sel {
+		if match(vals[r]) != negate {
+			out = append(out, r)
+		}
+	}
+	return out
+}
 
 // compileLike builds a matcher for a LIKE pattern, fast-pathing the common
 // shapes (%x%, x%, %x, exact) and falling back to a general matcher.
@@ -294,10 +492,20 @@ func InStr(e Expr, vals ...string) Expr {
 		set[v] = struct{}{}
 	}
 	s := e.S
-	return boolExpr(func(b *data.Batch, r int) bool {
+	out := boolExpr(func(b *data.Batch, r int) bool {
 		_, ok := set[s(b, r)]
 		return ok
 	})
+	if e.isColRef() {
+		ci := e.colIdx()
+		out.vecSel = func(b *data.Batch, sel []int32, o []int32) []int32 {
+			return selectStrCol(b.Cols[ci].S, b.Len(), sel, o, func(v string) bool {
+				_, ok := set[v]
+				return ok
+			}, false)
+		}
+	}
+	return out
 }
 
 // InInt compiles membership in an integer set.
@@ -307,10 +515,32 @@ func InInt(e Expr, vals ...int64) Expr {
 		set[v] = struct{}{}
 	}
 	i := e.I
-	return boolExpr(func(b *data.Batch, r int) bool {
+	out := boolExpr(func(b *data.Batch, r int) bool {
 		_, ok := set[i(b, r)]
 		return ok
 	})
+	if e.isColRef() {
+		ci := e.colIdx()
+		out.vecSel = func(b *data.Batch, sel []int32, o []int32) []int32 {
+			vals := b.Cols[ci].I
+			if sel == nil {
+				n := b.Len()
+				for r := 0; r < n; r++ {
+					if _, ok := set[vals[r]]; ok {
+						o = append(o, int32(r))
+					}
+				}
+				return o
+			}
+			for _, r := range sel {
+				if _, ok := set[vals[r]]; ok {
+					o = append(o, r)
+				}
+			}
+			return o
+		}
+	}
+	return out
 }
 
 // Case compiles CASE WHEN cond THEN a ELSE b END.
@@ -349,7 +579,17 @@ func Case(cond, then, els Expr) Expr {
 // YearOf compiles EXTRACT(YEAR FROM date).
 func YearOf(e Expr) Expr {
 	i := e.I
-	return Expr{Type: data.Int64, I: func(b *data.Batch, r int) int64 { return data.Year(i(b, r)) }}
+	out := Expr{Type: data.Int64, I: func(b *data.Batch, r int) int64 { return data.Year(i(b, r)) }}
+	if e.vecI != nil {
+		iv := e.vecI
+		out.vecI = func(b *data.Batch, sel []int32, o []int64) {
+			iv(b, sel, o)
+			for j := range o {
+				o[j] = data.Year(o[j])
+			}
+		}
+	}
+	return out
 }
 
 // Substr compiles SUBSTRING(s FROM start FOR length) with 1-based start.
@@ -372,5 +612,35 @@ func Substr(e Expr, start, length int) Expr {
 // IsNotNull compiles col IS NOT NULL for the named column.
 func IsNotNull(s *data.Schema, name string) Expr {
 	idx := s.MustIndex(name)
-	return boolExpr(func(b *data.Batch, r int) bool { return !b.IsNull(idx, r) })
+	e := boolExpr(func(b *data.Batch, r int) bool { return !b.IsNull(idx, r) })
+	e.vecSel = func(b *data.Batch, sel []int32, out []int32) []int32 {
+		null := b.Cols[idx].Null
+		if null == nil {
+			// No null bitmap: every live row passes.
+			if sel == nil {
+				n := b.Len()
+				for r := 0; r < n; r++ {
+					out = append(out, int32(r))
+				}
+				return out
+			}
+			return append(out, sel...)
+		}
+		if sel == nil {
+			n := b.Len()
+			for r := 0; r < n; r++ {
+				if !null[r] {
+					out = append(out, int32(r))
+				}
+			}
+			return out
+		}
+		for _, r := range sel {
+			if !null[r] {
+				out = append(out, r)
+			}
+		}
+		return out
+	}
+	return e
 }

@@ -87,8 +87,8 @@ func (s *ExtSort) Run(ctx *Ctx) (*Stream, error) {
 				mu.Unlock()
 				return nil
 			}
-			for r := 0; r < n; r++ {
-				if err := g.add(b, r); err != nil {
+			for i := 0; i < n; i++ {
+				if err := g.add(b, b.Row(i)); err != nil {
 					return err
 				}
 			}

@@ -134,6 +134,7 @@ func (j *Join) runBuild(ctx *Ctx) (*core.Result, *data.RowCodec, []int, int64, e
 		sk := hll.New()
 		sketches[w] = sk
 		b := data.NewBatch(bSchema, 0)
+		var be batchEncoder
 		for {
 			n, err := bs.Next(w, b)
 			if err != nil {
@@ -143,14 +144,10 @@ func (j *Join) runBuild(ctx *Ctx) (*core.Result, *data.RowCodec, []int, int64, e
 				done = true
 				return buf.Finish()
 			}
-			for r := 0; r < n; r++ {
-				// The HyperLogLog sketch computes a key hash anyway; Umami
-				// reuses it for adaptive partitioning for free (§4.5).
-				h := data.HashRow(b, bKeyCols, r)
-				sk.Add(h)
-				dst := buf.AllocTuple(rcB.Size(b, r), h)
-				rcB.Encode(dst, b, r)
-			}
+			// Batch materialization: hashing, sizing, and encoding all run
+			// column-at-a-time. The HyperLogLog sketch computes a key hash
+			// anyway; Umami reuses it for adaptive partitioning (§4.5).
+			be.materialize(buf, rcB, b, bKeyCols, func(i int, h uint64) { sk.Add(h) })
 		}
 	})
 	if err != nil {
@@ -269,11 +266,12 @@ func (j *Join) probeStream(ctx *Ctx, bres *core.Result, rcB *data.RowCodec, bKey
 // input against the in-memory table, stage 2 (after a barrier) joins the
 // routed partitions one at a time.
 type joinWorker struct {
-	js   *joinShared
-	wid  int // this worker's stream id
-	pbuf *core.Buffer
-	in   *data.Batch
-	flag []int64 // scratch matched-flag column (Outer)
+	js     *joinShared
+	wid    int // this worker's stream id
+	pbuf   *core.Buffer
+	in     *data.Batch
+	flag   []int64  // scratch matched-flag column (Outer)
+	hashes []uint64 // per-batch probe-key hashes
 
 	stage int // 1 streaming, 2 partitions, 3 done
 	cur   *partJoinState
@@ -361,8 +359,13 @@ func (jw *joinWorker) streamBatch(b *data.Batch) int {
 		wrap = &data.Batch{Schema: js.pmSchema, Cols: cols}
 		wrap.SetLen(in.Len())
 	}
-	for r := 0; r < in.Len(); r++ {
-		h := data.HashRow(in, js.pKeys, r)
+	// Key hashes for the whole batch, column-at-a-time; the per-row loop
+	// below then only routes and emits.
+	jw.hashes = data.HashColumns(in, in.Sel, js.pKeys, jw.hashes[:0])
+	n := in.Rows()
+	for i := 0; i < n; i++ {
+		r := in.Row(i)
+		h := jw.hashes[i]
 		part := int(h >> js.shiftP)
 		routed := js.mask&(1<<uint(part)) != 0
 
@@ -506,7 +509,7 @@ func (jw *joinWorker) openPartition(p int) (*partJoinState, error) {
 		bpgs = append(bpgs, js.bres.InMemoryByPart(p)...)
 	}
 	if slots := js.bres.Spilled[p]; len(slots) > 0 {
-		r := core.NewPartitionReader(js.ctx.Spill.Array, pageSize, slots, 8)
+		r := core.NewPartitionReader(js.ctx.Spill.Array, pageSize, slots, core.DefaultReadDepth)
 		pgs, err := r.ReadAll()
 		if err != nil {
 			return nil, fmt.Errorf("exec: join reading build partition %d: %w", p, err)
@@ -522,7 +525,7 @@ func (jw *joinWorker) openPartition(p int) (*partJoinState, error) {
 	if js.pres != nil {
 		ppgs = append(ppgs, js.pres.InMemoryByPart(p)...)
 		if slots := js.pres.Spilled[p]; len(slots) > 0 {
-			r := core.NewPartitionReader(js.ctx.Spill.Array, pageSize, slots, 8)
+			r := core.NewPartitionReader(js.ctx.Spill.Array, pageSize, slots, core.DefaultReadDepth)
 			pgs, err := r.ReadAll()
 			if err != nil {
 				return nil, fmt.Errorf("exec: join reading probe partition %d: %w", p, err)

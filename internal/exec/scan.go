@@ -44,12 +44,19 @@ func (s *Scan) Schema() *data.Schema { return s.schema }
 // Run implements Node.
 func (s *Scan) Run(ctx *Ctx) (*Stream, error) {
 	var cursor atomic.Int64
-	readers := make([]colstore.Reader, ctx.workers())
+	nw := ctx.workers()
+	readers := make([]colstore.Reader, nw)
 	var mu sync.Mutex
 	hasFilter := s.Filter.I != nil
-	scratchPool := sync.Pool{New: func() interface{} { return data.NewBatch(s.schema, 0) }}
+	accs := make([]statsAcc, nw)
+	selBufs := make([][]int32, nw)
 	return &Stream{
 		schema: s.schema,
+		abandon: func(w int) {
+			if ctx.Stats != nil {
+				accs[w].flush(ctx.Stats)
+			}
+		},
 		next: func(w int, b *data.Batch) (int, error) {
 			mu.Lock()
 			if readers[w] == nil {
@@ -58,30 +65,30 @@ func (s *Scan) Run(ctx *Ctx) (*Stream, error) {
 			r := readers[w]
 			mu.Unlock()
 			for {
-				var in *data.Batch
-				if hasFilter {
-					in = scratchPool.Get().(*data.Batch)
-				} else {
-					in = b
-				}
-				n, err := r.Next(in)
+				n, err := r.Next(b)
 				if err != nil || n == 0 {
-					if hasFilter {
-						scratchPool.Put(in)
+					if ctx.Stats != nil {
+						accs[w].flush(ctx.Stats)
 					}
 					return 0, err
 				}
 				if ctx.Stats != nil {
-					ctx.Stats.ScannedRows.Add(int64(n))
-					ctx.Stats.ScannedBytes.Add(batchBytes(in))
+					accs[w].add(ctx.Stats, int64(n), batchBytes(b))
 				}
 				if !hasFilter {
 					return n, nil
 				}
-				kept := filterInto(b, in, s.Filter)
-				scratchPool.Put(in)
-				if kept > 0 {
-					return kept, nil
+				// The filter produces a selection vector over the scan
+				// batch (which may alias table storage) instead of copying
+				// surviving rows out — predicates cost zero data movement.
+				sel := s.Filter.EvalBool(b, nil, selBufs[w][:0])
+				selBufs[w] = sel
+				if len(sel) == n {
+					return n, nil
+				}
+				if len(sel) > 0 {
+					b.Sel = sel
+					return len(sel), nil
 				}
 				// Whole batch filtered out; fetch the next morsel.
 			}
@@ -107,15 +114,35 @@ func batchBytes(b *data.Batch) int64 {
 	return n
 }
 
-// filterInto copies rows of in that satisfy pred into out (after reset).
-func filterInto(out, in *data.Batch, pred Expr) int {
-	out.Reset()
-	for r := 0; r < in.Len(); r++ {
-		if pred.I(in, r) != 0 {
-			out.AppendRowFrom(in, r)
-		}
+// statsFlushRows is the per-worker row count after which accumulated scan
+// statistics are flushed into the shared atomic counters — batching the
+// cross-core traffic instead of paying two contended atomics per batch.
+const statsFlushRows = 1 << 15
+
+// statsAcc accumulates one worker's scan counters. The fields are atomics
+// only so an abandoning consumer can flush another worker's residue
+// safely; in steady state each worker touches only its own (padded)
+// accumulator, so the adds stay core-local.
+type statsAcc struct {
+	rows  atomic.Int64
+	bytes atomic.Int64
+	_     [112]byte // pad to a cache-line multiple against false sharing
+}
+
+func (a *statsAcc) add(st *Stats, rows, bytes int64) {
+	a.bytes.Add(bytes)
+	if a.rows.Add(rows) >= statsFlushRows {
+		a.flush(st)
 	}
-	return out.Len()
+}
+
+func (a *statsAcc) flush(st *Stats) {
+	if r := a.rows.Swap(0); r != 0 {
+		st.ScannedRows.Add(r)
+	}
+	if b := a.bytes.Swap(0); b != 0 {
+		st.ScannedBytes.Add(b)
+	}
 }
 
 // FilterNode filters any child stream (used when a predicate cannot be
@@ -134,22 +161,27 @@ func (f *FilterNode) Run(ctx *Ctx) (*Stream, error) {
 	if err != nil {
 		return nil, err
 	}
-	scratchPool := sync.Pool{New: func() interface{} { return data.NewBatch(in.schema, 0) }}
+	selBufs := make([][]int32, ctx.workers())
 	return &Stream{
 		schema:  in.schema,
 		abandon: in.Abandon,
 		next: func(w int, b *data.Batch) (int, error) {
 			for {
-				tmp := scratchPool.Get().(*data.Batch)
-				n, err := in.Next(w, tmp)
+				n, err := in.Next(w, b)
 				if err != nil || n == 0 {
-					scratchPool.Put(tmp)
 					return 0, err
 				}
-				kept := filterInto(b, tmp, f.Pred)
-				scratchPool.Put(tmp)
-				if kept > 0 {
-					return kept, nil
+				// Refine the child's selection vector (if any) in our own
+				// buffer; rows stay in place.
+				sel := f.Pred.EvalBool(b, b.Sel, selBufs[w][:0])
+				selBufs[w] = sel
+				if len(sel) == b.Len() {
+					b.Sel = nil
+					return n, nil
+				}
+				if len(sel) > 0 {
+					b.Sel = sel
+					return len(sel), nil
 				}
 			}
 		},
@@ -203,26 +235,29 @@ func (p *Project) Run(ctx *Ctx) (*Stream, error) {
 	}, nil
 }
 
-// projectInto evaluates exprs over every row of in, appending to out.
+// projectInto evaluates exprs over every live row of in, appending the
+// dense results to out. Each expression runs as one batch kernel (or the
+// scalar fallback loop) straight into the output column.
 func projectInto(out, in *data.Batch, exprs []Expr) {
+	n := in.Rows()
 	for i, e := range exprs {
 		c := &out.Cols[i]
 		switch e.Type {
 		case data.Float64:
-			for r := 0; r < in.Len(); r++ {
-				c.F = append(c.F, e.F(in, r))
-			}
+			m := len(c.F)
+			c.F = grow(c.F, n)
+			e.EvalF(in, in.Sel, c.F[m:])
 		case data.String:
-			for r := 0; r < in.Len(); r++ {
-				c.S = append(c.S, e.S(in, r))
-			}
+			m := len(c.S)
+			c.S = grow(c.S, n)
+			e.EvalS(in, in.Sel, c.S[m:])
 		default:
-			for r := 0; r < in.Len(); r++ {
-				c.I = append(c.I, e.I(in, r))
-			}
+			m := len(c.I)
+			c.I = grow(c.I, n)
+			e.EvalI(in, in.Sel, c.I[m:])
 		}
 	}
-	out.SetLen(out.Len() + in.Len())
+	out.SetLen(out.Len() + n)
 }
 
 // ValuesNode exposes a pre-computed batch as a plan node (scalar subquery

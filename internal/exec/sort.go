@@ -38,8 +38,8 @@ func (s *Sort) Run(ctx *Ctx) (*Stream, error) {
 	err = Drain(ctx, in, func(w int, b *data.Batch) error {
 		mu.Lock()
 		defer mu.Unlock()
-		for r := 0; r < b.Len(); r++ {
-			all.AppendRowFrom(b, r)
+		for i, n := 0, b.Rows(); i < n; i++ {
+			all.AppendRowFrom(b, b.Row(i))
 		}
 		return nil
 	})
@@ -175,7 +175,13 @@ func (l *Limit) Run(ctx *Ctx) (*Stream, error) {
 	}, nil
 }
 
+// trimBatch truncates b to its first n live rows. When a selection vector
+// is set, trimming the vector suffices — the columns stay untouched.
 func trimBatch(b *data.Batch, n int) {
+	if b.Sel != nil {
+		b.Sel = b.Sel[:n]
+		return
+	}
 	for i := range b.Cols {
 		c := &b.Cols[i]
 		if c.I != nil {

@@ -1,0 +1,279 @@
+package exec
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/spilly-db/spilly/internal/data"
+)
+
+// propSchema is a mixed-type schema exercising every kernel lane: int and
+// float columns, strings for LIKE/IN, a date for YearOf, and a nullable
+// column for IsNotNull.
+var propSchema = data.NewSchema(
+	data.ColumnDef{Name: "a", Type: data.Int64},
+	data.ColumnDef{Name: "b", Type: data.Int64},
+	data.ColumnDef{Name: "f", Type: data.Float64},
+	data.ColumnDef{Name: "g", Type: data.Float64},
+	data.ColumnDef{Name: "s", Type: data.String},
+	data.ColumnDef{Name: "d", Type: data.Date},
+	data.ColumnDef{Name: "n", Type: data.Int64},
+)
+
+// randPropBatch builds a random batch over propSchema: random row count,
+// sometimes a null mask on column n, sometimes a random ascending
+// selection vector (possibly empty).
+func randPropBatch(rng *rand.Rand) *data.Batch {
+	n := 1 + rng.Intn(200)
+	b := data.NewBatch(propSchema, n)
+	words := []string{"MAIL", "SHIP", "AIR", "RAIL", "TRUCK", "FOB", "special", "packages"}
+	for i := 0; i < n; i++ {
+		b.Cols[0].I = append(b.Cols[0].I, int64(rng.Intn(50)-10))
+		b.Cols[1].I = append(b.Cols[1].I, int64(rng.Intn(50)))
+		b.Cols[2].F = append(b.Cols[2].F, rng.Float64()*100-50)
+		b.Cols[3].F = append(b.Cols[3].F, rng.Float64())
+		b.Cols[4].S = append(b.Cols[4].S, words[rng.Intn(len(words))]+fmt.Sprint(rng.Intn(5)))
+		b.Cols[5].I = append(b.Cols[5].I, data.DateOf(1992+rng.Intn(7), 1+rng.Intn(12), 1+rng.Intn(28)))
+		b.Cols[6].I = append(b.Cols[6].I, int64(rng.Intn(10)))
+	}
+	b.SetLen(n)
+	if rng.Intn(2) == 0 {
+		null := make([]bool, n)
+		for i := range null {
+			null[i] = rng.Intn(3) == 0
+		}
+		b.Cols[6].Null = null
+	}
+	if rng.Intn(2) == 0 {
+		sel := make([]int32, 0, n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(3) != 0 {
+				sel = append(sel, int32(i))
+			}
+		}
+		b.Sel = sel
+	}
+	return b
+}
+
+// propBoolExprs covers the predicate shapes the kernel builders specialize
+// on: col⊗const and col⊗col comparisons in all three type lanes, reversed
+// operands, fused AND chains, OR/NOT fallbacks, LIKE, IN, IsNotNull, and
+// comparisons over composed arithmetic.
+func propBoolExprs(s *data.Schema) []Expr {
+	a, bc, f, g, str, d := Col(s, "a"), Col(s, "b"), Col(s, "f"), Col(s, "g"), Col(s, "s"), Col(s, "d")
+	return []Expr{
+		Cmp("<", a, ConstInt(7)),
+		Cmp(">=", ConstInt(7), a),
+		Cmp("=", a, bc),
+		Cmp("<>", f, ConstFloat(0.25)),
+		Cmp("<", f, g),
+		Cmp(">", Mul(f, g), ConstFloat(1.5)),
+		Cmp("<=", str, ConstStr("RAIL")),
+		Cmp("=", str, ConstStr("MAIL3")),
+		Cmp(">", a.AsFloat(), g),
+		And(Cmp(">", a, ConstInt(0)), Cmp("<", f, ConstFloat(10)), Cmp("<>", bc, ConstInt(3))),
+		Or(Cmp("<", a, ConstInt(-5)), Cmp(">", g, ConstFloat(0.9))),
+		Not(Cmp("<", a, bc)),
+		Like(str, "%AI%"),
+		NotLike(str, "S%"),
+		InStr(str, "MAIL0", "AIR1", "FOB2"),
+		InInt(a, 1, 2, 3),
+		IsNotNull(s, "n"),
+		Cmp(">", YearOf(d), ConstInt(1995)),
+	}
+}
+
+func propIntExprs(s *data.Schema) []Expr {
+	a, bc, d := Col(s, "a"), Col(s, "b"), Col(s, "d")
+	return []Expr{
+		a,
+		ConstInt(42),
+		Add(a, bc),
+		Sub(a, ConstInt(3)),
+		Mul(Add(a, ConstInt(1)), bc),
+		YearOf(d),
+	}
+}
+
+func propFloatExprs(s *data.Schema) []Expr {
+	a, f, g := Col(s, "a"), Col(s, "f"), Col(s, "g")
+	return []Expr{
+		f,
+		ConstFloat(2.5),
+		a.AsFloat(),
+		Add(f, g),
+		Mul(f, Sub(ConstFloat(1), g)),
+		Mul(Mul(f, Sub(ConstFloat(1), g)), Add(ConstFloat(1), g)),
+		Div(f, g),
+	}
+}
+
+func selEqual(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestVectorizedMatchesScalar is the tentpole's safety net: for random
+// batches (with and without null masks and selection vectors), every
+// vectorized kernel must produce exactly the rows / values the scalar
+// closures produce — bit-identical for floats.
+func TestVectorizedMatchesScalar(t *testing.T) {
+	defer SetVectorized(true)
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := randPropBatch(rng)
+		sel := b.Sel
+		for ei, e := range propBoolExprs(propSchema) {
+			SetVectorized(true)
+			vec := e.EvalBool(b, sel, nil)
+			SetVectorized(false)
+			sc := e.EvalBool(b, sel, nil)
+			if !selEqual(vec, sc) {
+				t.Logf("seed %d bool expr %d: vectorized %v, scalar %v", seed, ei, vec, sc)
+				return false
+			}
+		}
+		n := b.Rows()
+		for ei, e := range propIntExprs(propSchema) {
+			vec, sc := make([]int64, n), make([]int64, n)
+			SetVectorized(true)
+			e.EvalI(b, sel, vec)
+			SetVectorized(false)
+			e.EvalI(b, sel, sc)
+			for i := range vec {
+				if vec[i] != sc[i] {
+					t.Logf("seed %d int expr %d row %d: vectorized %d, scalar %d", seed, ei, i, vec[i], sc[i])
+					return false
+				}
+			}
+		}
+		for ei, e := range propFloatExprs(propSchema) {
+			vec, sc := make([]float64, n), make([]float64, n)
+			SetVectorized(true)
+			e.EvalF(b, sel, vec)
+			SetVectorized(false)
+			e.EvalF(b, sel, sc)
+			for i := range vec {
+				if math.Float64bits(vec[i]) != math.Float64bits(sc[i]) {
+					t.Logf("seed %d float expr %d row %d: vectorized %v, scalar %v", seed, ei, i, vec[i], sc[i])
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEvalBoolRefinesSelection checks the selection-vector contract
+// directly: EvalBool over an input selection returns an ascending subset
+// of it, and a fused AND chain equals refining each conjunct in turn.
+func TestEvalBoolRefinesSelection(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		b := randPropBatch(rng)
+		s := propSchema
+		conj := []Expr{
+			Cmp(">", Col(s, "a"), ConstInt(0)),
+			Cmp("<", Col(s, "f"), ConstFloat(20)),
+			Cmp("<>", Col(s, "b"), ConstInt(3)),
+		}
+		fused := And(conj...).EvalBool(b, b.Sel, nil)
+		step := b.Sel
+		var out []int32
+		for i, c := range conj {
+			out = c.EvalBool(b, step, nil)
+			step = out
+			_ = i
+		}
+		if b.Sel == nil && len(conj) == 0 {
+			continue
+		}
+		if !selEqual(fused, step) {
+			t.Fatalf("trial %d: fused AND %v != stepwise refinement %v", trial, fused, step)
+		}
+		prev := int32(-1)
+		for _, r := range fused {
+			if r <= prev {
+				t.Fatalf("trial %d: selection not ascending: %v", trial, fused)
+			}
+			prev = r
+		}
+	}
+}
+
+func benchBatch(n int) *data.Batch {
+	rng := rand.New(rand.NewSource(1))
+	b := data.NewBatch(propSchema, n)
+	for i := 0; i < n; i++ {
+		b.Cols[0].I = append(b.Cols[0].I, int64(rng.Intn(50)-10))
+		b.Cols[1].I = append(b.Cols[1].I, int64(rng.Intn(50)))
+		b.Cols[2].F = append(b.Cols[2].F, rng.Float64()*100-50)
+		b.Cols[3].F = append(b.Cols[3].F, rng.Float64())
+		b.Cols[4].S = append(b.Cols[4].S, "MODE"+fmt.Sprint(rng.Intn(8)))
+		b.Cols[5].I = append(b.Cols[5].I, data.DateOf(1992+rng.Intn(7), 1+rng.Intn(12), 1+rng.Intn(28)))
+		b.Cols[6].I = append(b.Cols[6].I, int64(rng.Intn(10)))
+	}
+	b.SetLen(n)
+	return b
+}
+
+// benchPred is a Q6-shaped conjunction: date range + float range + int
+// threshold, the dominant predicate shape in TPC-H scans.
+func benchPred(s *data.Schema) Expr {
+	return And(
+		Cmp(">=", Col(s, "d"), ConstDate("1994-01-01")),
+		Cmp("<", Col(s, "d"), ConstDate("1995-01-01")),
+		Cmp(">=", Col(s, "g"), ConstFloat(0.05)),
+		Cmp("<=", Col(s, "g"), ConstFloat(0.07)),
+		Cmp("<", Col(s, "a"), ConstInt(24)),
+	)
+}
+
+func benchFilter(b *testing.B, vectorized bool) {
+	defer SetVectorized(true)
+	SetVectorized(vectorized)
+	batch := benchBatch(4096)
+	pred := benchPred(propSchema)
+	var sel []int32
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sel = pred.EvalBool(batch, nil, sel[:0])
+	}
+	_ = sel
+}
+
+func BenchmarkFilterScalar(b *testing.B)     { benchFilter(b, false) }
+func BenchmarkFilterVectorized(b *testing.B) { benchFilter(b, true) }
+
+func benchProject(b *testing.B, vectorized bool) {
+	defer SetVectorized(true)
+	SetVectorized(vectorized)
+	batch := benchBatch(4096)
+	s := propSchema
+	// Q1-shaped measure: f * (1 - g).
+	e := Mul(Col(s, "f"), Sub(ConstFloat(1), Col(s, "g")))
+	out := make([]float64, 4096)
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.EvalF(batch, nil, out)
+	}
+}
+
+func BenchmarkProjectScalar(b *testing.B)     { benchProject(b, false) }
+func BenchmarkProjectVectorized(b *testing.B) { benchProject(b, true) }

@@ -113,6 +113,7 @@ func (w *Window) Run(ctx *Ctx) (*Stream, error) {
 		}()
 		buf := shared.NewBuffer()
 		b := data.NewBatch(inSchema, 0)
+		var be batchEncoder
 		for {
 			n, err := in.Next(wk, b)
 			if err != nil {
@@ -122,11 +123,9 @@ func (w *Window) Run(ctx *Ctx) (*Stream, error) {
 				done = true
 				return buf.Finish()
 			}
-			for r := 0; r < n; r++ {
-				h := data.HashRow(b, partCols, r)
-				dst := buf.AllocTuple(rc.Size(b, r), h)
-				rc.Encode(dst, b, r)
-			}
+			// Batch materialization, as in the join build: hashing,
+			// sizing, and encoding all run column-at-a-time.
+			be.materialize(buf, rc, b, partCols, nil)
 		}
 	})
 	if err != nil {
@@ -175,7 +174,7 @@ func (w *Window) outputStream(ctx *Ctx, res *core.Result, rc *data.RowCodec, par
 					}
 				}
 				if slots := res.Spilled[p]; len(slots) > 0 {
-					r := core.NewPartitionReader(ctx.Spill.Array, pageSize, slots, 8)
+					r := core.NewPartitionReader(ctx.Spill.Array, pageSize, slots, core.DefaultReadDepth)
 					pgs, err := r.ReadAll()
 					if err != nil {
 						return 0, fmt.Errorf("exec: window reading partition %d: %w", p, err)

@@ -1,0 +1,71 @@
+package tpch
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/spilly-db/spilly/internal/data"
+	"github.com/spilly-db/spilly/internal/exec"
+)
+
+// exactRowStrings renders a batch with bit-exact floats (hex float
+// format), unlike rowStrings which rounds. Rows are sorted so the
+// comparison is insensitive to group emission order.
+func exactRowStrings(b *data.Batch) []string {
+	out := make([]string, b.Len())
+	for r := 0; r < b.Len(); r++ {
+		var sb strings.Builder
+		for c := range b.Cols {
+			col := &b.Cols[c]
+			if col.Null != nil && col.Null[r] {
+				sb.WriteString("|NULL")
+				continue
+			}
+			switch col.Type {
+			case data.Float64:
+				sb.WriteString("|" + strconv.FormatFloat(col.F[r], 'x', -1, 64))
+			case data.String:
+				sb.WriteString("|" + col.S[r])
+			default:
+				sb.WriteString("|" + strconv.FormatInt(col.I[r], 10))
+			}
+		}
+		out[r] = sb.String()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestVectorizationEquivalence runs queries with the vectorized kernels
+// enabled and disabled (pure scalar fallback) and requires bit-identical
+// results — the tentpole's end-to-end guarantee that vectorization is a
+// pure execution-strategy change. Single worker keeps accumulation order
+// deterministic; the sampled queries avoid LIMIT ties (which legitimately
+// break ties arbitrarily) while covering filter/project, aggregation,
+// joins, semi/anti joins, and LIKE/IN-heavy predicates.
+func TestVectorizationEquivalence(t *testing.T) {
+	defer exec.SetVectorized(true)
+	queries := []int{1, 4, 6, 12, 14, 19, 22}
+	for _, q := range queries {
+		ctx := func() *exec.Ctx { return &exec.Ctx{Workers: 1, Stats: &exec.Stats{}} }
+
+		exec.SetVectorized(true)
+		vec := exactRowStrings(runQuery(t, ctx(), q))
+
+		exec.SetVectorized(false)
+		sc := exactRowStrings(runQuery(t, ctx(), q))
+
+		if len(vec) != len(sc) {
+			t.Errorf("Q%d: vectorized %d rows, scalar %d rows", q, len(vec), len(sc))
+			continue
+		}
+		for i := range vec {
+			if vec[i] != sc[i] {
+				t.Errorf("Q%d row %d differs:\n  vectorized %s\n  scalar     %s", q, i, vec[i], sc[i])
+				break
+			}
+		}
+	}
+}

@@ -11,6 +11,7 @@ package xhash
 
 import (
 	"encoding/binary"
+	"math"
 	"math/bits"
 )
 
@@ -51,6 +52,39 @@ func U32(x uint32, seed uint64) uint64 {
 // to build multi-column keys.
 func Combine(h1, h2 uint64) uint64 {
 	return mix(h1^secret2, h2^secret3)
+}
+
+// CombineU64s folds U64(xs[i], seed) into hs[i] for every i — the batch
+// kernel behind column-at-a-time key hashing. Equivalent to calling
+// Combine(hs[i], U64(uint64(xs[i]), seed)) per element, but the type
+// dispatch and call overhead are hoisted out of the loop.
+func CombineU64s(hs []uint64, xs []int64, seed uint64) {
+	if len(xs) > len(hs) {
+		panic("xhash: CombineU64s length mismatch")
+	}
+	for i, x := range xs {
+		hs[i] = Combine(hs[i], U64(uint64(x), seed))
+	}
+}
+
+// CombineF64s is CombineU64s over the IEEE-754 bit patterns of floats.
+func CombineF64s(hs []uint64, xs []float64, seed uint64) {
+	if len(xs) > len(hs) {
+		panic("xhash: CombineF64s length mismatch")
+	}
+	for i, x := range xs {
+		hs[i] = Combine(hs[i], U64(math.Float64bits(x), seed))
+	}
+}
+
+// CombineStrings folds String(xs[i], seed) into hs[i] for every i.
+func CombineStrings(hs []uint64, xs []string, seed uint64) {
+	if len(xs) > len(hs) {
+		panic("xhash: CombineStrings length mismatch")
+	}
+	for i, x := range xs {
+		hs[i] = Combine(hs[i], String(x, seed))
+	}
 }
 
 // Bytes hashes an arbitrary byte slice with the given seed.
