@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all tier1 race bench-vectorize clean
+.PHONY: all tier1 race chaos bench-vectorize clean
 
 all: tier1
 
@@ -11,9 +11,16 @@ tier1:
 	$(GO) test ./...
 
 # Race-detector pass over the concurrency-heavy packages (morsel workers,
-# partition spilling, per-worker stats accumulators).
+# partition spilling, per-worker stats accumulators, fault recovery).
 race:
-	$(GO) test -race -short ./internal/exec/ ./internal/core/
+	$(GO) test -race -short ./internal/exec/ ./internal/core/ ./internal/chaos/
+
+# Chaos suite: TPC-H under seeded fault schedules (transient I/O errors,
+# latency spikes, device death, spill-capacity exhaustion, cancellation),
+# under the race detector. Fault schedules derive from fixed seeds, so a
+# failure replays deterministically.
+chaos:
+	$(GO) test -race -count=1 -v ./internal/chaos/
 
 # Vectorization microbenchmarks (expression kernels, batch hash/encode).
 bench-vectorize:

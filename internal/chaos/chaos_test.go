@@ -1,0 +1,197 @@
+package chaos_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	spilly "github.com/spilly-db/spilly"
+	"github.com/spilly-db/spilly/internal/chaos"
+	"github.com/spilly-db/spilly/internal/nvmesim"
+)
+
+// newEngine opens a spilling engine over a small TPC-H load. Q9 under a
+// 256 KB budget materializes several joins and must spill, exercising the
+// whole write/read-back path the faults target.
+func newEngine(t *testing.T, cfg spilly.Config) *spilly.Engine {
+	t.Helper()
+	if cfg.Workers == 0 {
+		cfg.Workers = 2
+	}
+	if cfg.MemoryBudget == 0 {
+		cfg.MemoryBudget = 256 << 10
+	}
+	eng, err := spilly.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.LoadTPCH(0.005, false); err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// baseline computes the fault-free reference fingerprint for Q9.
+func baseline(t *testing.T) string {
+	t.Helper()
+	eng := newEngine(t, spilly.Config{})
+	res, err := eng.RunTPCH(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.SpilledBytes == 0 {
+		t.Fatal("reference run did not spill; chaos would not exercise I/O recovery")
+	}
+	return chaos.Fingerprint(res.Batch)
+}
+
+func TestTPCHBitIdenticalUnderTransientFaults(t *testing.T) {
+	want := baseline(t)
+
+	eng := newEngine(t, spilly.Config{})
+	// Probabilistic faults well above the 1% floor, plus a scripted
+	// transient on one device's first two requests: the query issues only
+	// a few dozen spill I/Os at this scale, so the script guarantees the
+	// retry path actually runs regardless of how the dice land.
+	chaos.Schedule{
+		Seed:         42,
+		ReadErrRate:  0.05,
+		WriteErrRate: 0.05,
+		SpikeRate:    0.02,
+		SpikeLatency: 200 * time.Microsecond,
+		Script: map[int64]nvmesim.FaultKind{
+			1: nvmesim.FaultTransient,
+			2: nvmesim.FaultTransient,
+		},
+		ScriptDevice: 3,
+	}.Apply(eng.SpillArray())
+
+	res, err := eng.RunTPCH(9)
+	if err != nil {
+		t.Fatalf("query under transient faults failed: %v", err)
+	}
+	if got := chaos.Fingerprint(res.Batch); got != want {
+		t.Fatalf("result under faults differs from fault-free run:\n%s\nvs\n%s", got, want)
+	}
+	if res.Stats.SpillRetries == 0 {
+		t.Fatal("no retries recorded; the schedule injected no faults into the spill path")
+	}
+	if c := eng.Faults().Snapshot(); c.Retries == 0 {
+		t.Fatalf("engine fault tracker saw no retries: %s", c)
+	}
+}
+
+func TestPermanentDeviceFailure(t *testing.T) {
+	want := baseline(t)
+
+	eng := newEngine(t, spilly.Config{})
+	chaos.Schedule{Seed: 7, KillDevice: 0, KillAfterOps: 20}.Apply(eng.SpillArray())
+
+	type outcome struct {
+		res *spilly.Result
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		res, err := eng.RunTPCH(9)
+		done <- outcome{res, err}
+	}()
+
+	var o outcome
+	select {
+	case o = <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("query hung after permanent device failure")
+	}
+	if o.err == nil {
+		// Failover re-striped all writes onto live devices before any
+		// data landed on the dead one: the result must still be exact.
+		if got := chaos.Fingerprint(o.res.Batch); got != want {
+			t.Fatalf("failover run returned wrong rows:\n%s\nvs\n%s", got, want)
+		}
+	} else {
+		// Data already on the device when it died is gone; the query
+		// must fail with a structured error naming the device.
+		var qe *spilly.QueryError
+		if !errors.As(o.err, &qe) {
+			t.Fatalf("err = %v (%T), want *QueryError", o.err, o.err)
+		}
+		if qe.Device != 0 {
+			t.Fatalf("QueryError.Device = %d, want 0", qe.Device)
+		}
+	}
+
+	// A dead device must not poison the engine: heal the array and the
+	// same query must succeed exactly.
+	chaos.Clear(eng.SpillArray())
+	res, err := eng.RunTPCH(9)
+	if err != nil {
+		t.Fatalf("query after healing failed: %v", err)
+	}
+	if got := chaos.Fingerprint(res.Batch); got != want {
+		t.Fatal("result after healing differs from fault-free run")
+	}
+}
+
+func TestCancellationAbortsPromptly(t *testing.T) {
+	eng := newEngine(t, spilly.Config{})
+
+	// Already-canceled context: the query must not do any work.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := eng.RunTPCHContext(ctx, 9); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	var qe *spilly.QueryError
+	if _, err := eng.RunTPCHContext(ctx, 9); !errors.As(err, &qe) {
+		t.Fatalf("err = %v, want *QueryError", err)
+	}
+
+	// Mid-run deadline: slow the array down with latency spikes so the
+	// deadline always lands mid-query, then require a prompt abort.
+	chaos.Schedule{
+		Seed:         3,
+		SpikeRate:    0.5,
+		SpikeLatency: time.Millisecond,
+	}.Apply(eng.SpillArray())
+	dctx, dcancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer dcancel()
+	start := time.Now()
+	_, err := eng.RunTPCHContext(dctx, 9)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed > 10*time.Second {
+		t.Fatalf("cancellation took %v; blocking I/O is not observing the context", elapsed)
+	}
+	if c := eng.Faults().Snapshot(); c.CanceledQueries < 3 {
+		t.Fatalf("canceled queries = %d, want 3: %s", c.CanceledQueries, c)
+	}
+
+	// The aborted query must not leak: the engine stays fully usable.
+	chaos.Clear(eng.SpillArray())
+	if _, err := eng.RunTPCH(9); err != nil {
+		t.Fatalf("query after cancellation failed: %v", err)
+	}
+}
+
+func TestDeviceFullFailsGracefully(t *testing.T) {
+	dev := spilly.DefaultDevice
+	dev.Capacity = 8 << 10 // per-device spill area far below Q9's spill volume
+	eng := newEngine(t, spilly.Config{Device: dev})
+
+	_, err := eng.RunTPCH(9)
+	if err == nil {
+		t.Fatal("query succeeded with a spill area it cannot fit in")
+	}
+	var qe *spilly.QueryError
+	if !errors.As(err, &qe) {
+		t.Fatalf("err = %v (%T), want *QueryError", err, err)
+	}
+	if !strings.Contains(qe.Hint, "spill capacity") {
+		t.Fatalf("QueryError.Hint = %q, want a capacity remediation hint", qe.Hint)
+	}
+}

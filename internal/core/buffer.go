@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/bits"
@@ -84,6 +85,10 @@ type SpillConfig struct {
 
 // Config configures one materializing operator's Umami state.
 type Config struct {
+	// Ctx cancels blocking spill I/O waits (nil = background). A canceled
+	// context makes writers and readers abort within one I/O poll
+	// interval, returning all page buffers to their pools.
+	Ctx context.Context
 	// PageSize is the materialization page size (default 64 KiB).
 	PageSize int
 	// FixedTupleSize selects the fixed-layout page format; 0 = slotted.
@@ -237,7 +242,7 @@ func (s *Shared) NewBuffer() *Buffer {
 		if cfg.Spill.Compress {
 			b.reg = NewRegulator(cfg.Spill.Scale, cfg.Spill.RunN)
 		}
-		b.writer = newSpillWriter(ring, b.reg, b.pool, cfg.Partitions, cfg.Spill.FlushAt, cfg.Spill.MaxAhead)
+		b.writer = newSpillWriter(cfg.Ctx, ring, b.reg, b.pool, cfg.Partitions, cfg.Spill.FlushAt, cfg.Spill.MaxAhead)
 	}
 	return b
 }
@@ -521,6 +526,8 @@ func (b *Buffer) Finish() error {
 		r.SpilledPages += b.writer.spilledPages
 		r.SpilledBytes += b.writer.spilledBytes
 		r.WrittenBytes += b.writer.writtenBytes
+		r.SpillRetries += b.writer.retries
+		r.SpillFailovers += b.writer.failovers
 	}
 	if b.reg != nil {
 		r.SchemeHistogram = MergeHistograms(r.SchemeHistogram, b.reg.SchemeHistogram())
@@ -547,6 +554,10 @@ type Result struct {
 	SpilledPages int64
 	SpilledBytes int64 // raw page bytes spilled
 	WrittenBytes int64 // bytes written to the array (post compression)
+	// Fault-path counters: transient write errors recovered by retrying
+	// and writes re-striped away from a failed device.
+	SpillRetries   int64
+	SpillFailovers int64
 
 	SchemeHistogram map[codec.ID]int64
 

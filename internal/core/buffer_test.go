@@ -62,7 +62,7 @@ func collectKeys(t *testing.T, arr *nvmesim.Array, pageSize int, res *Result) ma
 		if len(res.Spilled[part]) == 0 {
 			continue
 		}
-		r := NewPartitionReader(arr, pageSize, res.Spilled[part], 4)
+		r := NewPartitionReader(nil, arr, pageSize, res.Spilled[part], 4)
 		pgs, err := r.ReadAll()
 		if err != nil {
 			t.Fatalf("reading partition %d: %v", part, err)

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+
+	"github.com/spilly-db/spilly/internal/nvmesim"
+)
+
+// QueryError is the structured failure a query surfaces to the caller: the
+// operator that failed, the partition and NVMe device involved (when
+// known), a remediation hint for configuration-class failures, and the
+// underlying cause. The engine guarantees that a fatal I/O error or an
+// escaped panic becomes a QueryError returned from Engine.Run rather than a
+// hang, a crash, or an opaque internal error.
+type QueryError struct {
+	// Op names the failing operator or engine stage ("join-build", "agg",
+	// "spill", "spill-read", ...).
+	Op string
+	// Part is the partition involved, -1 when unknown.
+	Part int
+	// Device is the NVMe device involved, -1 when unknown.
+	Device int
+	// Hint suggests a remediation when the failure is configuration-bound
+	// (e.g. spill capacity exhausted).
+	Hint string
+	// Err is the underlying cause; errors.Is/As see through it.
+	Err error
+}
+
+// Error implements error.
+func (e *QueryError) Error() string {
+	msg := "query failed"
+	if e.Op != "" {
+		msg += " in " + e.Op
+	}
+	if e.Part >= 0 {
+		msg += fmt.Sprintf(" (partition %d)", e.Part)
+	}
+	if e.Device >= 0 {
+		msg += fmt.Sprintf(" (device %d)", e.Device)
+	}
+	msg += ": " + e.Err.Error()
+	if e.Hint != "" {
+		msg += " (hint: " + e.Hint + ")"
+	}
+	return msg
+}
+
+// Unwrap supports errors.Is/As chains.
+func (e *QueryError) Unwrap() error { return e.Err }
+
+// HintDeviceFull is the remediation hint attached when the spill area fills
+// up mid-query.
+const HintDeviceFull = "raise the spill capacity or the memory budget"
+
+// WrapQueryError wraps err into a *QueryError attributed to op, filling the
+// device from any nvmesim.DeviceError in the chain and attaching hints for
+// configuration-class failures. An error that already is a QueryError is
+// returned as-is (with Op filled in if it was empty); nil stays nil.
+// ErrOutOfMemory is also passed through unchanged — callers compare it by
+// identity and it already names its own remediation.
+func WrapQueryError(op string, err error) error {
+	if err == nil || err == ErrOutOfMemory {
+		return err
+	}
+	var qe *QueryError
+	if errors.As(err, &qe) {
+		if qe.Op == "" {
+			qe.Op = op
+		}
+		return err
+	}
+	qe = &QueryError{Op: op, Part: -1, Device: -1, Err: err}
+	var de *nvmesim.DeviceError
+	if errors.As(err, &de) {
+		qe.Device = de.Device
+	}
+	if errors.Is(err, nvmesim.ErrDeviceFull) {
+		qe.Hint = HintDeviceFull
+	}
+	return qe
+}
+
+// RecoverQueryPanic is the worker-boundary recovery: deferred around every
+// worker goroutine, it converts Umami's out-of-memory panic into
+// ErrOutOfMemory (by identity, as callers expect) and any other panic into
+// a *QueryError carrying the panic value and stack — an engine bug or a
+// fatal I/O condition must fail the query, never crash the process.
+func RecoverQueryPanic(op string, errp *error) {
+	switch r := recover().(type) {
+	case nil:
+	case oomPanic:
+		if *errp == nil {
+			*errp = ErrOutOfMemory
+		}
+	default:
+		if *errp == nil {
+			*errp = &QueryError{
+				Op: op, Part: -1, Device: -1,
+				Err: fmt.Errorf("panic: %v\n%s", r, debug.Stack()),
+			}
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/spilly-db/spilly/internal/codec"
@@ -14,11 +15,20 @@ import (
 // §5.1), decompresses staged pages, and yields them in completion order —
 // hash-based phase-2 algorithms are order-insensitive.
 //
+// Transient read errors are retried with capped exponential backoff on the
+// same device (spilled data has exactly one copy, so reads — unlike writes —
+// cannot fail over). Permanent errors (a dead device, a corrupt slot) and
+// an exhausted retry budget surface as a sticky structured QueryError.
+// Cancellation through the context aborts the reader within one poll
+// interval.
+//
 // Returned pages are freshly allocated and stay valid for the lifetime of
 // the phase; hash tables may point into them (§4.4 "operators can consume
 // row-wise tuples directly").
 type PartitionReader struct {
+	ctx      context.Context // nil = never canceled
 	ring     *uring.Ring
+	clock    nvmesim.Clock
 	pageSize int
 	depth    int
 
@@ -33,12 +43,14 @@ type PartitionReader struct {
 	done    bool
 
 	bytesRead int64
+	retries   int64
 }
 
 type blockGroup struct {
-	loc   nvmesim.Loc
-	slots []SpilledSlot
-	buf   []byte
+	loc      nvmesim.Loc
+	slots    []SpilledSlot
+	buf      []byte
+	attempts int
 }
 
 // DefaultReadDepth is the default number of concurrent block reads per
@@ -47,15 +59,25 @@ type blockGroup struct {
 // aggregate queue depth (§5.2: NVMe arrays need parallel, deep queues).
 const DefaultReadDepth = 8
 
+// maxReadAttempts bounds transient-error retries per block read.
+const maxReadAttempts = 4
+
 // NewPartitionReader returns a reader over the given spilled slots (as
-// recorded in a Result). depth bounds concurrent block reads per reader
-// (<= 0 selects DefaultReadDepth).
-func NewPartitionReader(arr *nvmesim.Array, pageSize int, slots []SpilledSlot, depth int) *PartitionReader {
+// recorded in a Result). ctx cancels blocking waits (nil = background).
+// depth bounds concurrent block reads per reader (<= 0 selects
+// DefaultReadDepth).
+func NewPartitionReader(ctx context.Context, arr *nvmesim.Array, pageSize int, slots []SpilledSlot, depth int) *PartitionReader {
 	if depth <= 0 {
 		depth = DefaultReadDepth
 	}
+	ring := uring.New(arr)
+	if ctx != nil {
+		ring.SetCancel(func() bool { return ctx.Err() != nil })
+	}
 	r := &PartitionReader{
-		ring:     uring.New(arr),
+		ctx:      ctx,
+		ring:     ring,
+		clock:    arr.Clock(),
 		pageSize: pageSize,
 		depth:    depth,
 		pending:  make(map[uint64]int),
@@ -80,6 +102,10 @@ func (r *PartitionReader) Next() (*pages.Page, error) {
 		if r.err != nil {
 			return nil, r.err
 		}
+		if r.ctx != nil && r.ctx.Err() != nil {
+			r.err = WrapQueryError("spill-read", r.ctx.Err())
+			return nil, r.err
+		}
 		if n := len(r.ready); n > 0 {
 			p := r.ready[n-1]
 			r.ready = r.ready[:n-1]
@@ -102,16 +128,37 @@ func (r *PartitionReader) Next() (*pages.Page, error) {
 			}
 			delete(r.pending, c.UserData)
 			if c.Err != nil {
-				r.err = c.Err
-				break
+				if err := r.recoverRead(c, gi); err != nil {
+					r.err = err
+					break
+				}
+				continue
 			}
 			r.bytesRead += int64(c.N)
 			if err := r.decodeGroup(&r.groups[gi]); err != nil {
-				r.err = err
+				r.err = WrapQueryError("spill-read", err)
 				break
 			}
 		}
 	}
+}
+
+// recoverRead retries a failed block read when the error is transient and
+// the group's retry budget allows it; otherwise it returns the fatal,
+// structured error. Reads retry on the same device: spilled data has one
+// copy, so a permanently failed device means the data is gone.
+func (r *PartitionReader) recoverRead(c uring.Completion, gi int) error {
+	g := &r.groups[gi]
+	if nvmesim.IsTransient(c.Err) && g.attempts+1 < maxReadAttempts {
+		g.attempts++
+		r.retries++
+		r.clock.Sleep(retryBackoff(g.attempts))
+		r.nextUD++
+		r.ring.QueueRead(g.loc, g.buf, r.nextUD)
+		r.pending[r.nextUD] = gi
+		return nil
+	}
+	return &QueryError{Op: "spill-read", Part: -1, Device: c.Loc.Device(), Err: c.Err}
 }
 
 // fill tops up in-flight block reads to the configured depth.
@@ -159,6 +206,9 @@ func (r *PartitionReader) decodeGroup(g *blockGroup) error {
 
 // BytesRead returns the bytes read from the array so far.
 func (r *PartitionReader) BytesRead() int64 { return r.bytesRead }
+
+// Retries returns the number of transient read errors recovered so far.
+func (r *PartitionReader) Retries() int64 { return r.retries }
 
 // ReadAll drains the reader into a slice (convenience for tests and small
 // partitions).

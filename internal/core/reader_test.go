@@ -39,7 +39,7 @@ func spillOnePartition(t *testing.T, compress bool) (*nvmesim.Array, int, []Spil
 
 func TestPartitionReaderEmpty(t *testing.T) {
 	arr := fastArray(1)
-	r := NewPartitionReader(arr, 4096, nil, 4)
+	r := NewPartitionReader(nil, arr, 4096, nil, 4)
 	p, err := r.Next()
 	if err != nil || p != nil {
 		t.Fatalf("empty reader: %v %v", p, err)
@@ -53,7 +53,7 @@ func TestPartitionReaderEmpty(t *testing.T) {
 func TestPartitionReaderReadError(t *testing.T) {
 	arr, pageSize, slots := spillOnePartition(t, false)
 	arr.InjectFailures(0, 1000)
-	r := NewPartitionReader(arr, pageSize, slots, 4)
+	r := NewPartitionReader(nil, arr, pageSize, slots, 4)
 	if _, err := r.Next(); err == nil {
 		t.Fatal("injected read failure not surfaced")
 	}
@@ -70,7 +70,7 @@ func TestPartitionReaderCorruptSlot(t *testing.T) {
 	// Slot pointing past its block.
 	bad[0].Off = uint32(bad[0].Loc.Size())
 	bad[0].Len = 64
-	r := NewPartitionReader(arr, pageSize, bad, 4)
+	r := NewPartitionReader(nil, arr, pageSize, bad, 4)
 	failed := false
 	for {
 		p, err := r.Next()
@@ -92,7 +92,7 @@ func TestPartitionReaderUnknownScheme(t *testing.T) {
 	bad := make([]SpilledSlot, len(slots))
 	copy(bad, slots)
 	bad[0].Scheme = codec.ID(250)
-	r := NewPartitionReader(arr, pageSize, bad, 4)
+	r := NewPartitionReader(nil, arr, pageSize, bad, 4)
 	failed := false
 	for {
 		p, err := r.Next()
@@ -111,7 +111,7 @@ func TestPartitionReaderUnknownScheme(t *testing.T) {
 
 func TestPartitionReaderBytesRead(t *testing.T) {
 	arr, pageSize, slots := spillOnePartition(t, false)
-	r := NewPartitionReader(arr, pageSize, slots, 2)
+	r := NewPartitionReader(nil, arr, pageSize, slots, 2)
 	pgs, err := r.ReadAll()
 	if err != nil {
 		t.Fatal(err)

@@ -1,7 +1,10 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"time"
 
 	"github.com/spilly-db/spilly/internal/codec"
 	"github.com/spilly-db/spilly/internal/nvmesim"
@@ -31,12 +34,56 @@ type stagingArea struct {
 	slots []SpilledSlot // Loc filled in at flush time
 }
 
+// inflightWrite tracks one write request from queueing until its buffer can
+// be reclaimed, carrying everything recovery needs: the bytes on the wire
+// (for retries), the buffer to return (page or staging buffer), and the
+// slot-directory range whose Loc must be re-pointed when a retry lands on a
+// different location.
+type inflightWrite struct {
+	page     *pages.Page // raw-path page to recycle (nil on the staged path)
+	buf      []byte      // staged-path staging buffer (nil on the raw path)
+	data     []byte      // bytes being written; valid until release
+	part     int
+	slotFrom int // w.slots[part][slotFrom:slotTo] reference this write's Loc
+	slotTo   int
+	attempts int // transient-failure retries so far
+}
+
+// Write-retry policy: transient device errors are retried with capped
+// exponential backoff; a permanent device failure triggers failover (the
+// ring re-stripes onto surviving devices) without consuming the retry
+// budget.
+const (
+	maxWriteAttempts = 4
+	retryBackoffBase = 50 * time.Microsecond
+	retryBackoffMax  = 2 * time.Millisecond
+)
+
+// retryBackoff returns the backoff before retry number attempt (1-based).
+func retryBackoff(attempt int) time.Duration {
+	d := retryBackoffBase << uint(attempt-1)
+	if d > retryBackoffMax {
+		d = retryBackoffMax
+	}
+	return d
+}
+
 // spillWriter performs asynchronous, optionally compressed page spilling
 // for one worker thread (paper Listing 2). It owns the thread's I/O ring.
+//
+// Fault handling: completions with transient errors are retried (same data,
+// fresh allocation — possibly on another device) with capped exponential
+// backoff; permanent device failures fail over to the surviving devices;
+// fatal errors (retry budget exhausted, no writable device left) record a
+// structured QueryError and switch the writer into fast-fail mode, where
+// further pages are recycled instead of written. Buffers are returned to
+// their pools on every path, including cancellation.
 type spillWriter struct {
 	ring     *uring.Ring
-	reg      *Regulator // nil: spill raw pages without the compression path
-	stage    bool       // route pages through staging areas
+	clock    nvmesim.Clock
+	ctx      context.Context // nil = never canceled
+	reg      *Regulator      // nil: spill raw pages without the compression path
+	stage    bool            // route pages through staging areas
 	pool     *pages.Pool
 	parts    int
 	flushAt  int // staging flush threshold in bytes (>= one device block)
@@ -45,53 +92,70 @@ type spillWriter struct {
 	staging     []*stagingArea // per partition, lazily allocated
 	stagingFree [][]byte
 
-	inflightPages   map[uint64]*pages.Page
-	inflightStaging map[uint64][]byte
-	nextUD          uint64
+	inflight map[uint64]*inflightWrite
+	nextUD   uint64
 
 	slots [][]SpilledSlot // per partition
 
 	// Counters.
-	spilledPages    int64
-	spilledBytes    int64 // raw page bytes spilled
-	writtenBytes    int64 // bytes handed to the device (post compression)
-	firstErr        error
-	scratch         []uring.Completion
+	spilledPages int64
+	spilledBytes int64 // raw page bytes spilled
+	writtenBytes int64 // bytes handed to the device (post compression)
+	retries      int64 // transient write errors recovered by retrying
+	failovers    int64 // writes re-striped onto a different device
+	firstErr     error
+	scratch      []uring.Completion
 }
 
-func newSpillWriter(ring *uring.Ring, reg *Regulator, pool *pages.Pool, parts, flushAt, maxAhead int) *spillWriter {
+func newSpillWriter(ctx context.Context, ring *uring.Ring, reg *Regulator, pool *pages.Pool, parts, flushAt, maxAhead int) *spillWriter {
 	if flushAt < nvmesim.BlockSize {
 		flushAt = pages.DefaultPageSize
 	}
 	if maxAhead <= 0 {
 		maxAhead = 32
 	}
-	return &spillWriter{
-		ring: ring,
-		reg:  reg,
+	w := &spillWriter{
+		ring:  ring,
+		clock: ring.Array().Clock(),
+		ctx:   ctx,
+		reg:   reg,
 		// Staging batches small or compressed pages into >= flushAt
 		// writes (§5.3). Full-size raw pages skip the copy and go out
 		// directly.
-		stage:           reg != nil || pool.PageSize() < flushAt,
-		pool:            pool,
-		parts:           parts,
-		flushAt:         flushAt,
-		maxAhead:        maxAhead,
-		staging:         make([]*stagingArea, parts),
-		inflightPages:   make(map[uint64]*pages.Page),
-		inflightStaging: make(map[uint64][]byte),
-		slots:           make([][]SpilledSlot, parts),
+		stage:    reg != nil || pool.PageSize() < flushAt,
+		pool:     pool,
+		parts:    parts,
+		flushAt:  flushAt,
+		maxAhead: maxAhead,
+		staging:  make([]*stagingArea, parts),
+		inflight: make(map[uint64]*inflightWrite),
+		slots:    make([][]SpilledSlot, parts),
 	}
+	if ctx != nil {
+		ring.SetCancel(func() bool { return ctx.Err() != nil })
+	}
+	return w
+}
+
+// canceled reports whether the query's context has been canceled.
+func (w *spillWriter) canceled() bool {
+	return w.ctx != nil && w.ctx.Err() != nil
 }
 
 // spillPage queues page p (belonging to partition p.Part) for writing. With
 // compression active, the page's bytes move into a staging area and the
 // page itself is immediately recycled; without compression the page buffer
-// is owned by the I/O ring until the write completes.
+// is owned by the I/O ring until the write completes. After a fatal spill
+// error the page is recycled without I/O — the query is failing; what
+// matters is that no buffer leaks.
 func (w *spillWriter) spillPage(p *pages.Page) {
 	part := p.Part
 	if part < 0 || part >= w.parts {
 		panic(fmt.Sprintf("core: spilling page of invalid partition %d", part))
+	}
+	if w.firstErr != nil || w.canceled() {
+		w.pool.Put(p)
+		return
 	}
 	raw := p.Seal()
 	w.spilledPages++
@@ -105,8 +169,9 @@ func (w *spillWriter) spillPage(p *pages.Page) {
 			w.pool.Put(p)
 			return
 		}
-		w.inflightPages[ud] = p
+		slotIdx := len(w.slots[part])
 		w.slots[part] = append(w.slots[part], SpilledSlot{Loc: loc, Off: 0, Len: uint32(len(raw)), Scheme: codec.None})
+		w.inflight[ud] = &inflightWrite{page: p, data: raw, part: part, slotFrom: slotIdx, slotTo: slotIdx + 1}
 		w.writtenBytes += int64(len(raw))
 		w.pump()
 		return
@@ -137,17 +202,23 @@ func (w *spillWriter) flushStaging(part int) {
 		return
 	}
 	w.staging[part] = nil
+	if w.firstErr != nil || w.canceled() {
+		w.putStagingBuf(st.buf)
+		return
+	}
 	ud := w.newUD()
 	loc, err := w.ring.QueueWrite(st.buf, ud)
 	if err != nil {
 		w.fail(err)
+		w.putStagingBuf(st.buf)
 		return
 	}
-	w.inflightStaging[ud] = st.buf
+	slotFrom := len(w.slots[part])
 	for _, s := range st.slots {
 		s.Loc = loc
 		w.slots[part] = append(w.slots[part], s)
 	}
+	w.inflight[ud] = &inflightWrite{buf: st.buf, data: st.buf, part: part, slotFrom: slotFrom, slotTo: len(w.slots[part])}
 	w.writtenBytes += int64(len(st.buf))
 }
 
@@ -155,44 +226,155 @@ func (w *spillWriter) flushStaging(part int) {
 // too many writes are in flight (bounding memory, per Listing 2).
 func (w *spillWriter) pump() {
 	w.ring.Submit()
-	w.drain(w.ring.Outstanding() >= w.maxAhead)
+	w.drain(len(w.inflight) >= w.maxAhead)
 }
 
 // drain reaps completions; if block is true it waits for at least one.
+// Failed completions are retried or failed over in place; a canceled
+// context aborts and reclaims every in-flight buffer.
 func (w *spillWriter) drain(block bool) {
+	if w.canceled() {
+		w.abort(w.ctx.Err())
+		return
+	}
 	if w.ring.Outstanding() == 0 {
 		return
 	}
 	w.scratch = w.ring.Poll(w.scratch[:0], block)
+	if w.canceled() {
+		w.abort(w.ctx.Err())
+		return
+	}
 	for _, c := range w.scratch {
-		if c.Err != nil {
-			w.fail(c.Err)
+		rec, ok := w.inflight[c.UserData]
+		if !ok {
+			continue
 		}
-		if w.reg != nil {
+		if w.reg != nil && c.Err == nil {
 			// Estimate the parallelism the request's latency was shared
 			// across as the mean of submit-time and reap-time depth.
 			w.reg.ObserveIO(c, (c.DepthAtSubmit+w.ring.Outstanding()+1)/2)
 		}
-		if p, ok := w.inflightPages[c.UserData]; ok {
-			delete(w.inflightPages, c.UserData)
-			w.pool.Put(p)
+		delete(w.inflight, c.UserData)
+		if c.Err != nil {
+			w.recoverWrite(c, rec)
 			continue
 		}
-		if buf, ok := w.inflightStaging[c.UserData]; ok {
-			delete(w.inflightStaging, c.UserData)
-			w.putStagingBuf(buf)
-		}
+		w.release(rec)
 	}
 }
 
-// finish flushes all staging areas and waits for every outstanding write.
+// recoverWrite handles one failed write completion: retry transient errors
+// with backoff, fail over from dead devices, and fail the query (releasing
+// the buffer) when recovery is impossible.
+func (w *spillWriter) recoverWrite(c uring.Completion, rec *inflightWrite) {
+	transient := nvmesim.IsTransient(c.Err)
+	dead := nvmesim.IsDeviceDead(c.Err)
+	if dead {
+		// Permanent failure: re-stripe onto the survivors. This is
+		// failover, not a retry — it does not consume the retry budget.
+		w.requeue(c, rec)
+		return
+	}
+	if transient && rec.attempts+1 < maxWriteAttempts {
+		rec.attempts++
+		w.retries++
+		w.clock.Sleep(retryBackoff(rec.attempts))
+		w.requeue(c, rec)
+		return
+	}
+	w.failWrite(c, rec, c.Err)
+}
+
+// requeue re-submits rec's data through the ring (which skips dead devices)
+// and re-points the slot directory at the new location.
+func (w *spillWriter) requeue(c uring.Completion, rec *inflightWrite) {
+	ud := w.newUD()
+	loc, err := w.ring.QueueWrite(rec.data, ud)
+	if err != nil {
+		// No writable device left (all dead or full): fatal.
+		w.failWrite(c, rec, err)
+		return
+	}
+	if loc.Device() != c.Loc.Device() {
+		w.failovers++
+	}
+	for i := rec.slotFrom; i < rec.slotTo; i++ {
+		w.slots[rec.part][i].Loc = loc
+	}
+	w.inflight[ud] = rec
+}
+
+// failWrite records a fatal, structured spill failure and reclaims the
+// write's buffer.
+func (w *spillWriter) failWrite(c uring.Completion, rec *inflightWrite, err error) {
+	if w.firstErr == nil {
+		qe := &QueryError{Op: "spill", Part: rec.part, Device: c.Loc.Device(), Err: err}
+		var de *nvmesim.DeviceError
+		if errors.As(err, &de) {
+			qe.Device = de.Device
+		}
+		if errors.Is(err, nvmesim.ErrDeviceFull) {
+			qe.Hint = HintDeviceFull
+		}
+		w.firstErr = qe
+	}
+	w.release(rec)
+}
+
+// release returns a completed (or abandoned) write's buffer to its pool.
+func (w *spillWriter) release(rec *inflightWrite) {
+	if rec.page != nil {
+		w.pool.Put(rec.page)
+	} else if rec.buf != nil {
+		w.putStagingBuf(rec.buf)
+	}
+}
+
+// abort reclaims every buffer the writer still tracks and records cause as
+// the writer's error. The simulated array copies data at submission, so
+// in-flight buffers are safe to reuse immediately; on real hardware this
+// would first quiesce the DMA engine (io_uring cancel + wait).
+func (w *spillWriter) abort(cause error) {
+	for ud, rec := range w.inflight {
+		delete(w.inflight, ud)
+		w.release(rec)
+	}
+	for part, st := range w.staging {
+		if st != nil {
+			w.putStagingBuf(st.buf)
+			w.staging[part] = nil
+		}
+	}
+	if cause != nil {
+		w.fail(cause)
+	}
+}
+
+// finish flushes all staging areas and drains every outstanding write —
+// including retries queued during the drain — returning buffers to the pool
+// on every path. It returns the writer's first fatal error.
 func (w *spillWriter) finish() error {
 	for part := range w.staging {
 		w.flushStaging(part)
 	}
-	w.ring.Submit()
-	for w.ring.Outstanding() > 0 {
+	for w.ring.Pending() > 0 || w.ring.Outstanding() > 0 {
+		if w.canceled() {
+			w.abort(w.ctx.Err())
+			break
+		}
+		w.ring.Submit()
 		w.drain(true)
+	}
+	// Final sweep: nothing should remain tracked, but a leaked buffer is
+	// strictly worse than a redundant pass. A canceled context must also
+	// surface here even when no I/O is left outstanding — pages handed to
+	// spillPage after cancellation were recycled without being written,
+	// so reporting success would silently drop them.
+	if w.canceled() {
+		w.abort(w.ctx.Err())
+	} else {
+		w.abort(nil)
 	}
 	return w.firstErr
 }
@@ -204,7 +386,7 @@ func (w *spillWriter) newUD() uint64 {
 
 func (w *spillWriter) fail(err error) {
 	if w.firstErr == nil {
-		w.firstErr = err
+		w.firstErr = WrapQueryError("spill", err)
 	}
 }
 

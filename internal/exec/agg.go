@@ -156,7 +156,7 @@ func (a *Agg) Run(ctx *Ctx) (*Stream, error) {
 
 	// Phase 1: consume input with local pre-aggregation, materializing
 	// partial aggregate tuples through Umami.
-	err = runWorkers(workers, func(w int) error {
+	err = runWorkers("agg", workers, func(w int) error {
 		done := false
 		defer func() {
 			if !done {
@@ -695,7 +695,7 @@ func (a *Agg) mergePhase(ctx *Ctx, res *core.Result, rcPart *data.RowCodec, keyF
 	memPages = append(memPages, res.Unpartitioned...)
 	memPages = append(memPages, res.InMemory...)
 	var cursor atomic.Int64
-	err := runWorkers(workers, func(w int) error {
+	err := runWorkers("agg-merge", workers, func(w int) error {
 		scratch := make([]byte, 0, 128)
 		localOv := make([][][]byte, res.Partitions)
 		for {
@@ -791,7 +791,7 @@ func (a *Agg) emitPartition(ctx *Ctx, b *data.Batch, res *core.Result, rcPart *d
 		scratch = local.merge(a, rcPart, tuple, rcPart.HashTuple(tuple, keyFields), scratch)
 	}
 	if slots := res.Spilled[part]; len(slots) > 0 {
-		r := core.NewPartitionReader(ctx.Spill.Array, pageSize, slots, core.DefaultReadDepth)
+		r := core.NewPartitionReader(ctx.goCtx(), ctx.Spill.Array, pageSize, slots, core.DefaultReadDepth)
 		for {
 			pg, err := r.Next()
 			if err != nil {
@@ -807,6 +807,7 @@ func (a *Agg) emitPartition(ctx *Ctx, b *data.Batch, res *core.Result, rcPart *d
 		}
 		if ctx.Stats != nil {
 			ctx.Stats.SpillReadBytes.Add(r.BytesRead())
+			ctx.Stats.SpillRetries.Add(r.Retries())
 		}
 	}
 	n := 0

@@ -9,6 +9,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -21,6 +22,11 @@ import (
 
 // Ctx carries per-query execution settings and statistics.
 type Ctx struct {
+	// Context carries cancellation and deadlines for the query (nil =
+	// background). Workers observe it between batches and blocking spill
+	// I/O observes it within one poll interval, so a canceled query
+	// aborts promptly even when a device is stuck.
+	Context context.Context
 	// Workers is the number of worker goroutines per pipeline.
 	Workers int
 	// Budget is the query's materialization memory budget (shared by all
@@ -55,8 +61,26 @@ func (c *Ctx) workers() int {
 	return c.Workers
 }
 
+// goCtx returns the query's context, never nil.
+func (c *Ctx) goCtx() context.Context {
+	if c.Context == nil {
+		return context.Background()
+	}
+	return c.Context
+}
+
+// canceled returns the context's error once the query has been canceled or
+// its deadline passed, nil otherwise.
+func (c *Ctx) canceled() error {
+	if c.Context == nil {
+		return nil
+	}
+	return c.Context.Err()
+}
+
 func (c *Ctx) coreConfig() core.Config {
 	return core.Config{
+		Ctx:         c.Context,
 		PageSize:    c.PageSize,
 		Partitions:  c.Partitions,
 		Budget:      c.Budget,
@@ -75,6 +99,8 @@ type Stats struct {
 	SpillReadBytes atomic.Int64
 	PartitionedOps atomic.Int64 // operators that enabled partitioning
 	SpilledOps     atomic.Int64 // operators that spilled
+	SpillRetries   atomic.Int64 // transient I/O errors recovered by retry
+	SpillFailovers atomic.Int64 // spill writes re-striped away from a dead device
 
 	histMu sync.Mutex
 	hist   map[codec.ID]int64 // spilled pages per compression scheme
@@ -86,6 +112,8 @@ func (s *Stats) addResult(r *core.Result) {
 	}
 	s.SpilledBytes.Add(r.SpilledBytes)
 	s.WrittenBytes.Add(r.WrittenBytes)
+	s.SpillRetries.Add(r.SpillRetries)
+	s.SpillFailovers.Add(r.SpillFailovers)
 	if r.HasSpilled() {
 		s.SpilledOps.Add(1)
 	}
@@ -151,16 +179,19 @@ type Node interface {
 	Run(ctx *Ctx) (*Stream, error)
 }
 
-// runWorkers runs fn for each worker id in parallel, converting Umami's
-// out-of-memory panic into ErrOutOfMemory and returning the first error.
-func runWorkers(workers int, fn func(w int) error) error {
+// runWorkers runs fn for each worker id in parallel. Each worker goroutine
+// is a recovery boundary: Umami's out-of-memory panic becomes ErrOutOfMemory
+// (by identity), any other panic becomes a structured *core.QueryError
+// attributed to op — a worker failure fails the query, never the process.
+// The first error wins.
+func runWorkers(op string, workers int, fn func(w int) error) error {
 	var wg sync.WaitGroup
 	errs := make([]error, workers)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			defer core.RecoverOOM(&errs[w])
+			defer core.RecoverQueryPanic(op, &errs[w])
 			errs[w] = fn(w)
 		}(w)
 	}
@@ -178,7 +209,7 @@ func runWorkers(workers int, fn func(w int) error) error {
 // by error or by Umami's out-of-memory panic — abandon the stream so that
 // streams with internal barriers release the surviving workers.
 func Drain(ctx *Ctx, s *Stream, sink func(w int, b *data.Batch) error) error {
-	return runWorkers(ctx.workers(), func(w int) error {
+	return runWorkers("drain", ctx.workers(), func(w int) error {
 		done := false
 		defer func() {
 			if !done {
@@ -187,6 +218,9 @@ func Drain(ctx *Ctx, s *Stream, sink func(w int, b *data.Batch) error) error {
 		}()
 		b := data.NewBatch(s.schema, 1024)
 		for {
+			if err := ctx.canceled(); err != nil {
+				return core.WrapQueryError("drain", err)
+			}
 			n, err := s.Next(w, b)
 			if err != nil {
 				return err

@@ -58,7 +58,7 @@ func (s *ExtSort) Run(ctx *Ctx) (*Stream, error) {
 	var mu sync.Mutex
 	var runs []*sortRun
 
-	err = runWorkers(ctx.workers(), func(w int) error {
+	err = runWorkers("sort", ctx.workers(), func(w int) error {
 		done := false
 		defer func() {
 			if !done {

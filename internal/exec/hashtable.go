@@ -66,7 +66,7 @@ func buildHashTable(pgs []*pages.Page, rc *data.RowCodec, keys []int, distinctHi
 	// cursor; since the page list is grouped by partition, consecutive
 	// pages share partitions and workers enjoy the §5.3 locality.
 	var cursor atomic.Int64
-	runWorkers(workers, func(w int) error {
+	runWorkers("hash-build", workers, func(w int) error {
 		for {
 			pi := int(cursor.Add(1) - 1)
 			if pi >= len(pgs) {
@@ -89,7 +89,7 @@ func buildHashTable(pgs []*pages.Page, rc *data.RowCodec, keys []int, distinctHi
 	// follow page order, so contention mirrors partition overlap only.
 	var cursor2 atomic.Int64
 	const chunk = 4096
-	runWorkers(workers, func(w int) error {
+	runWorkers("hash-build", workers, func(w int) error {
 		for {
 			lo := int(cursor2.Add(chunk) - chunk)
 			if lo >= total {

@@ -123,7 +123,7 @@ func (j *Join) runBuild(ctx *Ctx) (*core.Result, *data.RowCodec, []int, int64, e
 	shared := core.NewShared(cfg)
 	workers := ctx.workers()
 	sketches := make([]*hll.Sketch, workers)
-	err = runWorkers(workers, func(w int) error {
+	err = runWorkers("join-build", workers, func(w int) error {
 		done := false
 		defer func() {
 			if !done {
@@ -509,13 +509,14 @@ func (jw *joinWorker) openPartition(p int) (*partJoinState, error) {
 		bpgs = append(bpgs, js.bres.InMemoryByPart(p)...)
 	}
 	if slots := js.bres.Spilled[p]; len(slots) > 0 {
-		r := core.NewPartitionReader(js.ctx.Spill.Array, pageSize, slots, core.DefaultReadDepth)
+		r := core.NewPartitionReader(js.ctx.goCtx(), js.ctx.Spill.Array, pageSize, slots, core.DefaultReadDepth)
 		pgs, err := r.ReadAll()
 		if err != nil {
 			return nil, fmt.Errorf("exec: join reading build partition %d: %w", p, err)
 		}
 		if js.ctx.Stats != nil {
 			js.ctx.Stats.SpillReadBytes.Add(r.BytesRead())
+			js.ctx.Stats.SpillRetries.Add(r.Retries())
 		}
 		bpgs = append(bpgs, pgs...)
 	}
@@ -525,13 +526,14 @@ func (jw *joinWorker) openPartition(p int) (*partJoinState, error) {
 	if js.pres != nil {
 		ppgs = append(ppgs, js.pres.InMemoryByPart(p)...)
 		if slots := js.pres.Spilled[p]; len(slots) > 0 {
-			r := core.NewPartitionReader(js.ctx.Spill.Array, pageSize, slots, core.DefaultReadDepth)
+			r := core.NewPartitionReader(js.ctx.goCtx(), js.ctx.Spill.Array, pageSize, slots, core.DefaultReadDepth)
 			pgs, err := r.ReadAll()
 			if err != nil {
 				return nil, fmt.Errorf("exec: join reading probe partition %d: %w", p, err)
 			}
 			if js.ctx.Stats != nil {
 				js.ctx.Stats.SpillReadBytes.Add(r.BytesRead())
+				js.ctx.Stats.SpillRetries.Add(r.Retries())
 			}
 			ppgs = append(ppgs, pgs...)
 		}

@@ -104,7 +104,7 @@ func (w *Window) Run(ctx *Ctx) (*Stream, error) {
 	partCols := indicesOf(inSchema, w.PartitionBy)
 
 	shared := core.NewShared(ctx.coreConfig())
-	err = runWorkers(ctx.workers(), func(wk int) error {
+	err = runWorkers("window", ctx.workers(), func(wk int) error {
 		done := false
 		defer func() {
 			if !done {
@@ -174,13 +174,14 @@ func (w *Window) outputStream(ctx *Ctx, res *core.Result, rc *data.RowCodec, par
 					}
 				}
 				if slots := res.Spilled[p]; len(slots) > 0 {
-					r := core.NewPartitionReader(ctx.Spill.Array, pageSize, slots, core.DefaultReadDepth)
+					r := core.NewPartitionReader(ctx.goCtx(), ctx.Spill.Array, pageSize, slots, core.DefaultReadDepth)
 					pgs, err := r.ReadAll()
 					if err != nil {
 						return 0, fmt.Errorf("exec: window reading partition %d: %w", p, err)
 					}
 					if ctx.Stats != nil {
 						ctx.Stats.SpillReadBytes.Add(r.BytesRead())
+						ctx.Stats.SpillRetries.Add(r.Retries())
 					}
 					for _, pg := range pgs {
 						for t := 0; t < pg.Tuples(); t++ {

@@ -1,0 +1,90 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// FaultTracker accumulates fault-path counters across queries: transient
+// I/O errors recovered by retry, writes re-striped away from dead devices,
+// queries aborted by cancellation, and per-device error counts. The engine
+// updates it from query results; chaos tests and operators read it to see
+// how much recovery work a run actually exercised.
+type FaultTracker struct {
+	retries   atomic.Int64
+	failovers atomic.Int64
+	canceled  atomic.Int64
+	failed    atomic.Int64
+
+	mu        sync.Mutex
+	devErrors map[int]int64
+}
+
+// NewFaultTracker returns an empty tracker.
+func NewFaultTracker() *FaultTracker {
+	return &FaultTracker{devErrors: map[int]int64{}}
+}
+
+// AddRetries records transient errors recovered by retrying.
+func (t *FaultTracker) AddRetries(n int64) { t.retries.Add(n) }
+
+// AddFailovers records writes re-striped away from a dead device.
+func (t *FaultTracker) AddFailovers(n int64) { t.failovers.Add(n) }
+
+// QueryCanceled records a query aborted by context cancellation.
+func (t *FaultTracker) QueryCanceled() { t.canceled.Add(1) }
+
+// QueryFailed records a query that returned a fatal error.
+func (t *FaultTracker) QueryFailed() { t.failed.Add(1) }
+
+// DeviceError records one I/O error on the given device.
+func (t *FaultTracker) DeviceError(dev int, n int64) {
+	t.mu.Lock()
+	t.devErrors[dev] += n
+	t.mu.Unlock()
+}
+
+// FaultCounts is a point-in-time snapshot of a FaultTracker.
+type FaultCounts struct {
+	Retries         int64
+	Failovers       int64
+	CanceledQueries int64
+	FailedQueries   int64
+	DeviceErrors    map[int]int64
+}
+
+// Snapshot returns the current counters.
+func (t *FaultTracker) Snapshot() FaultCounts {
+	c := FaultCounts{
+		Retries:         t.retries.Load(),
+		Failovers:       t.failovers.Load(),
+		CanceledQueries: t.canceled.Load(),
+		FailedQueries:   t.failed.Load(),
+		DeviceErrors:    map[int]int64{},
+	}
+	t.mu.Lock()
+	for dev, n := range t.devErrors {
+		c.DeviceErrors[dev] = n
+	}
+	t.mu.Unlock()
+	return c
+}
+
+// String renders the counters compactly, devices in order.
+func (c FaultCounts) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "retries=%d failovers=%d canceled=%d failed=%d",
+		c.Retries, c.Failovers, c.CanceledQueries, c.FailedQueries)
+	devs := make([]int, 0, len(c.DeviceErrors))
+	for dev := range c.DeviceErrors {
+		devs = append(devs, dev)
+	}
+	sort.Ints(devs)
+	for _, dev := range devs {
+		fmt.Fprintf(&b, " dev%d=%d", dev, c.DeviceErrors[dev])
+	}
+	return b.String()
+}

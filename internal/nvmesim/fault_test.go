@@ -1,0 +1,129 @@
+package nvmesim
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestFaultPlanDeterministic(t *testing.T) {
+	run := func() (errs int64) {
+		a, _ := virtualArray(1)
+		a.SetFaultPlan(0, FaultPlan{Seed: 42, WriteErrRate: 0.3})
+		for i := 0; i < 200; i++ {
+			a.Write(0, int64(i)*BlockSize, make([]byte, 64))
+		}
+		return a.FaultStats(0).WriteErrors
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same seed produced different fault counts: %d vs %d", a, b)
+	}
+	if a == 0 || a == 200 {
+		t.Fatalf("30%% fault rate produced %d/200 errors", a)
+	}
+}
+
+func TestFaultPlanTransientErrors(t *testing.T) {
+	a, _ := virtualArray(1)
+	a.SetFaultPlan(0, FaultPlan{Seed: 7, WriteErrRate: 1.0})
+	_, err := a.Write(0, 0, make([]byte, 64))
+	if !IsTransient(err) {
+		t.Fatalf("want transient error, got %v", err)
+	}
+	var de *DeviceError
+	if !errors.As(err, &de) || de.Device != 0 || de.Op != "write" {
+		t.Fatalf("want DeviceError{0, write}, got %v", err)
+	}
+	if IsDeviceDead(err) {
+		t.Fatal("transient error classified as device death")
+	}
+	// Reads are unaffected by the write rate.
+	a.Write(0, 0, make([]byte, 64)) // may fail; store something first
+	a.SetFaultPlan(0, FaultPlan{})
+	a.Write(0, 0, make([]byte, 64))
+	a.SetFaultPlan(0, FaultPlan{Seed: 7, WriteErrRate: 1.0})
+	if _, _, err := a.Read(0, 0, make([]byte, 64)); err != nil {
+		t.Fatalf("read hit write-only fault plan: %v", err)
+	}
+}
+
+func TestFaultScript(t *testing.T) {
+	a, _ := virtualArray(1)
+	a.SetFaultPlan(0, FaultPlan{Script: map[int64]FaultKind{2: FaultTransient}})
+	if _, err := a.Write(0, 0, make([]byte, 64)); err != nil {
+		t.Fatalf("op 1 should pass: %v", err)
+	}
+	if _, err := a.Write(0, BlockSize, make([]byte, 64)); !IsTransient(err) {
+		t.Fatalf("scripted op 2 fault missing: %v", err)
+	}
+	if _, err := a.Write(0, 2*BlockSize, make([]byte, 64)); err != nil {
+		t.Fatalf("op 3 should pass: %v", err)
+	}
+}
+
+func TestDeviceDeath(t *testing.T) {
+	a, _ := virtualArray(2)
+	a.SetFaultPlan(0, FaultPlan{Seed: 1, DieAfterOps: 2})
+	a.Write(0, 0, make([]byte, 64))
+	a.Write(0, BlockSize, make([]byte, 64))
+	if a.LiveDevices() != 2 {
+		t.Fatal("device died early")
+	}
+	_, err := a.Write(0, 2*BlockSize, make([]byte, 64))
+	if !IsDeviceDead(err) {
+		t.Fatalf("want device death on op 3, got %v", err)
+	}
+	// Death is permanent and covers reads and allocations.
+	if _, _, err := a.Read(0, 0, make([]byte, 64)); !IsDeviceDead(err) {
+		t.Fatalf("read on dead device: %v", err)
+	}
+	if _, err := a.AllocSpill(0, 512); !IsDeviceDead(err) {
+		t.Fatalf("alloc on dead device: %v", err)
+	}
+	if a.DeviceAlive(0) || !a.DeviceAlive(1) || a.LiveDevices() != 1 {
+		t.Fatal("liveness bookkeeping wrong")
+	}
+	if !a.FaultStats(0).Dead {
+		t.Fatal("FaultStats does not report death")
+	}
+}
+
+func TestKillAndRevive(t *testing.T) {
+	a, _ := virtualArray(1)
+	a.KillDevice(0)
+	if _, err := a.Write(0, 0, make([]byte, 64)); !IsDeviceDead(err) {
+		t.Fatalf("killed device accepted write: %v", err)
+	}
+	a.Revive(0)
+	if _, err := a.Write(0, 0, make([]byte, 64)); err != nil {
+		t.Fatalf("revived device rejected write: %v", err)
+	}
+}
+
+func TestLatencySpike(t *testing.T) {
+	a, clk := virtualArray(1)
+	if _, err := a.Write(0, 0, make([]byte, 512)); err != nil {
+		t.Fatal(err)
+	}
+	base, _, err := a.Read(0, 0, make([]byte, 512))
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseLat := base.Sub(clk.Now())
+
+	const spike = 50 * time.Millisecond
+	a.SetFaultPlan(0, FaultPlan{Seed: 3, SpikeRate: 1.0, SpikeLatency: spike})
+	ready, _, err := a.Read(0, 0, make([]byte, 512))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The device read channel was busy until `base`, so compare against the
+	// next back-to-back completion plus the spike.
+	if got := ready.Sub(clk.Now()); got < baseLat+spike {
+		t.Fatalf("spiked latency %v < base %v + spike %v", got, baseLat, spike)
+	}
+	if a.FaultStats(0).Spikes == 0 {
+		t.Fatal("spike not counted")
+	}
+}

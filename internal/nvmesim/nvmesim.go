@@ -23,7 +23,6 @@ package nvmesim
 
 import (
 	"errors"
-	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -84,7 +83,13 @@ type device struct {
 	bytesRead    atomic.Int64
 	bytesWritten atomic.Int64
 
-	failNext atomic.Int32 // injected failures remaining (tests)
+	// Fault injection state (fault.go).
+	failNext  atomic.Int32 // legacy knob: fail the next N requests
+	dead      atomic.Bool  // permanent device failure
+	faults    atomic.Pointer[faultState]
+	readErrs  atomic.Int64
+	writeErrs atomic.Int64
+	spikes    atomic.Int64
 }
 
 // Array is a set of simulated SSDs sharing a clock.
@@ -138,11 +143,14 @@ func (a *Array) AllocSpill(dev int, size int) (int64, error) {
 		return 0, ErrBadDevice
 	}
 	d := a.devices[dev]
+	if d.dead.Load() {
+		return 0, &DeviceError{Device: dev, Op: "alloc", Err: ErrDeviceDead}
+	}
 	n := int64(alignUp(size))
 	off := d.writeCursor.Add(n) - n
 	if d.spec.Capacity > 0 && off+n > d.spec.Capacity {
 		d.writeCursor.Add(-n)
-		return 0, ErrDeviceFull
+		return 0, &DeviceError{Device: dev, Op: "alloc", Err: ErrDeviceFull}
 	}
 	return off, nil
 }
@@ -164,8 +172,9 @@ func (a *Array) Write(dev int, offset int64, data []byte) (time.Time, error) {
 		return time.Time{}, ErrUnaligned
 	}
 	d := a.devices[dev]
-	if d.failNext.Load() > 0 && d.failNext.Add(-1) >= 0 {
-		return a.clock.Now(), fmt.Errorf("nvmesim: injected write failure on device %d", dev)
+	err, spike := d.injectFault(dev, "write")
+	if err != nil {
+		return a.clock.Now(), err
 	}
 	cp := make([]byte, len(data))
 	copy(cp, data)
@@ -182,7 +191,7 @@ func (a *Array) Write(dev int, offset int64, data []byte) (time.Time, error) {
 	d.mu.Unlock()
 
 	d.bytesWritten.Add(int64(len(data)))
-	return busy.Add(d.spec.Latency), nil
+	return busy.Add(d.spec.Latency).Add(spike), nil
 }
 
 // Read copies the block previously written at offset on device dev into dst
@@ -193,8 +202,9 @@ func (a *Array) Read(dev int, offset int64, dst []byte) (time.Time, int, error) 
 		return time.Time{}, 0, ErrBadDevice
 	}
 	d := a.devices[dev]
-	if d.failNext.Load() > 0 && d.failNext.Add(-1) >= 0 {
-		return a.clock.Now(), 0, fmt.Errorf("nvmesim: injected read failure on device %d", dev)
+	err, spike := d.injectFault(dev, "read")
+	if err != nil {
+		return a.clock.Now(), 0, err
 	}
 	d.mu.Lock()
 	block, ok := d.store[offset]
@@ -218,7 +228,7 @@ func (a *Array) Read(dev int, offset int64, dst []byte) (time.Time, int, error) 
 	d.mu.Unlock()
 
 	d.bytesRead.Add(int64(n))
-	return busy.Add(d.spec.Latency), n, nil
+	return busy.Add(d.spec.Latency).Add(spike), n, nil
 }
 
 func transferTime(n int, bw float64) time.Duration {

@@ -2,6 +2,7 @@ package nvmesim
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 	"testing/quick"
 	"time"
@@ -152,7 +153,7 @@ func TestCapacityLimit(t *testing.T) {
 	if _, err := a.AllocSpill(0, 4096); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := a.AllocSpill(0, 512); err != ErrDeviceFull {
+	if _, err := a.AllocSpill(0, 512); !errors.Is(err, ErrDeviceFull) {
 		t.Fatalf("want ErrDeviceFull, got %v", err)
 	}
 	// Failed alloc must roll back so a Reset restores full capacity.

@@ -83,6 +83,12 @@ type Ring struct {
 	inflight cqHeap
 	lastDev  int // round-robin write spreading (paper §5.1)
 
+	// cancel, when set, is polled during blocking waits so that a stuck
+	// device (or an arbitrarily long latency spike) cannot hang the caller:
+	// once it returns true, Poll returns whatever is ready instead of
+	// sleeping until the next modeled completion.
+	cancel func() bool
+
 	// Cumulative counters for the harness.
 	writesQueued int64
 	readsQueued  int64
@@ -98,12 +104,34 @@ func New(arr *nvmesim.Array) *Ring {
 // Array returns the underlying array.
 func (r *Ring) Array() *nvmesim.Array { return r.arr }
 
-// QueueWrite queues data to be written to the next device in the ring's
-// round-robin order and returns the location it will occupy. The ring owns
+// SetCancel installs a cancellation probe consulted during blocking polls
+// (typically a context.Context check). Passing nil restores indefinite
+// blocking.
+func (r *Ring) SetCancel(cancel func() bool) { r.cancel = cancel }
+
+// QueueWrite queues data to be written to the next writable device in the
+// ring's round-robin order and returns the location it will occupy. Devices
+// that have failed permanently or whose spill area is full are skipped —
+// the failover half of the engine's fault tolerance: once a device dies,
+// subsequent writes re-stripe across the survivors. The error of the last
+// device tried is returned when no device can take the write. The ring owns
 // buf until the corresponding completion is reaped.
 func (r *Ring) QueueWrite(buf []byte, userData uint64) (nvmesim.Loc, error) {
-	r.lastDev = (r.lastDev + 1) % r.arr.Devices()
-	return r.QueueWriteDev(r.lastDev, buf, userData)
+	n := r.arr.Devices()
+	var lastErr error
+	for i := 0; i < n; i++ {
+		r.lastDev = (r.lastDev + 1) % n
+		if !r.arr.DeviceAlive(r.lastDev) {
+			lastErr = &nvmesim.DeviceError{Device: r.lastDev, Op: "alloc", Err: nvmesim.ErrDeviceDead}
+			continue
+		}
+		loc, err := r.QueueWriteDev(r.lastDev, buf, userData)
+		if err == nil {
+			return loc, nil
+		}
+		lastErr = err
+	}
+	return 0, lastErr
 }
 
 // QueueWriteDev queues a write to a specific device (used by the column
@@ -173,10 +201,18 @@ func (r *Ring) Outstanding() int { return len(r.inflight) }
 // Pending returns the number of queued-but-unsubmitted requests.
 func (r *Ring) Pending() int { return len(r.sq) }
 
+// maxPollWait bounds one blocking sleep inside Poll when a cancel probe is
+// installed, so cancellation is observed within one poll interval even if
+// the earliest completion is far in the future (stuck device, latency
+// spike).
+const maxPollWait = time.Millisecond
+
 // Poll reaps completions whose device time has passed, appending them to out
 // and returning the extended slice. If block is true and at least one
 // request is in flight but none is ready, Poll sleeps until the earliest
-// completion instead of returning empty.
+// completion instead of returning empty. With a cancel probe installed
+// (SetCancel), a blocking Poll returns early — possibly empty — once the
+// probe reports cancellation.
 func (r *Ring) Poll(out []Completion, block bool) []Completion {
 	for {
 		now := r.clock.Now()
@@ -191,15 +227,26 @@ func (r *Ring) Poll(out []Completion, block bool) []Completion {
 		if got || !block || len(r.inflight) == 0 {
 			return out
 		}
-		r.clock.Sleep(r.inflight[0].readyAt.Sub(now))
+		if r.cancel != nil && r.cancel() {
+			return out
+		}
+		wait := r.inflight[0].readyAt.Sub(now)
+		if r.cancel != nil && wait > maxPollWait {
+			wait = maxPollWait
+		}
+		r.clock.Sleep(wait)
 	}
 }
 
 // WaitAll submits any pending requests and blocks until every in-flight
-// request has completed, returning all completions.
+// request has completed (or the cancel probe fires), returning all
+// completions reaped.
 func (r *Ring) WaitAll(out []Completion) []Completion {
 	r.Submit()
 	for len(r.inflight) > 0 {
+		if r.cancel != nil && r.cancel() {
+			return out
+		}
 		out = r.Poll(out, true)
 	}
 	return out

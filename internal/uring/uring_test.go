@@ -2,6 +2,7 @@ package uring
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 	"time"
 
@@ -186,5 +187,68 @@ func TestManyInflight(t *testing.T) {
 			t.Fatalf("duplicate completion for %d", c.UserData)
 		}
 		seen[c.UserData] = true
+	}
+}
+
+func TestQueueWriteSkipsDeadDevice(t *testing.T) {
+	r, _ := newRing(3)
+	r.Array().KillDevice(1)
+	for i := 0; i < 6; i++ {
+		loc, err := r.QueueWrite(make([]byte, 512), uint64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if loc.Device() == 1 {
+			t.Fatal("write striped onto a dead device")
+		}
+	}
+	comps := r.WaitAll(nil)
+	for _, c := range comps {
+		if c.Err != nil {
+			t.Fatalf("write on live device failed: %v", c.Err)
+		}
+	}
+}
+
+func TestQueueWriteAllDevicesDead(t *testing.T) {
+	r, _ := newRing(2)
+	r.Array().KillDevice(0)
+	r.Array().KillDevice(1)
+	if _, err := r.QueueWrite(make([]byte, 512), 1); !nvmesim.IsDeviceDead(err) {
+		t.Fatalf("want device-dead error, got %v", err)
+	}
+}
+
+func TestQueueWriteAllDevicesFull(t *testing.T) {
+	full := spec
+	full.Capacity = 512
+	clk := nvmesim.NewVirtualClock(time.Unix(0, 0))
+	r := New(nvmesim.New(2, full, clk))
+	for i := 0; i < 2; i++ {
+		if _, err := r.QueueWrite(make([]byte, 512), uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, err := r.QueueWrite(make([]byte, 512), 9)
+	if !errors.Is(err, nvmesim.ErrDeviceFull) {
+		t.Fatalf("want ErrDeviceFull once every device is full, got %v", err)
+	}
+}
+
+func TestPollCancelReturnsEarly(t *testing.T) {
+	r, _ := newRing(1)
+	r.QueueWrite(make([]byte, 1<<20), 1) // ~1s of modeled transfer
+	r.Submit()
+	r.SetCancel(func() bool { return true })
+	comps := r.Poll(nil, true)
+	if len(comps) != 0 {
+		t.Fatalf("canceled poll reaped %d completions", len(comps))
+	}
+	if got := r.WaitAll(nil); len(got) != 0 {
+		t.Fatalf("canceled WaitAll reaped %d completions", len(got))
+	}
+	r.SetCancel(nil)
+	if got := r.WaitAll(nil); len(got) != 1 {
+		t.Fatalf("after cancel cleared: %d completions", len(got))
 	}
 }

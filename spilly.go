@@ -18,6 +18,8 @@
 package spilly
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"time"
@@ -47,6 +49,19 @@ const (
 
 // DeviceSpec describes one simulated NVMe SSD.
 type DeviceSpec = nvmesim.DeviceSpec
+
+// QueryError is the structured failure a query returns: the failing
+// operator, the partition and NVMe device involved (when known), a
+// remediation hint for configuration-class failures (e.g. a full spill
+// area), and the underlying cause. Every fatal I/O error and every escaped
+// worker panic surfaces as a *QueryError from Run — never a hang, a crash,
+// or an opaque internal error. ErrOutOfMemory is the one exception: it is
+// returned by identity so callers can compare it directly.
+type QueryError = core.QueryError
+
+// ErrOutOfMemory is returned (by identity, never wrapped) when a query
+// exceeds its memory budget and spilling is disabled or unavailable.
+var ErrOutOfMemory = core.ErrOutOfMemory
 
 // Config configures an Engine. The zero value gives a laptop-scaled replica
 // of the paper's testbed: 8 simulated SSDs whose bandwidths follow the
@@ -118,6 +133,7 @@ type Engine struct {
 	cache    *colstore.Cache
 	store    *colstore.Store
 	tables   map[string]colstore.Table
+	faults   *metrics.FaultTracker
 	sf       float64
 }
 
@@ -129,6 +145,7 @@ func Open(cfg Config) (*Engine, error) {
 		tableArr: nvmesim.New(c.TableDevices, c.Device, nvmesim.RealClock{}),
 		spillArr: nvmesim.New(c.SpillDevices, c.Device, nvmesim.RealClock{}),
 		tables:   map[string]colstore.Table{},
+		faults:   metrics.NewFaultTracker(),
 	}
 	if c.CacheBytes > 0 {
 		e.cache = colstore.NewCache(c.CacheBytes)
@@ -220,6 +237,10 @@ func (e *Engine) ClearCaches() {
 // SpillArray exposes the spill target array (harness instrumentation).
 func (e *Engine) SpillArray() *nvmesim.Array { return e.spillArr }
 
+// Faults exposes the engine's cumulative fault-path counters: retries,
+// failovers, canceled queries, and per-device error counts.
+func (e *Engine) Faults() *metrics.FaultTracker { return e.faults }
+
 // TableArray exposes the table storage array.
 func (e *Engine) TableArray() *nvmesim.Array { return e.tableArr }
 
@@ -278,6 +299,11 @@ type Stats struct {
 	WrittenBytes   int64 // post-compression bytes written to the array
 	SpillReadBytes int64
 	SpilledOps     int64
+	// SpillRetries counts transient I/O errors recovered by retry;
+	// SpillFailovers counts spill writes re-striped away from a dead
+	// device. Both zero on a healthy array.
+	SpillRetries   int64
+	SpillFailovers int64
 	// TuplesPerSec is scanned tuples divided by execution time — the
 	// paper's headline throughput metric (§6.1).
 	TuplesPerSec float64
@@ -302,12 +328,48 @@ func (e *Engine) Run(node exec.Node) (*Result, error) {
 	return e.RunCtx(ctx, node)
 }
 
+// RunContext executes a plan under a context: cancellation or deadline
+// expiry aborts the query promptly (blocking spill I/O observes the context
+// within one poll interval) with all buffers returned to their pools, and
+// the query returns a *QueryError wrapping context.Canceled or
+// context.DeadlineExceeded.
+func (e *Engine) RunContext(goCtx context.Context, node exec.Node) (*Result, error) {
+	ctx := e.NewCtx()
+	ctx.Context = goCtx
+	return e.RunCtx(ctx, node)
+}
+
+// RunTPCHContext builds and runs TPC-H query q (1–22) under a context.
+func (e *Engine) RunTPCHContext(goCtx context.Context, q int) (*Result, error) {
+	ctx := e.NewCtx()
+	ctx.Context = goCtx
+	node, err := tpch.BuildQuery(ctx, e.TPCH(), q)
+	if err != nil {
+		return nil, err
+	}
+	return e.RunCtx(ctx, node)
+}
+
 // RunCtx executes a plan under a caller-provided context.
 func (e *Engine) RunCtx(ctx *exec.Ctx, node exec.Node) (*Result, error) {
 	e.spillArr.Reset() // spill areas are per-query scratch space
 	start := time.Now()
 	out, err := exec.Collect(ctx, node)
+	if s := ctx.Stats; s != nil {
+		e.faults.AddRetries(s.SpillRetries.Load())
+		e.faults.AddFailovers(s.SpillFailovers.Load())
+	}
 	if err != nil {
+		err = core.WrapQueryError("query", err)
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			e.faults.QueryCanceled()
+		} else {
+			e.faults.QueryFailed()
+		}
+		var qe *QueryError
+		if errors.As(err, &qe) && qe.Device >= 0 {
+			e.faults.DeviceError(qe.Device, 1)
+		}
 		return nil, err
 	}
 	dur := time.Since(start)
@@ -320,6 +382,8 @@ func (e *Engine) RunCtx(ctx *exec.Ctx, node exec.Node) (*Result, error) {
 		WrittenBytes:   s.WrittenBytes.Load(),
 		SpillReadBytes: s.SpillReadBytes.Load(),
 		SpilledOps:     s.SpilledOps.Load(),
+		SpillRetries:   s.SpillRetries.Load(),
+		SpillFailovers: s.SpillFailovers.Load(),
 	}
 	if dur > 0 {
 		st.TuplesPerSec = float64(st.ScannedRows) / dur.Seconds()
