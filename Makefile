@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all tier1 race chaos bench-vectorize clean
+.PHONY: all tier1 race chaos bench-vectorize profile-smoke clean
 
 all: tier1
 
@@ -11,9 +11,16 @@ tier1:
 	$(GO) test ./...
 
 # Race-detector pass over the concurrency-heavy packages (morsel workers,
-# partition spilling, per-worker stats accumulators, fault recovery).
+# partition spilling, per-worker stats accumulators, span buffers, fault
+# recovery, utilization tracer).
 race:
-	$(GO) test -race -short ./internal/exec/ ./internal/core/ ./internal/chaos/
+	$(GO) test -race -short ./internal/exec/ ./internal/core/ ./internal/chaos/ ./internal/trace/ ./internal/metrics/
+
+# Observability smoke test: a spilling TPC-H Q9 with the per-operator
+# profile tree, plus the profile/endpoint regression tests.
+profile-smoke:
+	$(GO) test -run 'TestProfile|TestServeDuringQuery' -count=1 -v .
+	$(GO) run ./cmd/spillyquery -q 9 -sf 0.01 -budget 524288 -profile
 
 # Chaos suite: TPC-H under seeded fault schedules (transient I/O errors,
 # latency spikes, device death, spill-capacity exhaustion, cancellation),

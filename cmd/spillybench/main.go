@@ -12,6 +12,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strconv"
 	"strings"
@@ -22,14 +24,23 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "", "experiment id to run, or \"all\"")
-		list    = flag.Bool("list", false, "list experiments")
-		quick   = flag.Bool("quick", false, "shrink scale factors and sweeps")
-		workers = flag.Int("workers", 2, "worker goroutines per query")
-		sfsFlag = flag.String("sf", "", "comma-separated scale factors overriding the default sweep")
-		budget  = flag.Int64("budget", 0, "memory budget in bytes (0 = experiment default)")
+		exp      = flag.String("exp", "", "experiment id to run, or \"all\"")
+		list     = flag.Bool("list", false, "list experiments")
+		quick    = flag.Bool("quick", false, "shrink scale factors and sweeps")
+		workers  = flag.Int("workers", 2, "worker goroutines per query")
+		sfsFlag  = flag.String("sf", "", "comma-separated scale factors overriding the default sweep")
+		budget   = flag.Int64("budget", 0, "memory budget in bytes (0 = experiment default)")
+		pprofSrv = flag.String("pprof", "", "serve net/http/pprof on this address while experiments run")
 	)
 	flag.Parse()
+
+	if *pprofSrv != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofSrv, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "pprof server: %v\n", err)
+			}
+		}()
+	}
 
 	if *list || *exp == "" {
 		fmt.Println("Experiments (run with -exp <id>):")

@@ -8,6 +8,8 @@
 //	spillyquery -q 1 -sf 0.01
 //	spillyquery -q 9 -sf 0.05 -budget 2097152 -array
 //	spillyquery -q 9 -sf 0.05 -budget 2097152 -mode never -nospill   # fails like an in-memory engine
+//	spillyquery -q 9 -sf 0.05 -budget 2097152 -profile               # per-operator profile tree
+//	spillyquery -q 9 -sf 0.5 -serve :8080                            # live /metrics, /queries, pprof
 package main
 
 import (
@@ -30,6 +32,8 @@ func main() {
 		mode     = flag.String("mode", "adaptive", "materialization mode: adaptive|never|always|spillall")
 		rows     = flag.Int("rows", 20, "result rows to print")
 		tblDir   = flag.String("tbl", "", "load dbgen-format .tbl files from this directory instead of generating")
+		profile  = flag.Bool("profile", false, "print a per-operator execution profile (EXPLAIN ANALYZE)")
+		serve    = flag.String("serve", "", "serve /metrics, /queries and pprof on this address while running")
 	)
 	flag.Parse()
 
@@ -51,10 +55,20 @@ func main() {
 		Mode:         m,
 		DisableSpill: *nospill,
 		Compression:  *compress,
+		Profile:      *profile,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if *serve != "" {
+		addr, shutdown, err := eng.Serve(*serve)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer shutdown()
+		fmt.Fprintf(os.Stderr, "metrics on http://%s/metrics (queries: /queries, pprof: /debug/pprof/)\n", addr)
 	}
 	if *tblDir != "" {
 		err = eng.LoadTPCHTbl(*tblDir, *sf, *onArray)
@@ -84,5 +98,8 @@ func main() {
 		}
 	} else {
 		fmt.Println("spilled: nothing (stayed in memory)")
+	}
+	if *profile {
+		fmt.Printf("\n%s", spilly.FormatProfile(res.Profile()))
 	}
 }

@@ -531,6 +531,10 @@ func (b *Buffer) Finish() error {
 	}
 	if b.reg != nil {
 		r.SchemeHistogram = MergeHistograms(r.SchemeHistogram, b.reg.SchemeHistogram())
+		r.RegLevelChanges += int64(b.reg.LevelChanges())
+		if lvl := b.reg.MaxLevel(); lvl > r.RegMaxLevel {
+			r.RegMaxLevel = lvl
+		}
 	}
 	s.merged++
 	return err
@@ -560,6 +564,11 @@ type Result struct {
 	SpillFailovers int64
 
 	SchemeHistogram map[codec.ID]int64
+	// Self-regulating compression telemetry, merged over all threads'
+	// regulators: total scheme transitions and the highest unified-scale
+	// level any thread reached.
+	RegLevelChanges int64
+	RegMaxLevel     int
 
 	inMemByPart [][]*pages.Page
 }

@@ -68,6 +68,7 @@ type Regulator struct {
 	// Lifetime statistics for the harness (Figure 11 right panel).
 	pagesPerScheme [64]int64
 	levelChanges   int
+	maxLevel       int
 	scratch        []byte
 }
 
@@ -165,6 +166,9 @@ func (r *Regulator) adjust() {
 	case ioCostPerRaw > cpuCost*regUpThreshold && r.level < len(r.scale)-1:
 		r.level++
 		r.levelChanges++
+		if r.level > r.maxLevel {
+			r.maxLevel = r.level
+		}
 	case ioCostPerRaw < cpuCost*regDownThreshold && r.level > 0:
 		r.level--
 		r.levelChanges++
@@ -192,6 +196,10 @@ func (r *Regulator) SchemeHistogram() map[codec.ID]int64 {
 
 // LevelChanges returns how often the regulator switched schemes.
 func (r *Regulator) LevelChanges() int { return r.levelChanges }
+
+// MaxLevel returns the highest position on the unified scale the regulator
+// reached over its lifetime.
+func (r *Regulator) MaxLevel() int { return r.maxLevel }
 
 // MergeHistograms sums per-thread scheme histograms.
 func MergeHistograms(hs ...map[codec.ID]int64) map[codec.ID]int64 {

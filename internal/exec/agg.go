@@ -2,12 +2,14 @@ package exec
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 
 	"github.com/spilly-db/spilly/internal/core"
 	"github.com/spilly-db/spilly/internal/data"
 	"github.com/spilly-db/spilly/internal/pages"
+	"github.com/spilly-db/spilly/internal/trace"
 )
 
 // AggFunc is an aggregate function.
@@ -138,6 +140,13 @@ func (a *Agg) Run(ctx *Ctx) (*Stream, error) {
 	if err := checkSchemaCols(a.Child.Schema(), a.GroupBy); err != nil {
 		return nil, err
 	}
+	var label string
+	if len(a.GroupBy) > 0 {
+		label = "group=" + strings.Join(a.GroupBy, ",")
+	}
+	sp := ctx.Trace.Start("agg", label)
+	defer ctx.Trace.EndScope(sp)
+	pc := ctx.phaseStart()
 	in, err := a.Child.Run(ctx)
 	if err != nil {
 		return nil, err
@@ -221,8 +230,13 @@ func (a *Agg) Run(ctx *Ctx) (*Stream, error) {
 			ctx.Stats.PartitionedOps.Add(1)
 		}
 	}
+	spanResult(sp, res)
+	if shared.PartitioningActive() {
+		sp.SetPartitioned()
+	}
+	ctx.spanPhase(sp, pc)
 
-	return a.mergePhase(ctx, res, rcPart, keyFields)
+	return a.mergePhase(ctx, sp, res, rcPart, keyFields)
 }
 
 // aggWorker is one worker's phase-1 state.
@@ -679,7 +693,8 @@ func (mt *mergeTable) merge(a *Agg, rc *data.RowCodec, tuple []byte, hash uint64
 }
 
 // mergePhase builds the final tables and returns the output stream.
-func (a *Agg) mergePhase(ctx *Ctx, res *core.Result, rcPart *data.RowCodec, keyFields []int) (*Stream, error) {
+func (a *Agg) mergePhase(ctx *Ctx, sp *trace.Span, res *core.Result, rcPart *data.RowCodec, keyFields []int) (*Stream, error) {
+	mergePC := ctx.phaseStart()
 	workers := ctx.workers()
 	mask := res.Mask
 	shiftP := uint(64 - log2(uint64(res.Partitions)))
@@ -726,6 +741,7 @@ func (a *Agg) mergePhase(ctx *Ctx, res *core.Result, rcPart *data.RowCodec, keyF
 	if err != nil {
 		return nil, err
 	}
+	ctx.spanPhase(sp, mergePC)
 
 	// Output stream: tasks are global shards plus spilled partitions.
 	type task struct {
@@ -749,7 +765,7 @@ func (a *Agg) mergePhase(ctx *Ctx, res *core.Result, rcPart *data.RowCodec, keyF
 		pageSize = pages.DefaultPageSize
 	}
 
-	return &Stream{
+	return ctx.traceStream(&Stream{
 		schema: a.schema,
 		next: func(w int, b *data.Batch) (int, error) {
 			for {
@@ -764,7 +780,7 @@ func (a *Agg) mergePhase(ctx *Ctx, res *core.Result, rcPart *data.RowCodec, keyF
 						a.emitGroup(b, g)
 					}
 				} else {
-					n, err := a.emitPartition(ctx, b, res, rcPart, keyFields, overflow[t.part], t.part, pageSize)
+					n, err := a.emitPartition(ctx, sp, b, res, rcPart, keyFields, overflow[t.part], t.part, pageSize)
 					if err != nil {
 						return 0, err
 					}
@@ -777,12 +793,12 @@ func (a *Agg) mergePhase(ctx *Ctx, res *core.Result, rcPart *data.RowCodec, keyF
 				}
 			}
 		},
-	}, nil
+	}, sp), nil
 }
 
 // emitPartition merges one spilled partition (overflow tuples + read-back
 // pages) and emits its groups.
-func (a *Agg) emitPartition(ctx *Ctx, b *data.Batch, res *core.Result, rcPart *data.RowCodec, keyFields []int, overflow [][]byte, part, pageSize int) (int, error) {
+func (a *Agg) emitPartition(ctx *Ctx, sp *trace.Span, b *data.Batch, res *core.Result, rcPart *data.RowCodec, keyFields []int, overflow [][]byte, part, pageSize int) (int, error) {
 	local := newMergeTable(1)
 	scratch := make([]byte, 0, 128)
 	// Overflow holds every in-memory tuple of this partition (routed there
@@ -809,6 +825,7 @@ func (a *Agg) emitPartition(ctx *Ctx, b *data.Batch, res *core.Result, rcPart *d
 			ctx.Stats.SpillReadBytes.Add(r.BytesRead())
 			ctx.Stats.SpillRetries.Add(r.Retries())
 		}
+		sp.AddSpillRead(r.BytesRead(), r.Retries())
 	}
 	n := 0
 	for _, g := range local.shards[0].m {

@@ -18,6 +18,7 @@ import (
 	"github.com/spilly-db/spilly/internal/core"
 	"github.com/spilly-db/spilly/internal/data"
 	"github.com/spilly-db/spilly/internal/pages"
+	"github.com/spilly-db/spilly/internal/trace"
 )
 
 // Ctx carries per-query execution settings and statistics.
@@ -46,6 +47,14 @@ type Ctx struct {
 	PartitionAt float64
 	// Stats accumulates query statistics; may be nil.
 	Stats *Stats
+	// Trace, when non-nil, collects per-operator spans for EXPLAIN
+	// ANALYZE-style profiles. Nil (the default) disables tracing; every
+	// operator pays exactly one nil check per Run.
+	Trace *trace.Tracer
+	// traceNest holds per-worker stream-nesting counters for exclusive
+	// time attribution (see traceStream); allocated on first traced
+	// stream wrap.
+	traceNest []nestSlot
 	// ForceGrace makes every join run as a classical grace hash join —
 	// the always-partitioning baseline of Figure 2.
 	ForceGrace bool

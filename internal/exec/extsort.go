@@ -10,6 +10,7 @@ import (
 	"github.com/spilly-db/spilly/internal/data"
 	"github.com/spilly-db/spilly/internal/nvmesim"
 	"github.com/spilly-db/spilly/internal/pages"
+	"github.com/spilly-db/spilly/internal/trace"
 	"github.com/spilly-db/spilly/internal/uring"
 )
 
@@ -42,6 +43,9 @@ func (s *ExtSort) Run(ctx *Ctx) (*Stream, error) {
 	if err := checkSchemaCols(s.Child.Schema(), sortCols(s.Keys)); err != nil {
 		return nil, err
 	}
+	sp := ctx.Trace.Start("extsort", sortLabel(s.Keys))
+	defer ctx.Trace.EndScope(sp)
+	pc := ctx.phaseStart()
 	in, err := s.Child.Run(ctx)
 	if err != nil {
 		return nil, err
@@ -69,6 +73,7 @@ func (s *ExtSort) Run(ctx *Ctx) (*Stream, error) {
 			sorter: s, ctx: ctx, rc: rc, keyCols: keyCols,
 			pageSize: pageSize,
 			pool:     pages.NewPool(pageSize, 0, ctx.Budget),
+			sp:       sp,
 		}
 		b := data.NewBatch(schema, 0)
 		for {
@@ -82,6 +87,7 @@ func (s *ExtSort) Run(ctx *Ctx) (*Stream, error) {
 				if err != nil {
 					return err
 				}
+				sp.AddMaterialized(g.tuples)
 				mu.Lock()
 				runs = append(runs, rs...)
 				mu.Unlock()
@@ -97,7 +103,8 @@ func (s *ExtSort) Run(ctx *Ctx) (*Stream, error) {
 	if err != nil {
 		return nil, err
 	}
-	return s.mergeStream(ctx, runs, rc, keyCols, pageSize)
+	ctx.spanPhase(sp, pc)
+	return s.mergeStream(ctx, sp, runs, rc, keyCols, pageSize)
 }
 
 // runGenerator accumulates tuples into pages; when the budget runs out it
@@ -110,11 +117,13 @@ type runGenerator struct {
 	pageSize int
 	pool     *pages.Pool
 
-	cur   *pages.Page
-	pgs   []*pages.Page
-	refs  []tupleRef
-	runs  []*sortRun
-	ring  *uring.Ring
+	cur    *pages.Page
+	pgs    []*pages.Page
+	refs   []tupleRef
+	runs   []*sortRun
+	ring   *uring.Ring
+	sp     *trace.Span
+	tuples int64
 }
 
 type tupleRef struct {
@@ -139,6 +148,7 @@ func (g *runGenerator) add(b *data.Batch, r int) error {
 	}
 	g.rc.Encode(dst, b, r)
 	g.refs = append(g.refs, tupleRef{page: int32(len(g.pgs) - 1), tup: int32(g.cur.Tuples() - 1)})
+	g.tuples++
 	return nil
 }
 
@@ -209,14 +219,15 @@ func (g *runGenerator) spillRun() error {
 			return c.Err
 		}
 	}
+	var bytes int64
+	for _, s := range run.slots {
+		bytes += int64(s.Len)
+	}
 	if g.ctx.Stats != nil {
-		var bytes int64
-		for _, s := range run.slots {
-			bytes += int64(s.Len)
-		}
 		g.ctx.Stats.SpilledBytes.Add(bytes)
 		g.ctx.Stats.WrittenBytes.Add(bytes)
 	}
+	g.sp.AddSpill(bytes, bytes, 0, 0)
 	g.runs = append(g.runs, run)
 	// Release the run's input memory back to the budget.
 	for _, p := range g.pgs {
@@ -243,6 +254,8 @@ type runCursor struct {
 	run      *sortRun
 	arr      *nvmesim.Array
 	pageSize int
+	stats    *Stats
+	sp       *trace.Span
 
 	pageIdx int
 	tupIdx  int
@@ -254,8 +267,8 @@ type runCursor struct {
 	nextReq int
 }
 
-func newRunCursor(run *sortRun, arr *nvmesim.Array, pageSize int) *runCursor {
-	return &runCursor{run: run, arr: arr, pageSize: pageSize,
+func newRunCursor(run *sortRun, arr *nvmesim.Array, pageSize int, stats *Stats, sp *trace.Span) *runCursor {
+	return &runCursor{run: run, arr: arr, pageSize: pageSize, stats: stats, sp: sp,
 		pending: map[uint64]int{}, bufs: map[int][]byte{}}
 }
 
@@ -310,6 +323,12 @@ func (c *runCursor) loadSpilled() error {
 					return err
 				}
 				delete(c.bufs, c.pageIdx)
+				if n := int64(c.run.slots[c.pageIdx].Len); n > 0 {
+					if c.stats != nil {
+						c.stats.SpillReadBytes.Add(n)
+					}
+					c.sp.AddSpillRead(n, 0)
+				}
 				c.cur = p
 				c.pageIdx++
 				return nil
@@ -328,14 +347,14 @@ func (c *runCursor) loadSpilled() error {
 // mergeStream k-way merges the runs. The merge itself is sequential (one
 // worker drives it; the others see end-of-stream immediately), which is
 // inherent to order-preserving output.
-func (s *ExtSort) mergeStream(ctx *Ctx, runs []*sortRun, rc *data.RowCodec, keyCols []int, pageSize int) (*Stream, error) {
+func (s *ExtSort) mergeStream(ctx *Ctx, sp *trace.Span, runs []*sortRun, rc *data.RowCodec, keyCols []int, pageSize int) (*Stream, error) {
 	var arr *nvmesim.Array
 	if ctx.Spill != nil {
 		arr = ctx.Spill.Array
 	}
 	h := &mergeHeap{rc: rc, keyCols: keyCols, keys: s.Keys}
 	for _, run := range runs {
-		cur := newRunCursor(run, arr, pageSize)
+		cur := newRunCursor(run, arr, pageSize, ctx.Stats, sp)
 		t, err := cur.next()
 		if err != nil {
 			return nil, err
@@ -349,7 +368,7 @@ func (s *ExtSort) mergeStream(ctx *Ctx, runs []*sortRun, rc *data.RowCodec, keyC
 	var mu sync.Mutex
 	emitted := 0
 	schema := s.Child.Schema()
-	return &Stream{
+	return ctx.traceStream(&Stream{
 		schema: schema,
 		next: func(w int, b *data.Batch) (int, error) {
 			// Ordered output is single-producer by nature: deliver the
@@ -381,7 +400,7 @@ func (s *ExtSort) mergeStream(ctx *Ctx, runs []*sortRun, rc *data.RowCodec, keyC
 			}
 			return b.Len(), nil
 		},
-	}, nil
+	}, sp), nil
 }
 
 type mergeItem struct {

@@ -29,11 +29,18 @@ type htEntry struct {
 	next int32 // entry index + 1; 0 = end
 }
 
+// hashBuildTestHook, when set by tests, runs once per page during the hash
+// phase — the injection point for verifying that build-side failures
+// propagate to the caller instead of yielding a half-built table.
+var hashBuildTestHook func()
+
 // buildHashTable constructs a table over the tuples of pgs in parallel.
 // distinctHint sizes the bucket array (the paper derives it from the
 // HyperLogLog sketches built during materialization); 0 falls back to the
-// total tuple count.
-func buildHashTable(pgs []*pages.Page, rc *data.RowCodec, keys []int, distinctHint int64, workers int) *hashTable {
+// total tuple count. A worker failure (error or panic, recovered by
+// runWorkers) aborts the build: a partially linked table would silently
+// drop matches.
+func buildHashTable(pgs []*pages.Page, rc *data.RowCodec, keys []int, distinctHint int64, workers int) (*hashTable, error) {
 	total := 0
 	base := make([]int, len(pgs)+1)
 	for i, p := range pgs {
@@ -59,18 +66,21 @@ func buildHashTable(pgs []*pages.Page, rc *data.RowCodec, keys []int, distinctHi
 		keys:    keys,
 	}
 	if total == 0 {
-		return ht
+		return ht, nil
 	}
 
 	// Phase A: hash every tuple. Pages are distributed via an atomic
 	// cursor; since the page list is grouped by partition, consecutive
 	// pages share partitions and workers enjoy the §5.3 locality.
 	var cursor atomic.Int64
-	runWorkers("hash-build", workers, func(w int) error {
+	err := runWorkers("hash-build", workers, func(w int) error {
 		for {
 			pi := int(cursor.Add(1) - 1)
 			if pi >= len(pgs) {
 				return nil
+			}
+			if hashBuildTestHook != nil {
+				hashBuildTestHook()
 			}
 			p := pgs[pi]
 			off := base[pi]
@@ -84,12 +94,15 @@ func buildHashTable(pgs []*pages.Page, rc *data.RowCodec, keys []int, distinctHi
 			}
 		}
 	})
+	if err != nil {
+		return nil, err
+	}
 
 	// Phase B: link entries into buckets with CAS pushes. Entry ranges
 	// follow page order, so contention mirrors partition overlap only.
 	var cursor2 atomic.Int64
 	const chunk = 4096
-	runWorkers("hash-build", workers, func(w int) error {
+	err = runWorkers("hash-build", workers, func(w int) error {
 		for {
 			lo := int(cursor2.Add(chunk) - chunk)
 			if lo >= total {
@@ -111,7 +124,10 @@ func buildHashTable(pgs []*pages.Page, rc *data.RowCodec, keys []int, distinctHi
 			}
 		}
 	})
-	return ht
+	if err != nil {
+		return nil, err
+	}
+	return ht, nil
 }
 
 func log2(v uint64) int {

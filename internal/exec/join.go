@@ -9,6 +9,7 @@ import (
 	"github.com/spilly-db/spilly/internal/data"
 	"github.com/spilly-db/spilly/internal/hll"
 	"github.com/spilly-db/spilly/internal/pages"
+	"github.com/spilly-db/spilly/internal/trace"
 )
 
 // JoinKind selects the join semantics. All kinds are probe-side preserving
@@ -83,7 +84,10 @@ func (j *Join) Run(ctx *Ctx) (*Stream, error) {
 	if err := checkSchemaCols(j.Probe.Schema(), j.ProbeKeys); err != nil {
 		return nil, err
 	}
-	bres, rcB, bKeyFields, est, err := j.runBuild(ctx)
+	sp := ctx.Trace.Start("join", j.label(ctx))
+	defer ctx.Trace.EndScope(sp)
+	pc := ctx.phaseStart()
+	bres, rcB, bKeyFields, est, err := j.runBuild(ctx, sp)
 	if err != nil {
 		return nil, err
 	}
@@ -100,14 +104,35 @@ func (j *Join) Run(ctx *Ctx) (*Stream, error) {
 		memPages := make([]*pages.Page, 0, len(bres.Unpartitioned)+len(bres.InMemory))
 		memPages = append(memPages, bres.Unpartitioned...)
 		memPages = append(memPages, bres.InMemory...)
-		ht = buildHashTable(memPages, rcB, bKeyFields, est, workers)
+		ht, err = buildHashTable(memPages, rcB, bKeyFields, est, workers)
+		if err != nil {
+			return nil, err
+		}
 	}
+	ctx.spanPhase(sp, pc)
 
-	return j.probeStream(ctx, bres, rcB, bKeyFields, ht, routedMask)
+	return j.probeStream(ctx, sp, bres, rcB, bKeyFields, ht, routedMask)
+}
+
+// label describes the join for its profile span.
+func (j *Join) label(ctx *Ctx) string {
+	kind := "inner"
+	switch j.Kind {
+	case Semi:
+		kind = "semi"
+	case Anti:
+		kind = "anti"
+	case Outer:
+		kind = "outer"
+	}
+	if j.grace(ctx) {
+		kind += " grace"
+	}
+	return kind
 }
 
 // runBuild materializes the build side through Umami.
-func (j *Join) runBuild(ctx *Ctx) (*core.Result, *data.RowCodec, []int, int64, error) {
+func (j *Join) runBuild(ctx *Ctx, sp *trace.Span) (*core.Result, *data.RowCodec, []int, int64, error) {
 	bs, err := j.Build.Run(ctx)
 	if err != nil {
 		return nil, nil, nil, 0, err
@@ -163,6 +188,10 @@ func (j *Join) runBuild(ctx *Ctx) (*core.Result, *data.RowCodec, []int, int64, e
 			ctx.Stats.PartitionedOps.Add(1)
 		}
 	}
+	spanResult(sp, bres)
+	if shared.PartitioningActive() {
+		sp.SetPartitioned()
+	}
 	merged := hll.New()
 	for _, sk := range sketches {
 		merged.Merge(sk)
@@ -175,6 +204,7 @@ func (j *Join) runBuild(ctx *Ctx) (*core.Result, *data.RowCodec, []int, int64, e
 type joinShared struct {
 	j       *Join
 	ctx     *Ctx
+	sp      *trace.Span
 	bres    *core.Result
 	rcB     *data.RowCodec
 	bKeys   []int
@@ -199,7 +229,7 @@ type joinShared struct {
 	err        errValue
 }
 
-func (j *Join) probeStream(ctx *Ctx, bres *core.Result, rcB *data.RowCodec, bKeys []int, ht *hashTable, routedMask uint64) (*Stream, error) {
+func (j *Join) probeStream(ctx *Ctx, sp *trace.Span, bres *core.Result, rcB *data.RowCodec, bKeys []int, ht *hashTable, routedMask uint64) (*Stream, error) {
 	ps, err := j.Probe.Run(ctx)
 	if err != nil {
 		return nil, err
@@ -213,6 +243,7 @@ func (j *Join) probeStream(ctx *Ctx, bres *core.Result, rcB *data.RowCodec, bKey
 	js := &joinShared{
 		j:        j,
 		ctx:      ctx,
+		sp:       sp,
 		bres:     bres,
 		rcB:      rcB,
 		bKeys:    bKeys,
@@ -236,7 +267,7 @@ func (j *Join) probeStream(ctx *Ctx, bres *core.Result, rcB *data.RowCodec, bKey
 
 	workers := make([]*joinWorker, ctx.workers())
 	var mu sync.Mutex
-	return &Stream{
+	return ctx.traceStream(&Stream{
 		schema: j.schema,
 		next: func(w int, b *data.Batch) (int, error) {
 			mu.Lock()
@@ -259,7 +290,7 @@ func (j *Join) probeStream(ctx *Ctx, bres *core.Result, rcB *data.RowCodec, bKey
 			}
 			js.probeIn.Abandon(w)
 		},
-	}, nil
+	}, sp), nil
 }
 
 // joinWorker is one worker's probe state machine: stage 1 streams the probe
@@ -452,6 +483,7 @@ func (jw *joinWorker) finalizeProbe() error {
 			if js.ctx.Stats != nil {
 				js.ctx.Stats.addResult(pres)
 			}
+			spanResult(js.sp, pres)
 		}
 		for p := 0; p < js.bres.Partitions; p++ {
 			if js.mask&(1<<uint(p)) != 0 {
@@ -518,9 +550,13 @@ func (jw *joinWorker) openPartition(p int) (*partJoinState, error) {
 			js.ctx.Stats.SpillReadBytes.Add(r.BytesRead())
 			js.ctx.Stats.SpillRetries.Add(r.Retries())
 		}
+		js.sp.AddSpillRead(r.BytesRead(), r.Retries())
 		bpgs = append(bpgs, pgs...)
 	}
-	ht := buildHashTable(bpgs, js.rcB, js.bKeys, 0, 1)
+	ht, err := buildHashTable(bpgs, js.rcB, js.bKeys, 0, 1)
+	if err != nil {
+		return nil, err
+	}
 
 	var ppgs []*pages.Page
 	if js.pres != nil {
@@ -535,6 +571,7 @@ func (jw *joinWorker) openPartition(p int) (*partJoinState, error) {
 				js.ctx.Stats.SpillReadBytes.Add(r.BytesRead())
 				js.ctx.Stats.SpillRetries.Add(r.Retries())
 			}
+			js.sp.AddSpillRead(r.BytesRead(), r.Retries())
 			ppgs = append(ppgs, pgs...)
 		}
 	}

@@ -43,6 +43,8 @@ func (s *Scan) Schema() *data.Schema { return s.schema }
 
 // Run implements Node.
 func (s *Scan) Run(ctx *Ctx) (*Stream, error) {
+	sp := ctx.Trace.Start("scan", s.Table.Name())
+	defer ctx.Trace.EndScope(sp)
 	var cursor atomic.Int64
 	nw := ctx.workers()
 	readers := make([]colstore.Reader, nw)
@@ -50,7 +52,7 @@ func (s *Scan) Run(ctx *Ctx) (*Stream, error) {
 	hasFilter := s.Filter.I != nil
 	accs := make([]statsAcc, nw)
 	selBufs := make([][]int32, nw)
-	return &Stream{
+	return ctx.traceStream(&Stream{
 		schema: s.schema,
 		abandon: func(w int) {
 			if ctx.Stats != nil {
@@ -93,7 +95,7 @@ func (s *Scan) Run(ctx *Ctx) (*Stream, error) {
 				// Whole batch filtered out; fetch the next morsel.
 			}
 		},
-	}, nil
+	}, sp), nil
 }
 
 // batchBytes estimates the raw byte volume of a batch (8 bytes per fixed
@@ -157,12 +159,14 @@ func (f *FilterNode) Schema() *data.Schema { return f.Child.Schema() }
 
 // Run implements Node.
 func (f *FilterNode) Run(ctx *Ctx) (*Stream, error) {
+	sp := ctx.Trace.Start("filter", "")
 	in, err := f.Child.Run(ctx)
+	ctx.Trace.EndScope(sp)
 	if err != nil {
 		return nil, err
 	}
 	selBufs := make([][]int32, ctx.workers())
-	return &Stream{
+	return ctx.traceStream(&Stream{
 		schema:  in.schema,
 		abandon: in.Abandon,
 		next: func(w int, b *data.Batch) (int, error) {
@@ -185,7 +189,7 @@ func (f *FilterNode) Run(ctx *Ctx) (*Stream, error) {
 				}
 			}
 		},
-	}, nil
+	}, sp), nil
 }
 
 // Project computes expressions over the child stream.
@@ -213,12 +217,14 @@ func (p *Project) Schema() *data.Schema { return p.schema }
 
 // Run implements Node.
 func (p *Project) Run(ctx *Ctx) (*Stream, error) {
+	sp := ctx.Trace.Start("project", "")
 	in, err := p.Child.Run(ctx)
+	ctx.Trace.EndScope(sp)
 	if err != nil {
 		return nil, err
 	}
 	scratchPool := sync.Pool{New: func() interface{} { return data.NewBatch(in.schema, 0) }}
-	return &Stream{
+	return ctx.traceStream(&Stream{
 		schema:  p.schema,
 		abandon: in.Abandon,
 		next: func(w int, b *data.Batch) (int, error) {
@@ -232,7 +238,7 @@ func (p *Project) Run(ctx *Ctx) (*Stream, error) {
 			projectInto(b, tmp, p.Exprs)
 			return n, nil
 		},
-	}, nil
+	}, sp), nil
 }
 
 // projectInto evaluates exprs over every live row of in, appending the

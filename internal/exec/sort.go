@@ -1,7 +1,9 @@
 package exec
 
 import (
+	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -28,6 +30,9 @@ func (s *Sort) Schema() *data.Schema { return s.Child.Schema() }
 
 // Run implements Node.
 func (s *Sort) Run(ctx *Ctx) (*Stream, error) {
+	sp := ctx.Trace.Start("sort", sortLabel(s.Keys))
+	defer ctx.Trace.EndScope(sp)
+	pc := ctx.phaseStart()
 	in, err := s.Child.Run(ctx)
 	if err != nil {
 		return nil, err
@@ -77,8 +82,10 @@ func (s *Sort) Run(ctx *Ctx) (*Stream, error) {
 	for _, r := range idx {
 		out.AppendRowFrom(all, r)
 	}
+	sp.AddMaterialized(int64(all.Len()))
+	ctx.spanPhase(sp, pc)
 	var taken atomic.Bool
-	return &Stream{
+	return ctx.traceStream(&Stream{
 		schema: schema,
 		next: func(w int, b *data.Batch) (int, error) {
 			if taken.Swap(true) || out.Len() == 0 {
@@ -90,7 +97,19 @@ func (s *Sort) Run(ctx *Ctx) (*Stream, error) {
 			}
 			return out.Len(), nil
 		},
-	}, nil
+	}, sp), nil
+}
+
+// sortLabel renders the sort keys for the profile span.
+func sortLabel(keys []SortKey) string {
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k.Col
+		if k.Desc {
+			parts[i] += " desc"
+		}
+	}
+	return strings.Join(parts, ",")
 }
 
 // compareRows orders rows a and b of batch on column c; NULL sorts first.
@@ -145,12 +164,14 @@ func (l *Limit) Schema() *data.Schema { return l.Child.Schema() }
 
 // Run implements Node.
 func (l *Limit) Run(ctx *Ctx) (*Stream, error) {
+	sp := ctx.Trace.Start("limit", fmt.Sprintf("n=%d", l.N))
 	in, err := l.Child.Run(ctx)
+	ctx.Trace.EndScope(sp)
 	if err != nil {
 		return nil, err
 	}
 	var taken atomic.Int64
-	return &Stream{
+	return ctx.traceStream(&Stream{
 		schema:  l.Child.Schema(),
 		abandon: in.Abandon,
 		next: func(w int, b *data.Batch) (int, error) {
@@ -172,7 +193,7 @@ func (l *Limit) Run(ctx *Ctx) (*Stream, error) {
 			}
 			return n, nil
 		},
-	}, nil
+	}, sp), nil
 }
 
 // trimBatch truncates b to its first n live rows. When a selection vector

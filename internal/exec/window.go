@@ -3,11 +3,13 @@ package exec
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync/atomic"
 
 	"github.com/spilly-db/spilly/internal/core"
 	"github.com/spilly-db/spilly/internal/data"
 	"github.com/spilly-db/spilly/internal/pages"
+	"github.com/spilly-db/spilly/internal/trace"
 )
 
 // WindowFunc is a window aggregate.
@@ -95,6 +97,13 @@ func (w *Window) Run(ctx *Ctx) (*Stream, error) {
 	if err := checkSchemaCols(w.Child.Schema(), w.PartitionBy); err != nil {
 		return nil, err
 	}
+	var label string
+	if len(w.PartitionBy) > 0 {
+		label = "by=" + strings.Join(w.PartitionBy, ",")
+	}
+	sp := ctx.Trace.Start("window", label)
+	defer ctx.Trace.EndScope(sp)
+	pc := ctx.phaseStart()
 	in, err := w.Child.Run(ctx)
 	if err != nil {
 		return nil, err
@@ -138,13 +147,18 @@ func (w *Window) Run(ctx *Ctx) (*Stream, error) {
 	if ctx.Stats != nil {
 		ctx.Stats.addResult(res)
 	}
-	return w.outputStream(ctx, res, rc, partCols)
+	spanResult(sp, res)
+	if shared.PartitioningActive() {
+		sp.SetPartitioned()
+	}
+	ctx.spanPhase(sp, pc)
+	return w.outputStream(ctx, sp, res, rc, partCols)
 }
 
 // outputStream evaluates windows hash-partition-wise. Unpartitioned pages
 // are routed to their hash partitions first (a window partition's rows may
 // be split between the unpartitioned head and its hash partition).
-func (w *Window) outputStream(ctx *Ctx, res *core.Result, rc *data.RowCodec, partCols []int) (*Stream, error) {
+func (w *Window) outputStream(ctx *Ctx, sp *trace.Span, res *core.Result, rc *data.RowCodec, partCols []int) (*Stream, error) {
 	shiftP := uint(64 - log2(uint64(res.Partitions)))
 	routed := make([][][]byte, res.Partitions)
 	for _, pg := range res.Unpartitioned {
@@ -159,7 +173,7 @@ func (w *Window) outputStream(ctx *Ctx, res *core.Result, rc *data.RowCodec, par
 		pageSize = pages.DefaultPageSize
 	}
 	var cursor atomic.Int64
-	return &Stream{
+	return ctx.traceStream(&Stream{
 		schema: w.schema,
 		next: func(wk int, b *data.Batch) (int, error) {
 			for {
@@ -183,6 +197,7 @@ func (w *Window) outputStream(ctx *Ctx, res *core.Result, rc *data.RowCodec, par
 						ctx.Stats.SpillReadBytes.Add(r.BytesRead())
 						ctx.Stats.SpillRetries.Add(r.Retries())
 					}
+					sp.AddSpillRead(r.BytesRead(), r.Retries())
 					for _, pg := range pgs {
 						for t := 0; t < pg.Tuples(); t++ {
 							tuples = append(tuples, pg.Tuple(t))
@@ -199,7 +214,7 @@ func (w *Window) outputStream(ctx *Ctx, res *core.Result, rc *data.RowCodec, par
 				}
 			}
 		},
-	}, nil
+	}, sp), nil
 }
 
 // evalPartition groups one hash partition's tuples into window partitions,

@@ -18,6 +18,8 @@ type FaultTracker struct {
 	failovers atomic.Int64
 	canceled  atomic.Int64
 	failed    atomic.Int64
+	started   atomic.Int64
+	completed atomic.Int64
 
 	mu        sync.Mutex
 	devErrors map[int]int64
@@ -40,6 +42,12 @@ func (t *FaultTracker) QueryCanceled() { t.canceled.Add(1) }
 // QueryFailed records a query that returned a fatal error.
 func (t *FaultTracker) QueryFailed() { t.failed.Add(1) }
 
+// QueryStarted records a query beginning execution.
+func (t *FaultTracker) QueryStarted() { t.started.Add(1) }
+
+// QueryCompleted records a query finishing successfully.
+func (t *FaultTracker) QueryCompleted() { t.completed.Add(1) }
+
 // DeviceError records one I/O error on the given device.
 func (t *FaultTracker) DeviceError(dev int, n int64) {
 	t.mu.Lock()
@@ -49,21 +57,25 @@ func (t *FaultTracker) DeviceError(dev int, n int64) {
 
 // FaultCounts is a point-in-time snapshot of a FaultTracker.
 type FaultCounts struct {
-	Retries         int64
-	Failovers       int64
-	CanceledQueries int64
-	FailedQueries   int64
-	DeviceErrors    map[int]int64
+	Retries          int64
+	Failovers        int64
+	CanceledQueries  int64
+	FailedQueries    int64
+	StartedQueries   int64
+	CompletedQueries int64
+	DeviceErrors     map[int]int64
 }
 
 // Snapshot returns the current counters.
 func (t *FaultTracker) Snapshot() FaultCounts {
 	c := FaultCounts{
-		Retries:         t.retries.Load(),
-		Failovers:       t.failovers.Load(),
-		CanceledQueries: t.canceled.Load(),
-		FailedQueries:   t.failed.Load(),
-		DeviceErrors:    map[int]int64{},
+		Retries:          t.retries.Load(),
+		Failovers:        t.failovers.Load(),
+		CanceledQueries:  t.canceled.Load(),
+		FailedQueries:    t.failed.Load(),
+		StartedQueries:   t.started.Load(),
+		CompletedQueries: t.completed.Load(),
+		DeviceErrors:     map[int]int64{},
 	}
 	t.mu.Lock()
 	for dev, n := range t.devErrors {

@@ -52,6 +52,16 @@ type Tracer struct {
 	samples []Sample
 	stop    chan struct{}
 	done    chan struct{}
+	started bool
+	stopped bool
+
+	// Last-tick state, for the final sample taken in Stop: without it the
+	// interval between the last tick and Stop is lost, and a trace shorter
+	// than one interval would be empty entirely.
+	stateMu sync.Mutex
+	start   time.Time
+	prev    map[string]float64
+	prevT   time.Time
 }
 
 // NewTracer creates a tracer sampling snapshot every interval.
@@ -59,15 +69,26 @@ func NewTracer(interval time.Duration, snapshot func() map[string]float64) *Trac
 	return &Tracer{interval: interval, snapshot: snapshot}
 }
 
-// Start begins sampling in a background goroutine.
+// Start begins sampling in a background goroutine. Calling Start on a
+// running or stopped tracer is a no-op.
 func (t *Tracer) Start() {
+	t.mu.Lock()
+	if t.started {
+		t.mu.Unlock()
+		return
+	}
+	t.started = true
 	t.stop = make(chan struct{})
 	t.done = make(chan struct{})
+	t.mu.Unlock()
+
+	t.stateMu.Lock()
+	t.start = time.Now()
+	t.prev = t.snapshot()
+	t.prevT = t.start
+	t.stateMu.Unlock()
 	go func() {
 		defer close(t.done)
-		start := time.Now()
-		prev := t.snapshot()
-		prevT := start
 		ticker := time.NewTicker(t.interval)
 		defer ticker.Stop()
 		for {
@@ -75,28 +96,45 @@ func (t *Tracer) Start() {
 			case <-t.stop:
 				return
 			case now := <-ticker.C:
-				cur := t.snapshot()
-				dt := now.Sub(prevT).Seconds()
-				if dt <= 0 {
-					continue
-				}
-				rates := make(map[string]float64, len(cur))
-				for k, v := range cur {
-					rates[k] = (v - prev[k]) / dt
-				}
-				t.mu.Lock()
-				t.samples = append(t.samples, Sample{T: now.Sub(start), Rates: rates})
-				t.mu.Unlock()
-				prev, prevT = cur, now
+				t.sample(now)
 			}
 		}
 	}()
 }
 
-// Stop ends sampling and returns the collected trace.
+// sample appends one rate sample covering [prevT, now], advancing the
+// last-tick state. No-op when no time has elapsed.
+func (t *Tracer) sample(now time.Time) {
+	t.stateMu.Lock()
+	defer t.stateMu.Unlock()
+	dt := now.Sub(t.prevT).Seconds()
+	if dt <= 0 {
+		return
+	}
+	cur := t.snapshot()
+	rates := make(map[string]float64, len(cur))
+	for k, v := range cur {
+		rates[k] = (v - t.prev[k]) / dt
+	}
+	t.mu.Lock()
+	t.samples = append(t.samples, Sample{T: now.Sub(t.start), Rates: rates})
+	t.mu.Unlock()
+	t.prev, t.prevT = cur, now
+}
+
+// Stop ends sampling and returns the collected trace, including a final
+// sample covering the tail since the last tick (so traces shorter than one
+// interval still carry data). Stop is idempotent and safe before Start.
 func (t *Tracer) Stop() []Sample {
-	close(t.stop)
-	<-t.done
+	t.mu.Lock()
+	started, stopped := t.started, t.stopped
+	t.stopped = true
+	t.mu.Unlock()
+	if started && !stopped {
+		close(t.stop)
+		<-t.done
+		t.sample(time.Now())
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.samples

@@ -59,13 +59,67 @@ func TestTracerRates(t *testing.T) {
 	}
 }
 
-func TestTracerStopIdempotentData(t *testing.T) {
+// TestTracerStopIdempotent: Stop must be callable any number of times and
+// return the same trace each time — a double Stop used to close a closed
+// channel and panic.
+func TestTracerStopIdempotent(t *testing.T) {
 	tr := NewTracer(time.Millisecond, func() map[string]float64 {
 		return map[string]float64{"x": 1}
 	})
 	tr.Start()
 	time.Sleep(5 * time.Millisecond)
 	s1 := tr.Stop()
-	_ = s1 // a second Stop would panic (close of closed chan) by contract:
-	// the tracer is single-use; just verify the returned slice is stable.
+	s2 := tr.Stop()
+	if len(s1) != len(s2) {
+		t.Fatalf("second Stop returned %d samples, first %d", len(s2), len(s1))
+	}
+}
+
+// TestTracerStopBeforeStart: stopping a never-started tracer must be a
+// harmless no-op (it used to close a nil channel and panic).
+func TestTracerStopBeforeStart(t *testing.T) {
+	tr := NewTracer(time.Millisecond, func() map[string]float64 { return nil })
+	if s := tr.Stop(); len(s) != 0 {
+		t.Fatalf("Stop before Start returned %d samples, want 0", len(s))
+	}
+	// Start after Stop stays inert: the tracer is spent.
+	tr.Start()
+	if s := tr.Stop(); len(s) != 0 {
+		t.Fatalf("spent tracer produced %d samples", len(s))
+	}
+}
+
+// TestTracerStartIdempotent: a second Start must not spawn a second
+// sampling goroutine (which would double-close done on Stop).
+func TestTracerStartIdempotent(t *testing.T) {
+	var counter atomic.Int64
+	tr := NewTracer(time.Millisecond, func() map[string]float64 {
+		return map[string]float64{"n": float64(counter.Load())}
+	})
+	tr.Start()
+	tr.Start()
+	counter.Add(100)
+	time.Sleep(3 * time.Millisecond)
+	tr.Stop() // must not hang or panic
+}
+
+// TestTracerFinalSample: a trace shorter than one sampling interval must
+// still carry data — Stop takes a final sample covering the tail between
+// the last tick (or Start) and Stop.
+func TestTracerFinalSample(t *testing.T) {
+	var counter atomic.Int64
+	tr := NewTracer(time.Hour, func() map[string]float64 {
+		return map[string]float64{"n": float64(counter.Load())}
+	})
+	tr.Start()
+	counter.Add(5000)
+	time.Sleep(2 * time.Millisecond)
+	samples := tr.Stop()
+	if len(samples) == 0 {
+		t.Fatal("sub-interval trace is empty: tail sample missing")
+	}
+	last := samples[len(samples)-1]
+	if last.Rates["n"] <= 0 {
+		t.Fatalf("final sample rate = %v, want > 0", last.Rates["n"])
+	}
 }

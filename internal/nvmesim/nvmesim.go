@@ -82,6 +82,8 @@ type device struct {
 	writeCursor  atomic.Int64 // next free spill offset; the paper's per-SSD counter (§5.1)
 	bytesRead    atomic.Int64
 	bytesWritten atomic.Int64
+	reads        atomic.Int64
+	writes       atomic.Int64
 
 	// Fault injection state (fault.go).
 	failNext  atomic.Int32 // legacy knob: fail the next N requests
@@ -191,6 +193,7 @@ func (a *Array) Write(dev int, offset int64, data []byte) (time.Time, error) {
 	d.mu.Unlock()
 
 	d.bytesWritten.Add(int64(len(data)))
+	d.writes.Add(1)
 	return busy.Add(d.spec.Latency).Add(spike), nil
 }
 
@@ -228,6 +231,7 @@ func (a *Array) Read(dev int, offset int64, dst []byte) (time.Time, int, error) 
 	d.mu.Unlock()
 
 	d.bytesRead.Add(int64(n))
+	d.reads.Add(1)
 	return busy.Add(d.spec.Latency).Add(spike), n, nil
 }
 
@@ -269,6 +273,55 @@ func (a *Array) Stats() Stats {
 		s.SpillBytes += d.writeCursor.Load()
 	}
 	return s
+}
+
+// DeviceStats is a snapshot of one device's counters — the per-device
+// refinement of Stats, exported for live observability endpoints.
+type DeviceStats struct {
+	// Cumulative transfer volume and request counts.
+	BytesRead    int64
+	BytesWritten int64
+	Reads        int64
+	Writes       int64
+	// SpillBytes is the currently allocated spill area (the write cursor).
+	SpillBytes int64
+	// ReadBacklog/WriteBacklog approximate queue depth: how far the
+	// channel's busy-until horizon lies beyond now (0 when idle). This is
+	// the simulator's analogue of an NVMe submission queue backlog.
+	ReadBacklog  time.Duration
+	WriteBacklog time.Duration
+	// Fault counters: injected or organic I/O errors and device death.
+	ReadErrors  int64
+	WriteErrors int64
+	Dead        bool
+}
+
+// PerDevice returns a per-device counter snapshot, indexed by device id.
+func (a *Array) PerDevice() []DeviceStats {
+	now := a.clock.Now()
+	out := make([]DeviceStats, len(a.devices))
+	for i, d := range a.devices {
+		s := DeviceStats{
+			BytesRead:    d.bytesRead.Load(),
+			BytesWritten: d.bytesWritten.Load(),
+			Reads:        d.reads.Load(),
+			Writes:       d.writes.Load(),
+			SpillBytes:   d.writeCursor.Load(),
+			ReadErrors:   d.readErrs.Load(),
+			WriteErrors:  d.writeErrs.Load(),
+			Dead:         d.dead.Load(),
+		}
+		d.mu.Lock()
+		if d.readBusy.After(now) {
+			s.ReadBacklog = d.readBusy.Sub(now)
+		}
+		if d.writeBusy.After(now) {
+			s.WriteBacklog = d.writeBusy.Sub(now)
+		}
+		d.mu.Unlock()
+		out[i] = s
+	}
+	return out
 }
 
 // MaxWriteBandwidth returns the array's aggregate write bandwidth in

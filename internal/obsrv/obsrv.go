@@ -1,0 +1,191 @@
+// Package obsrv serves live engine observability over HTTP: Prometheus
+// text-format counters at /metrics, a JSON snapshot of in-flight queries at
+// /queries, and the standard pprof handlers under /debug/pprof/.
+//
+// The package owns no state — it renders snapshots pulled from the engine's
+// existing counters (metrics.FaultTracker, nvmesim per-device stats, and the
+// query registry), so serving requests never perturbs the hot path beyond
+// the atomic loads the snapshot functions already perform.
+package obsrv
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strings"
+
+	"github.com/spilly-db/spilly/internal/metrics"
+	"github.com/spilly-db/spilly/internal/nvmesim"
+	"github.com/spilly-db/spilly/internal/trace"
+)
+
+// QueryStatus describes one in-flight or recently observed query for the
+// /queries endpoint.
+type QueryStatus struct {
+	ID             int64   `json:"id"`
+	Label          string  `json:"label"`
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	ScannedRows    int64   `json:"scanned_rows"`
+	ScannedBytes   int64   `json:"scanned_bytes"`
+	SpilledBytes   int64   `json:"spilled_bytes"`
+	WrittenBytes   int64   `json:"written_bytes"`
+	SpillReadBytes int64   `json:"spill_read_bytes"`
+	// Spans is the query's per-operator span forest so far; present only
+	// when the query runs with profiling enabled.
+	Spans []trace.SpanSnapshot `json:"spans,omitempty"`
+}
+
+// Server renders engine observability snapshots over HTTP. All fields are
+// optional; nil sources simply omit their metrics.
+type Server struct {
+	// Faults supplies cumulative query and fault-path counters.
+	Faults *metrics.FaultTracker
+	// SpillArray and TableArray supply per-device I/O counters.
+	SpillArray *nvmesim.Array
+	TableArray *nvmesim.Array
+	// Queries returns a snapshot of in-flight queries.
+	Queries func() []QueryStatus
+}
+
+// Handler returns the observability mux: /metrics, /queries, /debug/pprof/.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.serveMetrics)
+	mux.HandleFunc("/queries", s.serveQueries)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func (s *Server) serveQueries(w http.ResponseWriter, _ *http.Request) {
+	qs := []QueryStatus{}
+	if s.Queries != nil {
+		qs = s.Queries()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(map[string]any{"queries": qs})
+}
+
+func (s *Server) serveMetrics(w http.ResponseWriter, _ *http.Request) {
+	var b strings.Builder
+	if s.Faults != nil {
+		writeFaults(&b, s.Faults.Snapshot())
+	}
+	if s.Queries != nil {
+		writeCounter(&b, "spilly_queries_in_flight",
+			"gauge", "Queries currently executing.",
+			sample{value: float64(len(s.Queries()))})
+	}
+	writeArray(&b, "spill", s.SpillArray)
+	writeArray(&b, "table", s.TableArray)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	fmt.Fprint(w, b.String())
+}
+
+// sample is one exposition line: an optional label set and a value.
+type sample struct {
+	labels string // rendered label set, e.g. `array="spill",device="0"`
+	value  float64
+}
+
+// writeCounter emits one metric family in Prometheus text exposition format.
+func writeCounter(b *strings.Builder, name, typ, help string, samples ...sample) {
+	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+	for _, s := range samples {
+		if s.labels != "" {
+			fmt.Fprintf(b, "%s{%s} %g\n", name, s.labels, s.value)
+		} else {
+			fmt.Fprintf(b, "%s %g\n", name, s.value)
+		}
+	}
+}
+
+func writeFaults(b *strings.Builder, c metrics.FaultCounts) {
+	writeCounter(b, "spilly_queries_started_total", "counter",
+		"Queries that began execution.", sample{value: float64(c.StartedQueries)})
+	writeCounter(b, "spilly_queries_completed_total", "counter",
+		"Queries that finished successfully.", sample{value: float64(c.CompletedQueries)})
+	writeCounter(b, "spilly_queries_failed_total", "counter",
+		"Queries that returned a fatal error.", sample{value: float64(c.FailedQueries)})
+	writeCounter(b, "spilly_queries_canceled_total", "counter",
+		"Queries aborted by context cancellation.", sample{value: float64(c.CanceledQueries)})
+	writeCounter(b, "spilly_spill_retries_total", "counter",
+		"Transient spill I/O errors recovered by retry.", sample{value: float64(c.Retries)})
+	writeCounter(b, "spilly_spill_failovers_total", "counter",
+		"Spill writes re-striped away from a dead device.", sample{value: float64(c.Failovers)})
+	if len(c.DeviceErrors) > 0 {
+		devs := make([]int, 0, len(c.DeviceErrors))
+		for dev := range c.DeviceErrors {
+			devs = append(devs, dev)
+		}
+		sort.Ints(devs)
+		ss := make([]sample, len(devs))
+		for i, dev := range devs {
+			ss[i] = sample{
+				labels: fmt.Sprintf("device=%q", fmt.Sprint(dev)),
+				value:  float64(c.DeviceErrors[dev]),
+			}
+		}
+		writeCounter(b, "spilly_device_errors_total", "counter",
+			"Fatal I/O errors attributed to a device.", ss...)
+	}
+}
+
+// writeArray emits per-device counters for one nvmesim array.
+func writeArray(b *strings.Builder, arrayName string, a *nvmesim.Array) {
+	if a == nil {
+		return
+	}
+	stats := a.PerDevice()
+	collect := func(f func(nvmesim.DeviceStats) float64) []sample {
+		ss := make([]sample, len(stats))
+		for i, d := range stats {
+			ss[i] = sample{
+				labels: fmt.Sprintf("array=%q,device=\"%d\"", arrayName, i),
+				value:  f(d),
+			}
+		}
+		return ss
+	}
+	writeCounter(b, "spilly_device_read_bytes_total", "counter",
+		"Bytes read from the device.",
+		collect(func(d nvmesim.DeviceStats) float64 { return float64(d.BytesRead) })...)
+	writeCounter(b, "spilly_device_written_bytes_total", "counter",
+		"Bytes written to the device.",
+		collect(func(d nvmesim.DeviceStats) float64 { return float64(d.BytesWritten) })...)
+	writeCounter(b, "spilly_device_reads_total", "counter",
+		"Read requests issued to the device.",
+		collect(func(d nvmesim.DeviceStats) float64 { return float64(d.Reads) })...)
+	writeCounter(b, "spilly_device_writes_total", "counter",
+		"Write requests issued to the device.",
+		collect(func(d nvmesim.DeviceStats) float64 { return float64(d.Writes) })...)
+	writeCounter(b, "spilly_device_spill_bytes", "gauge",
+		"Bytes currently allocated in the device spill area.",
+		collect(func(d nvmesim.DeviceStats) float64 { return float64(d.SpillBytes) })...)
+	writeCounter(b, "spilly_device_read_backlog_seconds", "gauge",
+		"Simulated read-channel backlog (busy-until minus now).",
+		collect(func(d nvmesim.DeviceStats) float64 { return d.ReadBacklog.Seconds() })...)
+	writeCounter(b, "spilly_device_write_backlog_seconds", "gauge",
+		"Simulated write-channel backlog (busy-until minus now).",
+		collect(func(d nvmesim.DeviceStats) float64 { return d.WriteBacklog.Seconds() })...)
+	writeCounter(b, "spilly_device_io_errors_total", "counter",
+		"I/O errors returned by the device (injected or organic).",
+		collect(func(d nvmesim.DeviceStats) float64 {
+			return float64(d.ReadErrors + d.WriteErrors)
+		})...)
+	writeCounter(b, "spilly_device_dead", "gauge",
+		"1 when the device has failed permanently.",
+		collect(func(d nvmesim.DeviceStats) float64 {
+			if d.Dead {
+				return 1
+			}
+			return 0
+		})...)
+}

@@ -1,0 +1,103 @@
+package obsrv
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/spilly-db/spilly/internal/metrics"
+	"github.com/spilly-db/spilly/internal/nvmesim"
+)
+
+func testServer(t *testing.T) *Server {
+	t.Helper()
+	ft := metrics.NewFaultTracker()
+	ft.QueryStarted()
+	ft.QueryStarted()
+	ft.QueryCompleted()
+	ft.QueryFailed()
+	ft.AddRetries(3)
+	ft.AddFailovers(1)
+	ft.DeviceError(2, 4)
+
+	arr := nvmesim.New(2, nvmesim.DeviceSpec{
+		ReadBandwidth:  1e9,
+		WriteBandwidth: 1e9,
+		Latency:        time.Microsecond,
+	}, nvmesim.RealClock{})
+	off, err := arr.AllocSpill(0, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := arr.Write(0, off, make([]byte, 4096)); err != nil {
+		t.Fatal(err)
+	}
+
+	return &Server{
+		Faults:     ft,
+		SpillArray: arr,
+		Queries: func() []QueryStatus {
+			return []QueryStatus{{ID: 7, Label: "tpch-q9", ScannedRows: 123}}
+		},
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	h := testServer(t).Handler()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{
+		"# TYPE spilly_queries_started_total counter",
+		"spilly_queries_started_total 2",
+		"spilly_queries_completed_total 1",
+		"spilly_queries_failed_total 1",
+		"spilly_spill_retries_total 3",
+		"spilly_spill_failovers_total 1",
+		`spilly_device_errors_total{device="2"} 4`,
+		`spilly_device_written_bytes_total{array="spill",device="0"} 4096`,
+		`spilly_device_written_bytes_total{array="spill",device="1"} 0`,
+		`spilly_device_spill_bytes{array="spill",device="0"} 4096`,
+		"spilly_queries_in_flight 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestQueriesEndpoint(t *testing.T) {
+	h := testServer(t).Handler()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/queries", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var snap struct {
+		Queries []QueryStatus `json:"queries"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, rec.Body.String())
+	}
+	if len(snap.Queries) != 1 || snap.Queries[0].Label != "tpch-q9" || snap.Queries[0].ScannedRows != 123 {
+		t.Fatalf("snapshot = %+v", snap.Queries)
+	}
+}
+
+// TestNilSources: a server with no sources must still serve empty documents
+// rather than panic.
+func TestNilSources(t *testing.T) {
+	h := (&Server{}).Handler()
+	for _, path := range []string{"/metrics", "/queries"} {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		if rec.Code != 200 {
+			t.Fatalf("GET %s: %d", path, rec.Code)
+		}
+	}
+}

@@ -1,0 +1,181 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNilTracerIsSafe: every method must be a no-op on a nil tracer and a
+// nil span — the engine calls them unconditionally after one nil check.
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Start("scan", "lineitem")
+	if sp != nil {
+		t.Fatalf("nil tracer returned non-nil span")
+	}
+	sp.AddBusy(time.Millisecond)
+	sp.AddRows(10, 1)
+	sp.AddMaterialized(5)
+	sp.AddSpill(1, 1, 0, 0)
+	sp.AddSpillRead(1, 0)
+	sp.SetPartitioned()
+	sp.AddRegulator(1, 2)
+	sp.AddSchemes(map[string]int64{"lz4": 1})
+	tr.EndScope(sp)
+	if tr.Spans() != nil || tr.Snapshots() != nil || tr.Profile(time.Second) != nil {
+		t.Fatal("nil tracer must return nil collections")
+	}
+	if tr.Workers() != 1 {
+		t.Fatal("nil tracer Workers() must be 1")
+	}
+}
+
+// TestSpanTreeParentage: spans started inside another span's Run scope
+// become its children; EndScope restores the enclosing scope.
+func TestSpanTreeParentage(t *testing.T) {
+	tr := New(2)
+	root := tr.Start("sort", "")
+	child1 := tr.Start("agg", "")
+	leaf := tr.Start("scan", "lineitem")
+	tr.EndScope(leaf)
+	tr.EndScope(child1)
+	child2 := tr.Start("scan", "orders")
+	tr.EndScope(child2)
+	tr.EndScope(root)
+
+	if root.ParentID != -1 {
+		t.Fatalf("root parent = %d, want -1", root.ParentID)
+	}
+	if child1.ParentID != root.ID || child2.ParentID != root.ID {
+		t.Fatalf("children parents = %d, %d, want %d", child1.ParentID, child2.ParentID, root.ID)
+	}
+	if leaf.ParentID != child1.ID {
+		t.Fatalf("leaf parent = %d, want %d", leaf.ParentID, child1.ID)
+	}
+}
+
+// TestProfileSelfTime: busy is exclusive at the source, so self time is
+// busy normalized by the worker count and inclusive sums the subtree.
+func TestProfileSelfTime(t *testing.T) {
+	tr := New(2)
+	root := tr.Start("agg", "")
+	child := tr.Start("scan", "t")
+	tr.EndScope(child)
+	tr.EndScope(root)
+
+	child.AddBusy(600 * time.Millisecond) // summed over 2 workers
+	root.AddBusy(400 * time.Millisecond)  // exclusive of child
+	root.AddRows(4, 1)
+
+	p := tr.Profile(500 * time.Millisecond)
+	if len(p.Roots) != 1 || len(p.Roots[0].Children) != 1 {
+		t.Fatalf("tree shape wrong: %+v", p.Roots)
+	}
+	rn, cn := p.Roots[0], p.Roots[0].Children[0]
+	if rn.Self != 200*time.Millisecond { // 400/2
+		t.Fatalf("root self = %v, want 200ms", rn.Self)
+	}
+	if cn.Self != 300*time.Millisecond { // 600/2
+		t.Fatalf("child self = %v, want 300ms", cn.Self)
+	}
+	if got := p.SelfSum(); got != 500*time.Millisecond {
+		t.Fatalf("SelfSum = %v, want 500ms (total busy / workers)", got)
+	}
+	if rn.Inclusive != 500*time.Millisecond {
+		t.Fatalf("root inclusive = %v, want 500ms", rn.Inclusive)
+	}
+}
+
+// TestTracerChargedTracksBusy: every busy charge to any span advances the
+// tracer's charged watermark — the quantity blocking phases subtract to
+// stay exclusive.
+func TestTracerChargedTracksBusy(t *testing.T) {
+	tr := New(2)
+	a := tr.Start("scan", "")
+	b := tr.Start("join", "")
+	tr.EndScope(b)
+	tr.EndScope(a)
+	if tr.Charged() != 0 {
+		t.Fatalf("fresh tracer charged = %v", tr.Charged())
+	}
+	a.AddBusy(100 * time.Millisecond)
+	b.AddBusy(50 * time.Millisecond)
+	if got := tr.Charged(); got != 150*time.Millisecond {
+		t.Fatalf("charged = %v, want 150ms", got)
+	}
+	var nilT *Tracer
+	if nilT.Charged() != 0 {
+		t.Fatal("nil tracer Charged must be 0")
+	}
+}
+
+// TestFormatProfile: the renderer emits one tree line per span with the
+// operator name, time, percentage, and counters.
+func TestFormatProfile(t *testing.T) {
+	tr := New(1)
+	root := tr.Start("agg", "group=l_returnflag")
+	child := tr.Start("scan", "lineitem")
+	tr.EndScope(child)
+	tr.EndScope(root)
+	child.AddBusy(30 * time.Millisecond)
+	child.AddRows(60175, 59)
+	root.AddBusy(100 * time.Millisecond)
+	root.AddRows(4, 1)
+	root.AddMaterialized(60175)
+	root.SetPartitioned()
+	root.AddSpill(2<<20, 1<<20, 1, 0)
+	root.AddSpillRead(2<<20, 0)
+	root.AddRegulator(3, 2)
+	root.AddSchemes(map[string]int64{"lz4-fastest": 12, "raw": 3})
+
+	out := FormatProfile(tr.Profile(100 * time.Millisecond))
+	for _, want := range []string{
+		"query: 100.0ms total, 1 workers",
+		"└─ agg group=l_returnflag",
+		"rows=4", "in=60175", "partitioned",
+		"spilled=2.0MB", "written=1.0MB", "spill-read=2.0MB",
+		"retries=1", "reg-changes=3", "reg-max-level=2",
+		"[lz4-fastest:12 raw:3]",
+		"   └─ scan lineitem",
+		"rows=60175",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("profile output missing %q:\n%s", want, out)
+		}
+	}
+	if FormatProfile(nil) != "(no profile)\n" {
+		t.Fatal("nil profile must render a placeholder")
+	}
+}
+
+// TestSpanConcurrentCounters: counter methods and Snapshot must be safe
+// under concurrent use (runs under -race in make race).
+func TestSpanConcurrentCounters(t *testing.T) {
+	tr := New(4)
+	sp := tr.Start("join", "")
+	tr.EndScope(sp)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				sp.AddRows(1, 1)
+				sp.AddBusy(time.Microsecond)
+				sp.AddSchemes(map[string]int64{"lz4": 1})
+				sp.AddRegulator(1, i%8)
+				_ = sp.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	snap := sp.Snapshot()
+	if snap.RowsOut != 4000 || snap.Schemes["lz4"] != 4000 {
+		t.Fatalf("lost updates: rows=%d schemes=%v", snap.RowsOut, snap.Schemes)
+	}
+	if snap.RegMaxLevel != 7 {
+		t.Fatalf("reg max level = %d, want 7", snap.RegMaxLevel)
+	}
+}

@@ -1,0 +1,76 @@
+package spilly
+
+import (
+	"net"
+	"net/http"
+	"sort"
+	"time"
+
+	"github.com/spilly-db/spilly/internal/obsrv"
+)
+
+// Handler returns the engine's observability HTTP handler:
+//
+//   - /metrics — Prometheus text-format counters: query totals,
+//     spill retry/failover totals, and per-device NVMe-array counters
+//     (bytes, request counts, spill area, simulated queue backlog).
+//   - /queries — JSON snapshot of in-flight queries with live progress
+//     counters and, under Config.Profile, their operator spans so far.
+//   - /debug/pprof/ — the standard Go profiling endpoints.
+//
+// The handler reads only atomic counters and short-lived snapshots, so it is
+// safe to scrape while queries run.
+func (e *Engine) Handler() http.Handler {
+	srv := &obsrv.Server{
+		Faults:     e.faults,
+		SpillArray: e.spillArr,
+		TableArray: e.tableArr,
+		Queries:    e.queriesSnapshot,
+	}
+	return srv.Handler()
+}
+
+// Serve starts the observability endpoint on addr (e.g. ":8080", or ":0"
+// for an ephemeral port) in a background goroutine. It returns the bound
+// address and a shutdown func that closes the listener and any open
+// connections.
+func (e *Engine) Serve(addr string) (string, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: e.Handler()}
+	go srv.Serve(ln)
+	return ln.Addr().String(), srv.Close, nil
+}
+
+// queriesSnapshot renders the in-flight query registry for /queries.
+func (e *Engine) queriesSnapshot() []obsrv.QueryStatus {
+	e.qmu.Lock()
+	qs := make([]*activeQuery, 0, len(e.active))
+	for _, q := range e.active {
+		qs = append(qs, q)
+	}
+	e.qmu.Unlock()
+	sort.Slice(qs, func(i, j int) bool { return qs[i].id < qs[j].id })
+	out := make([]obsrv.QueryStatus, 0, len(qs))
+	for _, q := range qs {
+		st := obsrv.QueryStatus{
+			ID:             q.id,
+			Label:          q.label,
+			ElapsedSeconds: time.Since(q.start).Seconds(),
+		}
+		if s := q.stats; s != nil {
+			st.ScannedRows = s.ScannedRows.Load()
+			st.ScannedBytes = s.ScannedBytes.Load()
+			st.SpilledBytes = s.SpilledBytes.Load()
+			st.WrittenBytes = s.WrittenBytes.Load()
+			st.SpillReadBytes = s.SpillReadBytes.Load()
+		}
+		if q.trace != nil {
+			st.Spans = q.trace.Snapshots()
+		}
+		out = append(out, st)
+	}
+	return out
+}

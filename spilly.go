@@ -22,6 +22,8 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/spilly-db/spilly/internal/codec"
@@ -33,6 +35,7 @@ import (
 	"github.com/spilly-db/spilly/internal/nvmesim"
 	"github.com/spilly-db/spilly/internal/pages"
 	"github.com/spilly-db/spilly/internal/tpch"
+	"github.com/spilly-db/spilly/internal/trace"
 )
 
 // Mode selects the materialization strategy (see the paper's §4.1/§4.2).
@@ -102,6 +105,10 @@ type Config struct {
 	// engine behave like the always-partitioning systems of Figure 2.
 	ForceGrace bool
 	NoPreAgg   bool
+	// Profile records per-operator execution spans for every query so
+	// Result.Profile returns an EXPLAIN ANALYZE-style tree. Off by default;
+	// the untraced hot path pays only one nil check per operator.
+	Profile bool
 }
 
 // DefaultDevice is the default simulated SSD: the paper's Kioxia CM7-R
@@ -135,6 +142,21 @@ type Engine struct {
 	tables   map[string]colstore.Table
 	faults   *metrics.FaultTracker
 	sf       float64
+
+	// In-flight query registry for the observability endpoint.
+	queryID atomic.Int64
+	qmu     sync.Mutex
+	active  map[int64]*activeQuery
+}
+
+// activeQuery is one registry entry: enough to render live progress without
+// touching the query's hot path (all reads go through atomics).
+type activeQuery struct {
+	id    int64
+	label string
+	start time.Time
+	stats *exec.Stats
+	trace *trace.Tracer
 }
 
 // Open creates an engine.
@@ -146,6 +168,7 @@ func Open(cfg Config) (*Engine, error) {
 		spillArr: nvmesim.New(c.SpillDevices, c.Device, nvmesim.RealClock{}),
 		tables:   map[string]colstore.Table{},
 		faults:   metrics.NewFaultTracker(),
+		active:   map[int64]*activeQuery{},
 	}
 	if c.CacheBytes > 0 {
 		e.cache = colstore.NewCache(c.CacheBytes)
@@ -270,6 +293,9 @@ func (e *Engine) NewCtx() *exec.Ctx {
 	if !e.cfg.DisableSpill {
 		ctx.Spill = &core.SpillConfig{Array: e.spillArr, Compress: e.cfg.Compression}
 	}
+	if e.cfg.Profile {
+		ctx.Trace = trace.New(ctx.Workers)
+	}
 	return ctx
 }
 
@@ -315,12 +341,24 @@ type Stats struct {
 
 // Result is a query result with its statistics.
 type Result struct {
-	Batch *data.Batch
-	Stats Stats
+	Batch   *data.Batch
+	Stats   Stats
+	profile *Profile
 }
 
 // Table renders the result as an ASCII table (for examples and tools).
 func (r *Result) Table() string { return FormatBatch(r.Batch, 50) }
+
+// Profile is the per-operator execution profile of a query: a span tree
+// with self/inclusive worker time and materialization counters per node.
+type Profile = trace.Profile
+
+// Profile returns the query's per-operator execution profile, or nil when
+// the engine ran without Config.Profile (or the Ctx had no tracer).
+func (r *Result) Profile() *Profile { return r.profile }
+
+// FormatProfile renders a profile as an EXPLAIN ANALYZE-style tree.
+func FormatProfile(p *Profile) string { return trace.FormatProfile(p) }
 
 // Run executes a plan and collects its result.
 func (e *Engine) Run(node exec.Node) (*Result, error) {
@@ -347,12 +385,41 @@ func (e *Engine) RunTPCHContext(goCtx context.Context, q int) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return e.RunCtx(ctx, node)
+	return e.runLabeled(ctx, node, fmt.Sprintf("tpch-q%d", q))
+}
+
+// registerQuery adds a query to the in-flight registry and returns its
+// deregistration func.
+func (e *Engine) registerQuery(label string, ctx *exec.Ctx) func() {
+	q := &activeQuery{
+		id:    e.queryID.Add(1),
+		label: label,
+		start: time.Now(),
+		stats: ctx.Stats,
+		trace: ctx.Trace,
+	}
+	e.qmu.Lock()
+	e.active[q.id] = q
+	e.qmu.Unlock()
+	return func() {
+		e.qmu.Lock()
+		delete(e.active, q.id)
+		e.qmu.Unlock()
+	}
 }
 
 // RunCtx executes a plan under a caller-provided context.
 func (e *Engine) RunCtx(ctx *exec.Ctx, node exec.Node) (*Result, error) {
+	return e.runLabeled(ctx, node, "query")
+}
+
+// runLabeled is the shared execution path: it registers the query with the
+// observability endpoint under label, runs the plan, and folds the execution
+// counters into engine-wide totals.
+func (e *Engine) runLabeled(ctx *exec.Ctx, node exec.Node, label string) (*Result, error) {
 	e.spillArr.Reset() // spill areas are per-query scratch space
+	e.faults.QueryStarted()
+	defer e.registerQuery(label, ctx)()
 	start := time.Now()
 	out, err := exec.Collect(ctx, node)
 	if s := ctx.Stats; s != nil {
@@ -399,7 +466,12 @@ func (e *Engine) RunCtx(ctx *exec.Ctx, node exec.Node) (*Result, error) {
 			st.Schemes[name] += n
 		}
 	}
-	return &Result{Batch: out, Stats: st}, nil
+	e.faults.QueryCompleted()
+	res := &Result{Batch: out, Stats: st}
+	if ctx.Trace != nil {
+		res.profile = ctx.Trace.Profile(dur)
+	}
+	return res, nil
 }
 
 // AggMicroPlan builds the paper's §6.3 spilling-aggregation
@@ -416,7 +488,7 @@ func (e *Engine) RunTPCH(q int) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return e.RunCtx(ctx, node)
+	return e.runLabeled(ctx, node, fmt.Sprintf("tpch-q%d", q))
 }
 
 // TraceQuery runs a plan while sampling engine utilization at the given
