@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all tier1 race chaos bench-vectorize profile-smoke clean
+.PHONY: all tier1 race chaos bench-vectorize bench-alloc profile-smoke clean
 
 all: tier1
 
@@ -32,6 +32,15 @@ chaos:
 # Vectorization microbenchmarks (expression kernels, batch hash/encode).
 bench-vectorize:
 	$(GO) test -run=^$$ -bench 'Vectorized|Scalar|HashColumns|HashRow|EncodeAll|EncodeRow' -benchmem ./internal/exec/ ./internal/data/
+
+# GC-pressure gate: allocation-count regression tests (also in tier1),
+# -benchmem microbenchmarks over the recycling hot path, and the
+# end-to-end allocs/op comparison against the committed baseline
+# (BENCH_alloc.json; fails on >20% allocs/op regression).
+bench-alloc:
+	$(GO) test -run 'TestAllocs' -count=1 ./internal/data/ ./internal/exec/
+	$(GO) test -run=^$$ -bench 'Alloc' -benchmem ./internal/data/ ./internal/exec/
+	$(GO) run ./cmd/alloccmp -baseline BENCH_alloc.json
 
 clean:
 	$(GO) clean ./...

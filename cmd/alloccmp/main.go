@@ -1,0 +1,97 @@
+// Command alloccmp guards the allocation-free hot path: it re-measures
+// per-query heap allocations (the bench package's "alloc" matrix) and
+// compares them against the committed baseline in BENCH_alloc.json,
+// failing when any (query, mode) cell regresses by more than the
+// threshold. Wall-clock time is reported but never gates: it is too noisy
+// on a shared single-core box, while allocs/op is deterministic enough to
+// gate on.
+//
+// Usage:
+//
+//	alloccmp -baseline BENCH_alloc.json          # compare, exit 1 on regression
+//	alloccmp -baseline BENCH_alloc.json -quick   # smaller scale factor
+//	alloccmp -print                              # print fresh measurements as JSON
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/spilly-db/spilly/internal/bench"
+)
+
+// baselineFile mirrors the BENCH_alloc.json layout; only "after" gates.
+type baselineFile struct {
+	After map[string]baselineCell `json:"after"`
+}
+
+type baselineCell struct {
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	NsPerOp     float64 `json:"ns_per_op"`
+}
+
+func main() {
+	var (
+		baseline  = flag.String("baseline", "", "baseline JSON file (BENCH_alloc.json)")
+		quick     = flag.Bool("quick", false, "measure at the smaller scale factor")
+		threshold = flag.Float64("threshold", 1.20, "fail when allocs/op exceeds baseline by this factor")
+		printJSON = flag.Bool("print", false, "print fresh measurements as JSON and exit")
+	)
+	flag.Parse()
+
+	ms, err := bench.MeasureAlloc(bench.Options{Quick: *quick, Workers: 2})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "alloccmp: measurement failed: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *printJSON || *baseline == "" {
+		cells := map[string]baselineCell{}
+		for _, m := range ms {
+			cells[m.Key()] = baselineCell{
+				AllocsPerOp: m.AllocsPerOp,
+				BytesPerOp:  m.BytesPerOp,
+				NsPerOp:     m.NsPerOp,
+			}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(map[string]any{"after": cells})
+		return
+	}
+
+	raw, err := os.ReadFile(*baseline)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "alloccmp: %v\n", err)
+		os.Exit(1)
+	}
+	var base baselineFile
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "alloccmp: parsing %s: %v\n", *baseline, err)
+		os.Exit(1)
+	}
+
+	failed := false
+	for _, m := range ms {
+		b, ok := base.After[m.Key()]
+		if !ok || b.AllocsPerOp <= 0 {
+			fmt.Printf("%-12s allocs/op=%-10.0f (no baseline)\n", m.Key(), m.AllocsPerOp)
+			continue
+		}
+		ratio := m.AllocsPerOp / b.AllocsPerOp
+		status := "ok"
+		if ratio > *threshold {
+			status = "REGRESSION"
+			failed = true
+		}
+		fmt.Printf("%-12s allocs/op=%-10.0f baseline=%-10.0f ratio=%.2f  %s\n",
+			m.Key(), m.AllocsPerOp, b.AllocsPerOp, ratio, status)
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "alloccmp: allocs/op regressed beyond %.0f%% of baseline\n", (*threshold-1)*100)
+		os.Exit(1)
+	}
+}

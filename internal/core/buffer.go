@@ -506,6 +506,9 @@ func (b *Buffer) Finish() error {
 	if b.writer != nil {
 		err = b.writer.finish()
 	}
+	// Clean pages the writer returned to the pool are dead now: release
+	// their budget reservation so it tracks only pages that carry tuples.
+	b.pool.Close()
 	s := b.s
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -571,6 +574,26 @@ type Result struct {
 	RegMaxLevel     int
 
 	inMemByPart [][]*pages.Page
+	released    bool
+}
+
+// ReleaseMemory returns the budget reservation of every in-memory page in
+// the result. Operators register it as a query-end cleanup (exec.Ctx.Close)
+// once the result's pages can no longer be read — so Budget.Used() returns
+// to zero after every query instead of holding finished operators' pages
+// until the GC collects them. Idempotent; the pages themselves stay valid
+// (only the accounting changes).
+func (r *Result) ReleaseMemory(budget *pages.Budget) {
+	if r == nil || r.released {
+		return
+	}
+	r.released = true
+	for _, p := range r.InMemory {
+		budget.Release(int64(p.Size()))
+	}
+	for _, p := range r.Unpartitioned {
+		budget.Release(int64(p.Size()))
+	}
 }
 
 // Finalize returns the merged result once every thread's buffer has called

@@ -22,9 +22,13 @@ import (
 // Cancellation through the context aborts the reader within one poll
 // interval.
 //
-// Returned pages are freshly allocated and stay valid for the lifetime of
-// the phase; hash tables may point into them (§4.4 "operators can consume
-// row-wise tuples directly").
+// Returned pages stay valid until Release is called; hash tables may point
+// into them (§4.4 "operators can consume row-wise tuples directly"). Block
+// and decompression buffers come from the pages recycler, and Release
+// returns them — the consumer calls it only once nothing references the
+// partition's tuples anymore (hash table dropped, every emitted string
+// interned or copied). A reader that is never released simply leaves its
+// buffers to the garbage collector.
 type PartitionReader struct {
 	ctx      context.Context // nil = never canceled
 	ring     *uring.Ring
@@ -44,6 +48,9 @@ type PartitionReader struct {
 
 	bytesRead int64
 	retries   int64
+
+	owned    [][]byte // recycler-backed buffers the decoded pages alias
+	released bool
 }
 
 type blockGroup struct {
@@ -165,7 +172,8 @@ func (r *PartitionReader) recoverRead(c uring.Completion, gi int) error {
 func (r *PartitionReader) fill() {
 	for r.next < len(r.groups) && len(r.pending) < r.depth {
 		g := &r.groups[r.next]
-		g.buf = make([]byte, g.loc.Size())
+		g.buf = pages.GetBuf(int(g.loc.Size()))
+		r.owned = append(r.owned, g.buf)
 		r.nextUD++
 		r.ring.QueueRead(g.loc, g.buf, r.nextUD)
 		r.pending[r.nextUD] = r.next
@@ -188,11 +196,12 @@ func (r *PartitionReader) decodeGroup(g *blockGroup) error {
 			if c == nil {
 				return fmt.Errorf("core: spilled slot uses unknown codec %d", s.Scheme)
 			}
-			dec, err := c.Decompress(make([]byte, 0, r.pageSize), data)
+			dec, err := c.Decompress(pages.GetBuf(r.pageSize)[:0], data)
 			if err != nil {
 				return fmt.Errorf("core: decompressing spilled page: %w", err)
 			}
 			block = dec
+			r.owned = append(r.owned, dec[:cap(dec)])
 		}
 		p, err := pages.Load(block[:r.pageSize])
 		if err != nil {
@@ -200,8 +209,25 @@ func (r *PartitionReader) decodeGroup(g *blockGroup) error {
 		}
 		r.ready = append(r.ready, p)
 	}
-	g.buf = nil // single-slot raw blocks alias into pages; keep others GC-able
+	g.buf = nil // buffer ownership moved to r.owned; Release recycles it
 	return nil
+}
+
+// Release returns every buffer the decoded pages alias to the recycler.
+// Call it only when the partition is fully consumed AND nothing points into
+// its pages anymore — any hash table over them dropped, every emitted value
+// copied or arena-interned. Safe to call more than once; the reader must
+// not be used afterwards.
+func (r *PartitionReader) Release() {
+	if r.released {
+		return
+	}
+	r.released = true
+	r.ready = nil
+	for _, b := range r.owned {
+		pages.PutBuf(b)
+	}
+	r.owned = nil
 }
 
 // BytesRead returns the bytes read from the array so far.

@@ -132,6 +132,10 @@ type Batch struct {
 	// vectorized kernels; Reset and Flatten clear it.
 	Sel []int32
 	n   int
+	// pool, when non-nil, is the BatchPool this batch was leased from;
+	// Release returns it there. Cleared on Put so a pooled batch cannot be
+	// double-released through a stale reference.
+	pool *BatchPool
 }
 
 // NewBatch returns an empty batch with capacity hint cap.

@@ -1,0 +1,121 @@
+package data
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestBatchPoolLease(t *testing.T) {
+	s := testSchema()
+	p := NewBatchPool(s)
+
+	b := p.Get()
+	if b.Schema != s {
+		t.Fatal("pooled batch has wrong schema")
+	}
+	if b.Len() != 0 {
+		t.Fatal("pooled batch not reset")
+	}
+	fillRow(b, 1, 1.5, "x", 0, 1)
+	b.Release()
+
+	b2 := p.Get()
+	if b2.Len() != 0 {
+		t.Fatal("reused batch not reset")
+	}
+	b2.Release()
+
+	gets, puts := p.Counters()
+	if gets != 2 || puts != 2 {
+		t.Fatalf("counters = %d gets, %d puts; want 2, 2", gets, puts)
+	}
+}
+
+func TestBatchReleaseWithoutPoolIsNoop(t *testing.T) {
+	b := NewBatch(testSchema(), 4)
+	b.Release() // must not panic: plain batches have no pool
+	b.Release()
+}
+
+func TestBatchPoolDoubleReleaseOnlyCountsOnce(t *testing.T) {
+	p := NewBatchPool(testSchema())
+	b := p.Get()
+	b.Release()
+	b.Release() // second release of the same lease is a no-op
+	if gets, puts := p.Counters(); gets != 1 || puts != 1 {
+		t.Fatalf("counters = %d gets, %d puts; want 1, 1", gets, puts)
+	}
+}
+
+// TestBatchPoolShrinksOversizedColumns is the Batch.Reset retention fix:
+// a batch that grew huge during one query must not pin that memory across
+// reuse. Retained capacity has to stabilize at the shrink cap.
+func TestBatchPoolShrinksOversizedColumns(t *testing.T) {
+	s := NewSchema(ColumnDef{"k", Int64}, ColumnDef{"v", String})
+	p := NewBatchPool(s)
+
+	b := p.Get()
+	huge := batchShrinkCap * 4
+	b.Cols[0].I = make([]int64, huge)
+	b.Cols[1].S = make([]string, huge)
+	b.Sel = make([]int32, huge)
+	b.SetLen(huge)
+	b.Release()
+
+	// The same arrays must not come back; after a release/get cycle the
+	// retained capacity is bounded regardless of the spike.
+	for i := 0; i < 3; i++ {
+		b = p.Get()
+		if cap(b.Cols[0].I) > batchShrinkCap || cap(b.Cols[1].S) > batchShrinkCap {
+			t.Fatalf("cycle %d: retained caps I=%d S=%d exceed shrink cap %d",
+				i, cap(b.Cols[0].I), cap(b.Cols[1].S), batchShrinkCap)
+		}
+		if cap(b.Sel) > batchShrinkCap {
+			t.Fatalf("cycle %d: retained Sel cap %d exceeds shrink cap", i, cap(b.Sel))
+		}
+		// Normal-sized refills stay retained (that is the point of pooling).
+		for r := 0; r < 1024; r++ {
+			b.Cols[0].I = append(b.Cols[0].I, int64(r))
+			b.Cols[1].S = append(b.Cols[1].S, "v")
+		}
+		b.SetLen(1024)
+		b.Release()
+	}
+}
+
+func TestByteArenaIntern(t *testing.T) {
+	var a ByteArena
+	if a.InternBytes(nil) != "" {
+		t.Fatal("empty intern")
+	}
+	vals := make([]string, 0, 1000)
+	for i := 0; i < 1000; i++ {
+		vals = append(vals, a.InternBytes([]byte(fmt.Sprintf("value-%d", i))))
+	}
+	for i, v := range vals {
+		if v != fmt.Sprintf("value-%d", i) {
+			t.Fatalf("interned string %d corrupted: %q", i, v)
+		}
+	}
+	// Oversized values bypass the chunk so they cannot strand it.
+	big := make([]byte, arenaChunkSize)
+	if got := a.InternBytes(big); len(got) != len(big) {
+		t.Fatal("oversized intern")
+	}
+}
+
+func TestCompareBytesString(t *testing.T) {
+	cases := []struct {
+		b    string
+		s    string
+		want int
+	}{
+		{"", "", 0}, {"a", "a", 0}, {"a", "b", -1}, {"b", "a", 1},
+		{"ab", "a", 1}, {"a", "ab", -1}, {"abc", "abd", -1},
+	}
+	for _, c := range cases {
+		if got := CompareBytesString([]byte(c.b), c.s); got != c.want {
+			t.Errorf("CompareBytesString(%q, %q) = %d, want %d", c.b, c.s, got, c.want)
+		}
+	}
+}

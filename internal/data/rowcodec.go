@@ -1,11 +1,16 @@
 package data
 
 import (
+	"bytes"
 	"encoding/binary"
 	"math"
+	"sync"
 
 	"github.com/spilly-db/spilly/internal/xhash"
 )
+
+// varOffPool recycles EncodeAll's per-call variable-offset scratch.
+var varOffPool = sync.Pool{New: func() any { s := make([]int, 0, 1024); return &s }}
 
 // RowCodec serializes rows into the row-wise tuple format operators
 // materialize through Umami. The layout gives O(1) field access:
@@ -134,13 +139,25 @@ func (rc *RowCodec) EncodeAll(dsts [][]byte, b *Batch, sel []int32) {
 		}
 	}
 	// varOff tracks, per row, where the next string body lands; only
-	// needed when the schema has string fields.
+	// needed when the schema has string fields. The scratch comes from a
+	// pool so batch-at-a-time encoding stays allocation-free.
 	var varOffs []int
+	var varOffsPtr *[]int
 	if len(rc.strFields) > 0 {
-		varOffs = make([]int, n)
+		varOffsPtr = varOffPool.Get().(*[]int)
+		varOffs = *varOffsPtr
+		if cap(varOffs) < n {
+			varOffs = make([]int, n)
+		} else {
+			varOffs = varOffs[:n]
+		}
 		for i := range varOffs {
 			varOffs[i] = rc.fixedEnd
 		}
+		defer func() {
+			*varOffsPtr = varOffs
+			varOffPool.Put(varOffsPtr)
+		}()
 	}
 	for f, t := range rc.types {
 		c := &b.Cols[f]
@@ -208,17 +225,34 @@ func (rc *RowCodec) Float(tuple []byte, f int) float64 {
 	return math.Float64frombits(binary.LittleEndian.Uint64(tuple[rc.nullBytes+8*f:]))
 }
 
-// Str returns string field f. The result aliases the tuple.
+// Str returns string field f as an owned copy (one allocation per call).
+// Hot paths that only hash or compare the field use StrBytes instead.
 func (rc *RowCodec) Str(tuple []byte, f int) string {
+	return string(rc.StrBytes(tuple, f))
+}
+
+// StrBytes returns string field f as a view into the tuple — no copy, no
+// allocation. The view is only valid while the tuple's backing page is
+// alive; callers that store the value copy it first (Str or
+// ByteArena.InternBytes).
+func (rc *RowCodec) StrBytes(tuple []byte, f int) []byte {
 	slot := tuple[rc.nullBytes+8*f:]
 	off := binary.LittleEndian.Uint32(slot)
 	n := binary.LittleEndian.Uint32(slot[4:])
-	return string(tuple[off : off+n])
+	return tuple[off : off+n]
 }
 
 // AppendTo decodes the whole tuple onto the end of b, whose schema must
-// match the codec's types.
+// match the codec's types. String fields are copied individually; the
+// spill-restore paths use AppendToArena instead.
 func (rc *RowCodec) AppendTo(b *Batch, tuple []byte) {
+	rc.AppendToArena(b, tuple, nil)
+}
+
+// AppendToArena is AppendTo with string fields interned through the arena
+// (when non-nil): the output owns its bytes without a per-field allocation,
+// so the tuple's backing page can be recycled once the batch is emitted.
+func (rc *RowCodec) AppendToArena(b *Batch, tuple []byte, arena *ByteArena) {
 	for i, t := range rc.types {
 		c := &b.Cols[i]
 		null := rc.IsNull(tuple, i)
@@ -226,7 +260,11 @@ func (rc *RowCodec) AppendTo(b *Batch, tuple []byte) {
 		case Float64:
 			c.F = append(c.F, rc.Float(tuple, i))
 		case String:
-			c.S = append(c.S, rc.Str(tuple, i))
+			if arena != nil {
+				c.S = append(c.S, arena.InternBytes(rc.StrBytes(tuple, i)))
+			} else {
+				c.S = append(c.S, rc.Str(tuple, i))
+			}
 		default:
 			c.I = append(c.I, rc.Int(tuple, i))
 		}
@@ -278,7 +316,7 @@ func (rc *RowCodec) HashTuple(tuple []byte, keyFields []int) uint64 {
 		case Float64:
 			h = xhash.Combine(h, xhash.U64(binary.LittleEndian.Uint64(tuple[rc.nullBytes+8*f:]), hashField))
 		case String:
-			h = xhash.Combine(h, xhash.String(rc.Str(tuple, f), hashField))
+			h = xhash.Combine(h, xhash.Bytes(rc.StrBytes(tuple, f), hashField))
 		default:
 			h = xhash.Combine(h, xhash.U64(uint64(rc.Int(tuple, f)), hashField))
 		}
@@ -299,7 +337,7 @@ func (rc *RowCodec) KeyEqual(a, b []byte, keyFields []int) bool {
 		}
 		switch rc.types[f] {
 		case String:
-			if rc.Str(a, f) != rc.Str(b, f) {
+			if !bytes.Equal(rc.StrBytes(a, f), rc.StrBytes(b, f)) {
 				return false
 			}
 		default:
@@ -330,7 +368,9 @@ func (rc *RowCodec) KeyEqualRow(tuple []byte, keyFields []int, b *Batch, keyCols
 				return false
 			}
 		case String:
-			if rc.Str(tuple, f) != c.S[r] {
+			// The []byte→string conversion inside a comparison does not
+			// allocate.
+			if string(rc.StrBytes(tuple, f)) != c.S[r] {
 				return false
 			}
 		default:

@@ -61,6 +61,70 @@ type Ctx struct {
 	// NoPreAgg disables local pre-aggregation — the classical
 	// partitioning-aggregation baseline of Figure 2.
 	NoPreAgg bool
+
+	// poolMu guards pools, the per-schema batch pool registry operators
+	// lease scratch batches from (see BatchPool).
+	poolMu sync.Mutex
+	pools  map[*data.Schema]*data.BatchPool
+	// cleanupMu guards cleanups, the deferred query-end work registered by
+	// operators (budget releases for materialized results, in-memory sort
+	// runs). Close runs them once, in registration order.
+	cleanupMu sync.Mutex
+	cleanups  []func()
+}
+
+// BatchPool returns the query-lifetime batch pool for the given schema,
+// creating it on first use. Every operator that fills scratch batches in a
+// loop leases them here instead of calling data.NewBatch per worker.
+func (c *Ctx) BatchPool(s *data.Schema) *data.BatchPool {
+	c.poolMu.Lock()
+	defer c.poolMu.Unlock()
+	if c.pools == nil {
+		c.pools = make(map[*data.Schema]*data.BatchPool)
+	}
+	bp, ok := c.pools[s]
+	if !ok {
+		bp = data.NewBatchPool(s)
+		c.pools[s] = bp
+	}
+	return bp
+}
+
+// PoolCounters sums Get/Put calls over every batch pool of the query. A
+// leak-free query leaves them equal (each leased batch released exactly
+// once).
+func (c *Ctx) PoolCounters() (gets, puts int64) {
+	c.poolMu.Lock()
+	defer c.poolMu.Unlock()
+	for _, bp := range c.pools {
+		g, p := bp.Counters()
+		gets += g
+		puts += p
+	}
+	return gets, puts
+}
+
+// AddCleanup registers fn to run when the query finishes (Ctx.Close). Safe
+// for concurrent use; operators use it to release the budget reservations
+// of results that outlive their phase.
+func (c *Ctx) AddCleanup(fn func()) {
+	c.cleanupMu.Lock()
+	c.cleanups = append(c.cleanups, fn)
+	c.cleanupMu.Unlock()
+}
+
+// Close runs the registered cleanups (once each) after the query's output
+// has been collected. Only accounting and recycling happen here — result
+// data is already copied out — so Budget.Used() drops back to zero. The
+// context stays usable for another query.
+func (c *Ctx) Close() {
+	c.cleanupMu.Lock()
+	fns := c.cleanups
+	c.cleanups = nil
+	c.cleanupMu.Unlock()
+	for _, fn := range fns {
+		fn()
+	}
 }
 
 func (c *Ctx) workers() int {
@@ -225,7 +289,8 @@ func Drain(ctx *Ctx, s *Stream, sink func(w int, b *data.Batch) error) error {
 				s.Abandon(w)
 			}
 		}()
-		b := data.NewBatch(s.schema, 1024)
+		b := ctx.BatchPool(s.schema).Get()
+		defer b.Release()
 		for {
 			if err := ctx.canceled(); err != nil {
 				return core.WrapQueryError("drain", err)

@@ -75,7 +75,8 @@ func (s *ExtSort) Run(ctx *Ctx) (*Stream, error) {
 			pool:     pages.NewPool(pageSize, 0, ctx.Budget),
 			sp:       sp,
 		}
-		b := data.NewBatch(schema, 0)
+		b := ctx.BatchPool(schema).Get()
+		defer b.Release()
 		for {
 			n, err := in.Next(w, b)
 			if err != nil {
@@ -103,6 +104,15 @@ func (s *ExtSort) Run(ctx *Ctx) (*Stream, error) {
 	if err != nil {
 		return nil, err
 	}
+	// In-memory runs keep their backing pages until the merge has streamed
+	// them out; return their budget reservation at query end.
+	ctx.AddCleanup(func() {
+		for _, run := range runs {
+			for _, p := range run.pgs {
+				ctx.Budget.Release(int64(p.Size()))
+			}
+		}
+	})
 	ctx.spanPhase(sp, pc)
 	return s.mergeStream(ctx, sp, runs, rc, keyCols, pageSize)
 }
@@ -260,6 +270,7 @@ type runCursor struct {
 	pageIdx int
 	tupIdx  int
 	cur     *pages.Page
+	curBuf  []byte // recycler-backed buffer the current page aliases
 
 	ring    *uring.Ring
 	pending map[uint64]int
@@ -292,6 +303,13 @@ func (c *runCursor) next() ([]byte, error) {
 		c.cur = nil
 		c.tupIdx = 0
 		if c.pageIdx >= len(c.run.slots) {
+			// Run exhausted; the last page's tuples are all copied out
+			// (the merge appends through an arena), so its buffer can go
+			// back to the recycler.
+			if c.curBuf != nil {
+				pages.PutBuf(c.curBuf)
+				c.curBuf = nil
+			}
 			return nil, nil
 		}
 		if err := c.loadSpilled(); err != nil {
@@ -308,7 +326,7 @@ func (c *runCursor) loadSpilled() error {
 	// Prefetch ahead.
 	for c.nextReq < len(c.run.slots) && c.nextReq < c.pageIdx+4 {
 		slot := c.run.slots[c.nextReq]
-		buf := make([]byte, slot.Loc.Size())
+		buf := pages.GetBuf(int(slot.Loc.Size()))
 		c.ring.QueueRead(slot.Loc, buf, uint64(c.nextReq))
 		c.pending[uint64(c.nextReq)] = c.nextReq
 		c.bufs[c.nextReq] = buf
@@ -323,6 +341,12 @@ func (c *runCursor) loadSpilled() error {
 					return err
 				}
 				delete(c.bufs, c.pageIdx)
+				// The previous page was fully merged (every tuple copied
+				// through the merge arena); recycle its buffer.
+				if c.curBuf != nil {
+					pages.PutBuf(c.curBuf)
+				}
+				c.curBuf = buf
 				if n := int64(c.run.slots[c.pageIdx].Len); n > 0 {
 					if c.stats != nil {
 						c.stats.SpillReadBytes.Add(n)
@@ -367,6 +391,7 @@ func (s *ExtSort) mergeStream(ctx *Ctx, sp *trace.Span, runs []*sortRun, rc *dat
 
 	var mu sync.Mutex
 	emitted := 0
+	var arena data.ByteArena // guarded by mu (single-producer merge)
 	schema := s.Child.Schema()
 	return ctx.traceStream(&Stream{
 		schema: schema,
@@ -385,7 +410,7 @@ func (s *ExtSort) mergeStream(ctx *Ctx, sp *trace.Span, runs []*sortRun, rc *dat
 					break
 				}
 				item := h.items[0]
-				rc.AppendTo(b, item.tuple)
+				rc.AppendToArena(b, item.tuple, &arena)
 				emitted++
 				t, err := item.cur.next()
 				if err != nil {

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"bytes"
 	"sync/atomic"
 
 	"github.com/spilly-db/spilly/internal/data"
@@ -197,7 +198,7 @@ func keyFieldsEqual(arc *data.RowCodec, a []byte, aKeys []int, brc *data.RowCode
 			continue
 		}
 		if arc.Types()[af] == data.String {
-			if arc.Str(a, af) != brc.Str(b, bf) {
+			if !bytes.Equal(arc.StrBytes(a, af), brc.StrBytes(b, bf)) {
 				return false
 			}
 		} else {

@@ -158,7 +158,8 @@ func (j *Join) runBuild(ctx *Ctx, sp *trace.Span) (*core.Result, *data.RowCodec,
 		buf := shared.NewBuffer()
 		sk := hll.New()
 		sketches[w] = sk
-		b := data.NewBatch(bSchema, 0)
+		b := ctx.BatchPool(bSchema).Get()
+		defer b.Release()
 		var be batchEncoder
 		for {
 			n, err := bs.Next(w, b)
@@ -182,6 +183,7 @@ func (j *Join) runBuild(ctx *Ctx, sp *trace.Span) (*core.Result, *data.RowCodec,
 	if err != nil {
 		return nil, nil, nil, 0, err
 	}
+	ctx.AddCleanup(func() { bres.ReleaseMemory(ctx.Budget) })
 	if ctx.Stats != nil {
 		ctx.Stats.addResult(bres)
 		if shared.PartitioningActive() {
@@ -297,12 +299,14 @@ func (j *Join) probeStream(ctx *Ctx, sp *trace.Span, bres *core.Result, rcB *dat
 // input against the in-memory table, stage 2 (after a barrier) joins the
 // routed partitions one at a time.
 type joinWorker struct {
-	js     *joinShared
-	wid    int // this worker's stream id
-	pbuf   *core.Buffer
-	in     *data.Batch
-	flag   []int64  // scratch matched-flag column (Outer)
-	hashes []uint64 // per-batch probe-key hashes
+	js       *joinShared
+	wid      int // this worker's stream id
+	pbuf     *core.Buffer
+	in       *data.Batch
+	flag     []int64       // scratch matched-flag column (Outer)
+	hashes   []uint64      // per-batch probe-key hashes
+	wrapCols []data.Column // scratch columns for the Outer wrap batch
+	arena    data.ByteArena
 
 	stage int // 1 streaming, 2 partitions, 3 done
 	cur   *partJoinState
@@ -312,10 +316,14 @@ type partJoinState struct {
 	ht         *hashTable
 	probePages []*pages.Page
 	idx        int
+	// release recycles the partition readers' buffers; called once the
+	// partition is exhausted (hash table dropped, every emitted string
+	// arena-interned).
+	release func()
 }
 
 func newJoinWorker(js *joinShared, wid int) *joinWorker {
-	jw := &joinWorker{js: js, wid: wid, in: data.NewBatch(js.pSchema, 0), stage: 1}
+	jw := &joinWorker{js: js, wid: wid, in: js.ctx.BatchPool(js.pSchema).Get(), stage: 1}
 	if js.pshared != nil {
 		jw.pbuf = js.pshared.NewBuffer()
 	}
@@ -336,6 +344,10 @@ func (jw *joinWorker) next(b *data.Batch) (int, error) {
 				return 0, err
 			}
 			if n == 0 {
+				if jw.in != nil {
+					jw.in.Release()
+					jw.in = nil
+				}
 				if jw.pbuf != nil {
 					if err := jw.pbuf.Finish(); err != nil {
 						jw.js.err.set(err)
@@ -384,10 +396,9 @@ func (jw *joinWorker) streamBatch(b *data.Batch) int {
 			jw.flag = make([]int64, in.Len())
 		}
 		jw.flag = jw.flag[:in.Len()]
-		cols := make([]data.Column, 0, len(in.Cols)+1)
-		cols = append(cols, in.Cols...)
-		cols = append(cols, data.Column{Type: data.Bool, I: jw.flag})
-		wrap = &data.Batch{Schema: js.pmSchema, Cols: cols}
+		jw.wrapCols = append(jw.wrapCols[:0], in.Cols...)
+		jw.wrapCols = append(jw.wrapCols, data.Column{Type: data.Bool, I: jw.flag})
+		wrap = &data.Batch{Schema: js.pmSchema, Cols: jw.wrapCols}
 		wrap.SetLen(in.Len())
 	}
 	// Key hashes for the whole batch, column-at-a-time; the per-row loop
@@ -406,7 +417,7 @@ func (jw *joinWorker) streamBatch(b *data.Batch) int {
 			case Inner, Outer:
 				js.ht.probeRow(h, in, js.pKeys, r, func(bt []byte) {
 					matched = true
-					emitJoined(b, in, r, js.rcB, bt, js.nBuild)
+					emitJoined(b, in, r, js.rcB, bt, js.nBuild, &jw.arena)
 				})
 			case Semi, Anti:
 				matched = js.ht.probeRow(h, in, js.pKeys, r, nil)
@@ -480,6 +491,7 @@ func (jw *joinWorker) finalizeProbe() error {
 				return
 			}
 			js.pres = pres
+			js.ctx.AddCleanup(func() { pres.ReleaseMemory(js.ctx.Budget) })
 			if js.ctx.Stats != nil {
 				js.ctx.Stats.addResult(pres)
 			}
@@ -512,7 +524,14 @@ func (jw *joinWorker) partitionStep(b *data.Batch) (int, error) {
 		}
 		st := jw.cur
 		if st.idx >= len(st.probePages) {
+			// Partition fully joined: nothing references its pages anymore
+			// (outputs are arena-interned, the hash table dies with st), so
+			// the readers' buffers can be recycled.
 			jw.cur = nil
+			st.ht = nil
+			if st.release != nil {
+				st.release()
+			}
 			continue
 		}
 		pg := st.probePages[st.idx]
@@ -537,6 +556,7 @@ func (jw *joinWorker) openPartition(p int) (*partJoinState, error) {
 	// the grace baseline (the unified join already covered them in the
 	// global in-memory table).
 	var bpgs []*pages.Page
+	var readers []*core.PartitionReader
 	if js.j.grace(js.ctx) {
 		bpgs = append(bpgs, js.bres.InMemoryByPart(p)...)
 	}
@@ -552,6 +572,7 @@ func (jw *joinWorker) openPartition(p int) (*partJoinState, error) {
 		}
 		js.sp.AddSpillRead(r.BytesRead(), r.Retries())
 		bpgs = append(bpgs, pgs...)
+		readers = append(readers, r)
 	}
 	ht, err := buildHashTable(bpgs, js.rcB, js.bKeys, 0, 1)
 	if err != nil {
@@ -573,14 +594,21 @@ func (jw *joinWorker) openPartition(p int) (*partJoinState, error) {
 			}
 			js.sp.AddSpillRead(r.BytesRead(), r.Retries())
 			ppgs = append(ppgs, pgs...)
+			readers = append(readers, r)
 		}
 	}
-	return &partJoinState{ht: ht, probePages: ppgs}, nil
+	release := func() {
+		for _, r := range readers {
+			r.Release()
+		}
+	}
+	return &partJoinState{ht: ht, probePages: ppgs, release: release}, nil
 }
 
 // emitProbePage probes every tuple of one materialized probe page.
 func (jw *joinWorker) emitProbePage(b *data.Batch, st *partJoinState, pg *pages.Page) {
 	js := jw.js
+	arena := &jw.arena
 	nProbe := js.pSchema.Len()
 	for t := 0; t < pg.Tuples(); t++ {
 		tuple := pg.Tuple(t)
@@ -588,29 +616,29 @@ func (jw *joinWorker) emitProbePage(b *data.Batch, st *partJoinState, pg *pages.
 		switch js.j.Kind {
 		case Inner:
 			st.ht.probeTuple(h, tuple, js.rcP, js.pKeys, func(bt []byte) {
-				appendTupleCols(b, 0, js.rcP, tuple, nProbe)
-				appendTupleCols(b, nProbe, js.rcB, bt, js.nBuild)
+				appendTupleCols(b, 0, js.rcP, tuple, nProbe, arena)
+				appendTupleCols(b, nProbe, js.rcB, bt, js.nBuild, arena)
 				b.SetLen(b.Len() + 1)
 			})
 		case Semi:
 			if st.ht.probeTuple(h, tuple, js.rcP, js.pKeys, nil) {
-				appendTupleCols(b, 0, js.rcP, tuple, nProbe)
+				appendTupleCols(b, 0, js.rcP, tuple, nProbe, arena)
 				b.SetLen(b.Len() + 1)
 			}
 		case Anti:
 			if !st.ht.probeTuple(h, tuple, js.rcP, js.pKeys, nil) {
-				appendTupleCols(b, 0, js.rcP, tuple, nProbe)
+				appendTupleCols(b, 0, js.rcP, tuple, nProbe, arena)
 				b.SetLen(b.Len() + 1)
 			}
 		case Outer:
 			matched := st.ht.probeTuple(h, tuple, js.rcP, js.pKeys, func(bt []byte) {
-				appendTupleCols(b, 0, js.rcP, tuple, nProbe)
-				appendTupleCols(b, nProbe, js.rcB, bt, js.nBuild)
+				appendTupleCols(b, 0, js.rcP, tuple, nProbe, arena)
+				appendTupleCols(b, nProbe, js.rcB, bt, js.nBuild, arena)
 				b.SetLen(b.Len() + 1)
 			})
 			flagField := nProbe // the appended __matched field
 			if !matched && js.rcP.Int(tuple, flagField) == 0 {
-				appendTupleCols(b, 0, js.rcP, tuple, nProbe)
+				appendTupleCols(b, 0, js.rcP, tuple, nProbe, arena)
 				appendNullCols(b, nProbe, js.j.Build.Schema())
 				b.SetLen(b.Len() + 1)
 			}
@@ -619,9 +647,9 @@ func (jw *joinWorker) emitProbePage(b *data.Batch, st *partJoinState, pg *pages.
 }
 
 // emitJoined appends probe row r of in ⊕ decoded build tuple to out.
-func emitJoined(out *data.Batch, in *data.Batch, r int, rcB *data.RowCodec, buildTuple []byte, nBuild int) {
+func emitJoined(out *data.Batch, in *data.Batch, r int, rcB *data.RowCodec, buildTuple []byte, nBuild int, arena *data.ByteArena) {
 	appendBatchRowCols(out, 0, in, r)
-	appendTupleCols(out, in.Schema.Len(), rcB, buildTuple, nBuild)
+	appendTupleCols(out, in.Schema.Len(), rcB, buildTuple, nBuild, arena)
 	out.SetLen(out.Len() + 1)
 }
 
@@ -650,15 +678,21 @@ func appendBatchRowCols(out *data.Batch, start int, in *data.Batch, r int) {
 }
 
 // appendTupleCols decodes the first n fields of tuple into out columns
-// [start, start+n).
-func appendTupleCols(out *data.Batch, start int, rc *data.RowCodec, tuple []byte, n int) {
+// [start, start+n). String fields are interned through arena (when
+// non-nil), so the output owns its bytes and the tuple's page can be
+// recycled once the batch is emitted.
+func appendTupleCols(out *data.Batch, start int, rc *data.RowCodec, tuple []byte, n int, arena *data.ByteArena) {
 	for f := 0; f < n; f++ {
 		dst := &out.Cols[start+f]
 		switch rc.Types()[f] {
 		case data.Float64:
 			dst.F = append(dst.F, rc.Float(tuple, f))
 		case data.String:
-			dst.S = append(dst.S, rc.Str(tuple, f))
+			if arena != nil {
+				dst.S = append(dst.S, arena.InternBytes(rc.StrBytes(tuple, f)))
+			} else {
+				dst.S = append(dst.S, rc.Str(tuple, f))
+			}
 		default:
 			dst.I = append(dst.I, rc.Int(tuple, f))
 		}

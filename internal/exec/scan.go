@@ -223,13 +223,13 @@ func (p *Project) Run(ctx *Ctx) (*Stream, error) {
 	if err != nil {
 		return nil, err
 	}
-	scratchPool := sync.Pool{New: func() interface{} { return data.NewBatch(in.schema, 0) }}
+	scratchPool := ctx.BatchPool(in.schema)
 	return ctx.traceStream(&Stream{
 		schema:  p.schema,
 		abandon: in.Abandon,
 		next: func(w int, b *data.Batch) (int, error) {
-			tmp := scratchPool.Get().(*data.Batch)
-			defer scratchPool.Put(tmp)
+			tmp := scratchPool.Get()
+			defer tmp.Release()
 			n, err := in.Next(w, tmp)
 			if err != nil || n == 0 {
 				return 0, err

@@ -38,7 +38,8 @@ func (s *Sort) Run(ctx *Ctx) (*Stream, error) {
 		return nil, err
 	}
 	schema := s.Child.Schema()
-	all := data.NewBatch(schema, 1024)
+	all := ctx.BatchPool(schema).Get()
+	defer all.Release()
 	var mu sync.Mutex
 	err = Drain(ctx, in, func(w int, b *data.Batch) error {
 		mu.Lock()

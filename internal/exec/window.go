@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"bytes"
 	"fmt"
 	"sort"
 	"strings"
@@ -121,7 +122,8 @@ func (w *Window) Run(ctx *Ctx) (*Stream, error) {
 			}
 		}()
 		buf := shared.NewBuffer()
-		b := data.NewBatch(inSchema, 0)
+		b := ctx.BatchPool(inSchema).Get()
+		defer b.Release()
 		var be batchEncoder
 		for {
 			n, err := in.Next(wk, b)
@@ -144,6 +146,7 @@ func (w *Window) Run(ctx *Ctx) (*Stream, error) {
 	if err != nil {
 		return nil, err
 	}
+	ctx.AddCleanup(func() { res.ReleaseMemory(ctx.Budget) })
 	if ctx.Stats != nil {
 		ctx.Stats.addResult(res)
 	}
@@ -176,6 +179,7 @@ func (w *Window) outputStream(ctx *Ctx, sp *trace.Span, res *core.Result, rc *da
 	return ctx.traceStream(&Stream{
 		schema: w.schema,
 		next: func(wk int, b *data.Batch) (int, error) {
+			var arena data.ByteArena
 			for {
 				p := int(cursor.Add(1) - 1)
 				if p >= res.Partitions {
@@ -187,6 +191,7 @@ func (w *Window) outputStream(ctx *Ctx, sp *trace.Span, res *core.Result, rc *da
 						tuples = append(tuples, pg.Tuple(t))
 					}
 				}
+				var reader *core.PartitionReader
 				if slots := res.Spilled[p]; len(slots) > 0 {
 					r := core.NewPartitionReader(ctx.goCtx(), ctx.Spill.Array, pageSize, slots, core.DefaultReadDepth)
 					pgs, err := r.ReadAll()
@@ -203,12 +208,18 @@ func (w *Window) outputStream(ctx *Ctx, sp *trace.Span, res *core.Result, rc *da
 							tuples = append(tuples, pg.Tuple(t))
 						}
 					}
+					reader = r
 				}
 				if len(tuples) == 0 {
 					continue
 				}
 				b.Reset()
-				w.evalPartition(b, tuples, rc, partCols)
+				w.evalPartition(b, tuples, rc, partCols, &arena)
+				// The batch owns its values now (strings arena-interned), so
+				// the read-back buffers can be recycled.
+				if reader != nil {
+					reader.Release()
+				}
 				if b.Len() > 0 {
 					return b.Len(), nil
 				}
@@ -219,7 +230,7 @@ func (w *Window) outputStream(ctx *Ctx, sp *trace.Span, res *core.Result, rc *da
 
 // evalPartition groups one hash partition's tuples into window partitions,
 // sorts each, evaluates the functions, and emits.
-func (w *Window) evalPartition(out *data.Batch, tuples [][]byte, rc *data.RowCodec, partCols []int) {
+func (w *Window) evalPartition(out *data.Batch, tuples [][]byte, rc *data.RowCodec, partCols []int, arena *data.ByteArena) {
 	inSchema := w.Child.Schema()
 	// Group by exact partition keys.
 	groups := map[string][]int{}
@@ -246,7 +257,7 @@ func (w *Window) evalPartition(out *data.Batch, tuples [][]byte, rc *data.RowCod
 			}
 			return false
 		})
-		w.emitGroup(out, tuples, idxs, rc, orderCols)
+		w.emitGroup(out, tuples, idxs, rc, orderCols, arena)
 	}
 }
 
@@ -268,7 +279,7 @@ func windowKey(rc *data.RowCodec, tup []byte, cols []int, scratch []byte) ([]byt
 		}
 		scratch = append(scratch, 0)
 		if rc.Types()[c] == data.String {
-			s := rc.Str(tup, c)
+			s := rc.StrBytes(tup, c)
 			scratch = append(scratch, byte(len(s)), byte(len(s)>>8))
 			scratch = append(scratch, s...)
 		} else {
@@ -302,12 +313,8 @@ func compareTupleField(rc *data.RowCodec, a, b []byte, c int) int {
 			return 1
 		}
 	case data.String:
-		x, y := rc.Str(a, c), rc.Str(b, c)
-		switch {
-		case x < y:
-			return -1
-		case x > y:
-			return 1
+		if cmp := bytes.Compare(rc.StrBytes(a, c), rc.StrBytes(b, c)); cmp != 0 {
+			return cmp
 		}
 	default:
 		x, y := rc.Int(a, c), rc.Int(b, c)
@@ -325,7 +332,7 @@ func compareTupleField(rc *data.RowCodec, a, b []byte, c int) int {
 // partition and appends the output rows. Per function, the group is
 // preprocessed once: prefix sums for SUM/COUNT/AVG, a segment tree for
 // sliding MIN/MAX (the approach of the paper's citation [54]).
-func (w *Window) emitGroup(out *data.Batch, tuples [][]byte, idxs []int, rc *data.RowCodec, orderCols []int) {
+func (w *Window) emitGroup(out *data.Batch, tuples [][]byte, idxs []int, rc *data.RowCodec, orderCols []int, arena *data.ByteArena) {
 	inSchema := w.Child.Schema()
 	n := len(idxs)
 	nIn := inSchema.Len()
@@ -373,7 +380,7 @@ func (w *Window) emitGroup(out *data.Batch, tuples [][]byte, idxs []int, rc *dat
 		if r > 0 && !tupleOrderEqual(rc, tuples[idxs[r-1]], tuples[idxs[r]], orderCols) {
 			rank = int64(r) + 1
 		}
-		appendTupleCols(out, 0, rc, tuples[idxs[r]], nIn)
+		appendTupleCols(out, 0, rc, tuples[idxs[r]], nIn, arena)
 		for fi, f := range w.Funcs {
 			col := &out.Cols[nIn+fi]
 			lo, hi := 0, n-1

@@ -37,6 +37,14 @@ type QueryStatus struct {
 	Spans []trace.SpanSnapshot `json:"spans,omitempty"`
 }
 
+// GCStats are cumulative GC-pressure totals attributed to query execution.
+type GCStats struct {
+	AllocObjects int64
+	AllocBytes   int64
+	GCPauseSecs  float64
+	NumGC        int64
+}
+
 // Server renders engine observability snapshots over HTTP. All fields are
 // optional; nil sources simply omit their metrics.
 type Server struct {
@@ -47,6 +55,8 @@ type Server struct {
 	TableArray *nvmesim.Array
 	// Queries returns a snapshot of in-flight queries.
 	Queries func() []QueryStatus
+	// GC returns cumulative allocation and collector totals across queries.
+	GC func() GCStats
 }
 
 // Handler returns the observability mux: /metrics, /queries, /debug/pprof/.
@@ -82,6 +92,21 @@ func (s *Server) serveMetrics(w http.ResponseWriter, _ *http.Request) {
 		writeCounter(&b, "spilly_queries_in_flight",
 			"gauge", "Queries currently executing.",
 			sample{value: float64(len(s.Queries()))})
+	}
+	if s.GC != nil {
+		g := s.GC()
+		writeCounter(&b, "spilly_query_alloc_objects_total", "counter",
+			"Heap objects allocated during query execution.",
+			sample{value: float64(g.AllocObjects)})
+		writeCounter(&b, "spilly_query_alloc_bytes_total", "counter",
+			"Heap bytes allocated during query execution.",
+			sample{value: float64(g.AllocBytes)})
+		writeCounter(&b, "spilly_query_gc_pause_seconds_total", "counter",
+			"Stop-the-world GC pause time incurred during query execution.",
+			sample{value: g.GCPauseSecs})
+		writeCounter(&b, "spilly_query_gc_cycles_total", "counter",
+			"Garbage collections that ran during query execution.",
+			sample{value: float64(g.NumGC)})
 	}
 	writeArray(&b, "spill", s.SpillArray)
 	writeArray(&b, "table", s.TableArray)

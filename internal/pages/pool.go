@@ -85,6 +85,7 @@ type Pool struct {
 	free     []*Page
 	budget   *Budget
 	created  int
+	closed   int
 }
 
 // NewPool returns a pool creating pages of pageSize bytes. If fixedTupleSize
@@ -130,8 +131,25 @@ func (p *Pool) Discard(pg *Page) {
 	p.budget.Release(int64(pg.Size()))
 }
 
+// Close drops every page on the free list and releases its budget share.
+// Buffers call it after their last page retires so a finished operator's
+// clean pages stop counting against the query budget — without Close the
+// free list would hold its reservation until the pool itself is collected.
+// The pool stays usable after Close (Get simply allocates again).
+func (p *Pool) Close() {
+	for _, pg := range p.free {
+		p.budget.Release(int64(pg.Size()))
+	}
+	p.closed += len(p.free)
+	p.free = nil
+}
+
 // FreePages returns the number of pages currently on the free list.
 func (p *Pool) FreePages() int { return len(p.free) }
 
 // Created returns the number of pages this pool has ever allocated.
 func (p *Pool) Created() int { return p.created }
+
+// Closed returns the number of clean pages retired by Close — pages whose
+// budget reservation was returned because no tuple referenced them.
+func (p *Pool) Closed() int { return p.closed }

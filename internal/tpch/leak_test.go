@@ -1,0 +1,79 @@
+package tpch
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/spilly-db/spilly/internal/core"
+	"github.com/spilly-db/spilly/internal/exec"
+	"github.com/spilly-db/spilly/internal/nvmesim"
+	"github.com/spilly-db/spilly/internal/pages"
+)
+
+// budgetedMemCtx is an in-memory context with a budget big enough that
+// nothing partitions — every reservation must still be returned.
+func budgetedMemCtx() *exec.Ctx {
+	return &exec.Ctx{
+		Workers: 2,
+		Budget:  pages.NewBudget(1 << 30),
+		Stats:   &exec.Stats{},
+	}
+}
+
+// leakSpillCtx mirrors spillingCtx but keeps its own array per query so
+// budget accounting is not shared across subtests.
+func leakSpillCtx() *exec.Ctx {
+	arr := nvmesim.New(2, nvmesim.DeviceSpec{
+		ReadBandwidth:  4e9,
+		WriteBandwidth: 2e9,
+		Latency:        20 * time.Microsecond,
+	}, nvmesim.RealClock{})
+	return &exec.Ctx{
+		Workers:     2,
+		Budget:      pages.NewBudget(512 << 10),
+		PageSize:    16 << 10,
+		Partitions:  16,
+		PartitionAt: 0.4,
+		Spill:       &core.SpillConfig{Array: arr, Compress: true},
+		Stats:       &exec.Stats{},
+	}
+}
+
+// TestNoBudgetLeaks runs every TPC-H query in-memory and under forced
+// spilling and asserts that, once the query finishes and the context's
+// cleanups run, (a) every page-budget reservation has been returned and
+// (b) every pooled batch lease was released. A nonzero residue here is
+// exactly the class of silent leak the Reserve/Release audit exists to
+// catch: a materialized result, extsort run, or free-list page whose
+// reservation outlived the query.
+func TestNoBudgetLeaks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs all 22 queries twice")
+	}
+	modes := []struct {
+		name string
+		ctx  func() *exec.Ctx
+	}{
+		{"inmem", budgetedMemCtx},
+		{"spill", leakSpillCtx},
+	}
+	for _, m := range modes {
+		for q := 1; q <= NumQueries; q++ {
+			t.Run(fmt.Sprintf("%s/Q%d", m.name, q), func(t *testing.T) {
+				ctx := m.ctx()
+				out := runQuery(t, ctx, q)
+				if out == nil {
+					t.Fatal("nil result")
+				}
+				ctx.Close()
+				if used := ctx.Budget.Used(); used != 0 {
+					t.Errorf("budget leak: %d bytes still reserved after Close", used)
+				}
+				if gets, puts := ctx.PoolCounters(); gets != puts {
+					t.Errorf("batch pool imbalance: %d gets vs %d puts", gets, puts)
+				}
+			})
+		}
+	}
+}

@@ -16,6 +16,13 @@ type Profile struct {
 	Total time.Duration
 	// Workers is the worker count spans were normalized against.
 	Workers int
+	// AllocObjects and AllocBytes are the heap-allocation deltas across
+	// the query; GCPause and NumGC the collector activity it incurred.
+	// Filled in by the engine (spans do not track allocations).
+	AllocObjects int64
+	AllocBytes   int64
+	GCPause      time.Duration
+	NumGC        int64
 	// Roots are the top-level operators (normally one: the plan root).
 	Roots []*ProfileNode
 }
@@ -96,6 +103,10 @@ func FormatProfile(p *Profile) string {
 	}
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "query: %s total, %d workers\n", fmtDur(p.Total), p.Workers)
+	if p.AllocObjects > 0 || p.NumGC > 0 {
+		fmt.Fprintf(&sb, "gc: allocs=%d alloc-bytes=%s cycles=%d pause=%s\n",
+			p.AllocObjects, fmtBytes(p.AllocBytes), p.NumGC, fmtDur(p.GCPause))
+	}
 	for _, r := range p.Roots {
 		formatNode(&sb, r, "", p.Total)
 	}

@@ -26,6 +26,15 @@ func (e *Engine) Handler() http.Handler {
 		SpillArray: e.spillArr,
 		TableArray: e.tableArr,
 		Queries:    e.queriesSnapshot,
+		GC: func() obsrv.GCStats {
+			g := e.GCTotals()
+			return obsrv.GCStats{
+				AllocObjects: g.AllocObjects,
+				AllocBytes:   g.AllocBytes,
+				GCPauseSecs:  g.GCPause.Seconds(),
+				NumGC:        g.NumGC,
+			}
+		},
 	}
 	return srv.Handler()
 }

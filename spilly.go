@@ -147,6 +147,32 @@ type Engine struct {
 	queryID atomic.Int64
 	qmu     sync.Mutex
 	active  map[int64]*activeQuery
+
+	// Engine-wide GC-pressure totals, accumulated per query for /metrics.
+	gcAllocObjects atomic.Int64
+	gcAllocBytes   atomic.Int64
+	gcPauseNs      atomic.Int64
+	gcNumGC        atomic.Int64
+}
+
+// GCStats are the engine's cumulative GC-pressure totals: heap allocation
+// and collector activity attributed to completed queries.
+type GCStats struct {
+	AllocObjects int64
+	AllocBytes   int64
+	GCPause      time.Duration
+	NumGC        int64
+}
+
+// GCTotals returns the cumulative GC-pressure counters across all queries
+// this engine has run.
+func (e *Engine) GCTotals() GCStats {
+	return GCStats{
+		AllocObjects: e.gcAllocObjects.Load(),
+		AllocBytes:   e.gcAllocBytes.Load(),
+		GCPause:      time.Duration(e.gcPauseNs.Load()),
+		NumGC:        e.gcNumGC.Load(),
+	}
 }
 
 // activeQuery is one registry entry: enough to render live progress without
@@ -335,6 +361,16 @@ type Stats struct {
 	TuplesPerSec float64
 	// CyclesPerByte is the §4.4 cost metric over scanned bytes.
 	CyclesPerByte float64
+	// AllocObjects and AllocBytes are the process-wide heap-allocation
+	// deltas (runtime.MemStats Mallocs / TotalAlloc) across the query —
+	// the GC-pressure cost of executing it. They include allocations from
+	// concurrent queries, so measure on a quiet engine for precise numbers.
+	AllocObjects int64
+	AllocBytes   int64
+	// GCPause is the total stop-the-world pause time incurred during the
+	// query; NumGC counts the garbage collections that ran.
+	GCPause time.Duration
+	NumGC   int64
 	// Schemes counts spilled pages per compression scheme name (§6.8).
 	Schemes map[string]int64
 }
@@ -420,6 +456,9 @@ func (e *Engine) runLabeled(ctx *exec.Ctx, node exec.Node, label string) (*Resul
 	e.spillArr.Reset() // spill areas are per-query scratch space
 	e.faults.QueryStarted()
 	defer e.registerQuery(label, ctx)()
+	defer ctx.Close() // return pooled batches, release retained page budget
+	var msBefore runtime.MemStats
+	runtime.ReadMemStats(&msBefore)
 	start := time.Now()
 	out, err := exec.Collect(ctx, node)
 	if s := ctx.Stats; s != nil {
@@ -440,6 +479,8 @@ func (e *Engine) runLabeled(ctx *exec.Ctx, node exec.Node, label string) (*Resul
 		return nil, err
 	}
 	dur := time.Since(start)
+	var msAfter runtime.MemStats
+	runtime.ReadMemStats(&msAfter)
 	s := ctx.Stats
 	st := Stats{
 		Duration:       dur,
@@ -456,6 +497,14 @@ func (e *Engine) runLabeled(ctx *exec.Ctx, node exec.Node, label string) (*Resul
 		st.TuplesPerSec = float64(st.ScannedRows) / dur.Seconds()
 	}
 	st.CyclesPerByte = metrics.CyclesPerByte(dur, st.ScannedBytes)
+	st.AllocObjects = int64(msAfter.Mallocs - msBefore.Mallocs)
+	st.AllocBytes = int64(msAfter.TotalAlloc - msBefore.TotalAlloc)
+	st.GCPause = time.Duration(msAfter.PauseTotalNs - msBefore.PauseTotalNs)
+	st.NumGC = int64(msAfter.NumGC - msBefore.NumGC)
+	e.gcAllocObjects.Add(st.AllocObjects)
+	e.gcAllocBytes.Add(st.AllocBytes)
+	e.gcPauseNs.Add(int64(st.GCPause))
+	e.gcNumGC.Add(st.NumGC)
 	if hist := s.SchemeHistogram(); len(hist) > 0 {
 		st.Schemes = map[string]int64{}
 		for id, n := range hist {
@@ -470,6 +519,10 @@ func (e *Engine) runLabeled(ctx *exec.Ctx, node exec.Node, label string) (*Resul
 	res := &Result{Batch: out, Stats: st}
 	if ctx.Trace != nil {
 		res.profile = ctx.Trace.Profile(dur)
+		res.profile.AllocObjects = st.AllocObjects
+		res.profile.AllocBytes = st.AllocBytes
+		res.profile.GCPause = st.GCPause
+		res.profile.NumGC = st.NumGC
 	}
 	return res, nil
 }
@@ -513,6 +566,7 @@ func (e *Engine) TraceQuery(node exec.Node, interval time.Duration) (*Result, []
 		}
 	})
 	tracer.Start()
+	defer ctx.Close()
 	start := time.Now()
 	out, err := exec.Collect(ctx, node)
 	samples := tracer.Stop()
