@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all tier1 race chaos bench-vectorize bench-alloc profile-smoke clean
+.PHONY: all tier1 race chaos bench-vectorize bench-alloc bench-overlap profile-smoke clean
 
 all: tier1
 
@@ -41,6 +41,14 @@ bench-alloc:
 	$(GO) test -run 'TestAllocs' -count=1 ./internal/data/ ./internal/exec/
 	$(GO) test -run=^$$ -bench 'Alloc' -benchmem ./internal/data/ ./internal/exec/
 	$(GO) run ./cmd/alloccmp -baseline BENCH_alloc.json
+
+# Phase-2 overlap gate: the blocking-vs-pipelined readback report, then the
+# stall-time comparison against the committed baseline (BENCH_overlap.json;
+# fails on >20% pipelined stall ns/op regression or a cross-mode result
+# checksum mismatch).
+bench-overlap:
+	$(GO) run ./cmd/spillybench -exp overlap
+	$(GO) run ./cmd/overlapcmp -baseline BENCH_overlap.json
 
 clean:
 	$(GO) clean ./...

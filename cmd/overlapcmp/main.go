@@ -1,0 +1,114 @@
+// Command overlapcmp guards the phase-2 overlap win: it re-measures the
+// bench package's blocking-vs-pipelined readback matrix and compares the
+// pipelined stall time against the committed baseline in BENCH_overlap.json,
+// failing when any query's stall ns/op regresses by more than the threshold.
+// Wall-clock time is reported but never gates (too noisy on a shared box);
+// stall time is accumulated inside cursor waits and is much more stable. It
+// also fails if the two readback modes disagree on a result checksum.
+//
+// Usage:
+//
+//	overlapcmp -baseline BENCH_overlap.json          # compare, exit 1 on regression
+//	overlapcmp -baseline BENCH_overlap.json -quick   # smaller scale factor
+//	overlapcmp -print                                # print fresh measurements as JSON
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/spilly-db/spilly/internal/bench"
+)
+
+// baselineFile mirrors the BENCH_overlap.json layout; only "after" gates.
+type baselineFile struct {
+	After map[string]baselineCell `json:"after"`
+}
+
+type baselineCell struct {
+	NsPerOp      float64 `json:"ns_per_op"`
+	StallNsPerOp float64 `json:"stall_ns_per_op"`
+	Prefetched   int64   `json:"prefetched_partitions"`
+}
+
+func main() {
+	var (
+		baseline  = flag.String("baseline", "", "baseline JSON file (BENCH_overlap.json)")
+		quick     = flag.Bool("quick", false, "measure at the smaller scale factor")
+		threshold = flag.Float64("threshold", 1.20, "fail when pipelined stall ns/op exceeds baseline by this factor")
+		printJSON = flag.Bool("print", false, "print fresh measurements as JSON and exit")
+	)
+	flag.Parse()
+
+	ms, err := bench.MeasureOverlap(bench.Options{Quick: *quick, Workers: 2})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "overlapcmp: measurement failed: %v\n", err)
+		os.Exit(1)
+	}
+
+	// Both readback modes must compute the same result, baseline or not.
+	sums := map[string]string{}
+	for _, m := range ms {
+		key := m.Query
+		if prev, ok := sums[key]; ok && prev != m.Checksum {
+			fmt.Fprintf(os.Stderr, "overlapcmp: %s checksum mismatch across readback modes\n", key)
+			os.Exit(1)
+		}
+		sums[key] = m.Checksum
+	}
+
+	if *printJSON || *baseline == "" {
+		cells := map[string]baselineCell{}
+		for _, m := range ms {
+			cells[m.Key()] = baselineCell{
+				NsPerOp:      m.NsPerOp,
+				StallNsPerOp: m.StallNsPerOp,
+				Prefetched:   m.Prefetched,
+			}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(map[string]any{"after": cells})
+		return
+	}
+
+	raw, err := os.ReadFile(*baseline)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "overlapcmp: %v\n", err)
+		os.Exit(1)
+	}
+	var base baselineFile
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "overlapcmp: parsing %s: %v\n", *baseline, err)
+		os.Exit(1)
+	}
+
+	failed := false
+	for _, m := range ms {
+		// Only pipelined stall gates: blocking stall IS the readback time
+		// and tracks device speed, not scheduler quality.
+		if !strings.HasSuffix(m.Key(), "/pipelined") {
+			continue
+		}
+		b, ok := base.After[m.Key()]
+		if !ok || b.StallNsPerOp <= 0 {
+			fmt.Printf("%-14s stall=%-10.0f (no baseline)\n", m.Key(), m.StallNsPerOp)
+			continue
+		}
+		ratio := m.StallNsPerOp / b.StallNsPerOp
+		status := "ok"
+		if ratio > *threshold {
+			status = "REGRESSION"
+			failed = true
+		}
+		fmt.Printf("%-14s stall/op=%-12.0f baseline=%-12.0f ratio=%.2f  %s\n",
+			m.Key(), m.StallNsPerOp, b.StallNsPerOp, ratio, status)
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "overlapcmp: stall ns/op regressed beyond %.0f%% of baseline\n", (*threshold-1)*100)
+		os.Exit(1)
+	}
+}

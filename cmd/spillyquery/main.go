@@ -34,6 +34,8 @@ func main() {
 		tblDir   = flag.String("tbl", "", "load dbgen-format .tbl files from this directory instead of generating")
 		profile  = flag.Bool("profile", false, "print a per-operator execution profile (EXPLAIN ANALYZE)")
 		serve    = flag.String("serve", "", "serve /metrics, /queries and pprof on this address while running")
+		depth    = flag.Int("readdepth", 0, "spill readback queue depth per partition scheduler (0 = default)")
+		blocking = flag.Bool("blockread", false, "disable pipelined spill readback (materialize partitions before processing)")
 	)
 	flag.Parse()
 
@@ -50,12 +52,14 @@ func main() {
 	}
 
 	eng, err := spilly.Open(spilly.Config{
-		Workers:      *workers,
-		MemoryBudget: *budget,
-		Mode:         m,
-		DisableSpill: *nospill,
-		Compression:  *compress,
-		Profile:      *profile,
+		Workers:           *workers,
+		MemoryBudget:      *budget,
+		Mode:              m,
+		DisableSpill:      *nospill,
+		Compression:       *compress,
+		Profile:           *profile,
+		ReadDepth:         *depth,
+		BlockingSpillRead: *blocking,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -96,6 +100,8 @@ func main() {
 		if len(s.Schemes) > 0 {
 			fmt.Printf("compression schemes: %v\n", s.Schemes)
 		}
+		fmt.Printf("readback: %v stalled, %d partitions prefetched\n",
+			s.SpillStallTime, s.PrefetchedPartitions)
 	} else {
 		fmt.Println("spilled: nothing (stayed in memory)")
 	}

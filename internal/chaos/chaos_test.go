@@ -195,3 +195,61 @@ func TestDeviceFullFailsGracefully(t *testing.T) {
 		t.Fatalf("QueryError.Hint = %q, want a capacity remediation hint", qe.Hint)
 	}
 }
+
+func TestDeviceDeathDuringPrefetch(t *testing.T) {
+	want := baseline(t)
+
+	// Calibrate how many write requests device 0 absorbs during Q9's spill
+	// phase, so the kill can be scheduled just past them — the device then
+	// dies while phase-2 readback (including the partition scheduler's
+	// prefetched block reads) is under way, not during the write path the
+	// permanent-failure test already covers.
+	cal := newEngine(t, spilly.Config{})
+	calRes, err := cal.RunTPCH(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d0 := cal.SpillArray().PerDevice()[0]
+	if d0.Writes == 0 || d0.Reads == 0 {
+		t.Fatalf("device 0 saw %d writes / %d reads; Q9 at this scale no longer exercises readback on it", d0.Writes, d0.Reads)
+	}
+	if calRes.Stats.PrefetchedPartitions == 0 {
+		t.Fatal("no partitions prefetched; the scheduler is not running ahead of phase 2")
+	}
+
+	eng := newEngine(t, spilly.Config{})
+	chaos.Schedule{Seed: 11, KillDevice: 0, KillAfterOps: d0.Writes + 1}.Apply(eng.SpillArray())
+
+	res, err := eng.RunTPCH(9)
+	if err == nil {
+		// The run spread its spill across the survivors (or device 0's
+		// blocks were all read before the kill threshold): results must
+		// still be exact.
+		if got := chaos.Fingerprint(res.Batch); got != want {
+			t.Fatalf("run with mid-readback death returned wrong rows:\n%s\nvs\n%s", got, want)
+		}
+	} else {
+		// Spilled blocks died with the device: the failure must be the
+		// structured spill-read error naming it — whether the read was a
+		// consumer's demand read or a prefetch issued partitions ahead —
+		// not a hang, panic, or generic error.
+		var qe *spilly.QueryError
+		if !errors.As(err, &qe) {
+			t.Fatalf("err = %v (%T), want *QueryError", err, err)
+		}
+		if qe.Device != 0 {
+			t.Fatalf("QueryError.Device = %d, want 0", qe.Device)
+		}
+	}
+
+	// The aborted readback must not leak scheduler-owned buffers or budget:
+	// heal the array and the same engine must produce the exact result.
+	chaos.Clear(eng.SpillArray())
+	res, err = eng.RunTPCH(9)
+	if err != nil {
+		t.Fatalf("query after healing failed: %v", err)
+	}
+	if got := chaos.Fingerprint(res.Batch); got != want {
+		t.Fatal("result after healing differs from fault-free run")
+	}
+}

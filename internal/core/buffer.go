@@ -157,9 +157,9 @@ type Shared struct {
 	partitionOn atomic.Bool
 	mask        SpillMask
 
-	mu      sync.Mutex
-	result  Result
-	merged  int
+	mu       sync.Mutex
+	result   Result
+	merged   int
 	firstErr error
 }
 
@@ -572,6 +572,12 @@ type Result struct {
 	// level any thread reached.
 	RegLevelChanges int64
 	RegMaxLevel     int
+
+	// PartDistinct, when non-nil, holds per-partition distinct-key
+	// estimates (indexed by partition) from the HLL sketches built during
+	// materialization, so phase 2 can size each partition's hash table from
+	// its real key cardinality instead of its tuple count (§4.4).
+	PartDistinct []int64
 
 	inMemByPart [][]*pages.Page
 	released    bool

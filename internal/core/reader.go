@@ -183,34 +183,44 @@ func (r *PartitionReader) fill() {
 
 // decodeGroup turns a completed block read into pages.
 func (r *PartitionReader) decodeGroup(g *blockGroup) error {
-	for _, s := range g.slots {
-		if int(s.Off)+int(s.Len) > len(g.buf) {
-			return fmt.Errorf("core: spilled slot %v exceeds block bounds", s)
+	ready, owned, err := decodeBlockSlots(g.buf, g.slots, r.pageSize, r.ready, r.owned)
+	r.ready, r.owned = ready, owned
+	g.buf = nil // buffer ownership moved to r.owned; Release recycles it
+	return err
+}
+
+// decodeBlockSlots decodes the staged pages of one completed block read,
+// appending page views to ready and any decompression buffers it draws from
+// the recycler to owned (the block buffer itself is assumed to be tracked by
+// the caller already). Shared by PartitionReader and PartitionScheduler.
+func decodeBlockSlots(buf []byte, slots []SpilledSlot, pageSize int, ready []*pages.Page, owned [][]byte) ([]*pages.Page, [][]byte, error) {
+	for _, s := range slots {
+		if int(s.Off)+int(s.Len) > len(buf) {
+			return ready, owned, fmt.Errorf("core: spilled slot %v exceeds block bounds", s)
 		}
-		data := g.buf[s.Off : s.Off+s.Len]
+		data := buf[s.Off : s.Off+s.Len]
 		var block []byte
 		if s.Scheme == codec.None {
 			block = data
 		} else {
 			c := codec.ByID(s.Scheme)
 			if c == nil {
-				return fmt.Errorf("core: spilled slot uses unknown codec %d", s.Scheme)
+				return ready, owned, fmt.Errorf("core: spilled slot uses unknown codec %d", s.Scheme)
 			}
-			dec, err := c.Decompress(pages.GetBuf(r.pageSize)[:0], data)
+			dec, err := c.Decompress(pages.GetBuf(pageSize)[:0], data)
 			if err != nil {
-				return fmt.Errorf("core: decompressing spilled page: %w", err)
+				return ready, owned, fmt.Errorf("core: decompressing spilled page: %w", err)
 			}
 			block = dec
-			r.owned = append(r.owned, dec[:cap(dec)])
+			owned = append(owned, dec[:cap(dec)])
 		}
-		p, err := pages.Load(block[:r.pageSize])
+		p, err := pages.Load(block[:pageSize])
 		if err != nil {
-			return fmt.Errorf("core: loading spilled page: %w", err)
+			return ready, owned, fmt.Errorf("core: loading spilled page: %w", err)
 		}
-		r.ready = append(r.ready, p)
+		ready = append(ready, p)
 	}
-	g.buf = nil // buffer ownership moved to r.owned; Release recycles it
-	return nil
+	return ready, owned, nil
 }
 
 // Release returns every buffer the decoded pages alias to the recycler.

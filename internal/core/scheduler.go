@@ -1,0 +1,488 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"github.com/spilly-db/spilly/internal/nvmesim"
+	"github.com/spilly-db/spilly/internal/pages"
+	"github.com/spilly-db/spilly/internal/uring"
+)
+
+// PartitionWork is one spilled partition queued for readback: the partition
+// index and its spilled page slots (as recorded in a Result).
+type PartitionWork struct {
+	Part  int
+	Slots []SpilledSlot
+}
+
+// PartitionCursor streams one spilled partition's pages back to a phase-2
+// consumer. It is the PartitionReader-shaped interface both the blocking
+// baseline and the scheduler's prefetching cursors implement: Next yields
+// pages until (nil, nil), Release recycles the partition's buffers once
+// nothing references its tuples anymore, and the counters feed the
+// consumer's stats and trace span after the partition is consumed.
+type PartitionCursor interface {
+	Next() (*pages.Page, error)
+	Release()
+	// BytesRead returns the bytes read from the array for this partition.
+	BytesRead() int64
+	// Retries returns transient read errors recovered by retrying.
+	Retries() int64
+	// StallNanos returns the wall time the consumer spent inside Next —
+	// the spill-read stall this partition inflicted on phase-2 compute.
+	StallNanos() int64
+	// Prefetched reports whether readback was already under way (at least
+	// one block read issued) before the consumer opened the cursor.
+	Prefetched() bool
+}
+
+// PartitionScheduler keeps the block reads of upcoming spilled partitions in
+// flight while the current partition is being processed (paper §5.1: "aiming
+// to maintain a full I/O queue" — phase 2's half of the overlap story; the
+// write path already overlaps). It owns one I/O ring, takes an ordered list
+// of partition work items, and hands each consumer a streaming cursor.
+//
+// Prefetch is budget-aware: block and decode buffers for partitions no
+// consumer has opened yet are reserved against the query budget first, and
+// the scheduler simply stops looking ahead when the reservation fails —
+// lookahead shrinks under memory pressure instead of OOMing. Demand reads
+// (for partitions a consumer has opened) bypass the gate, exactly like the
+// blocking PartitionReader they replace, so budget pressure can never
+// deadlock a consumer.
+//
+// Concurrency: the ring is single-threaded by design, so consumers use a
+// leader/follower protocol — whichever cursor needs pages and finds no
+// leader pumping becomes the leader, submits and polls the ring outside the
+// scheduler lock, and hands completions back under the lock; followers wait
+// on a condition variable. All methods and cursors are safe for concurrent
+// use by one consumer per partition.
+type PartitionScheduler struct {
+	ctx      context.Context
+	arr      *nvmesim.Array
+	clock    nvmesim.Clock
+	budget   *pages.Budget
+	pageSize int
+	depth    int
+	blocking bool
+	work     []PartitionWork
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	ring    *uring.Ring
+	pumping bool
+	closed  bool
+
+	items    []*schedItem
+	inflight int // block reads in flight or queued, all items
+	pending  map[uint64]pendingRead
+	nextUD   uint64
+	scratch  []uring.Completion
+
+	prefetched int64
+}
+
+type pendingRead struct {
+	item  *schedItem
+	group int
+}
+
+// schedItem is the scheduler-side state of one partition work item.
+type schedItem struct {
+	part      int
+	groups    []blockGroup
+	nextGroup int // next group to issue a read for
+	inflightN int // this item's reads in flight
+	decoded   int // groups fully decoded into ready pages
+	issued    bool
+
+	ready []*pages.Page
+	owned [][]byte // recycler-backed buffers the decoded pages alias
+
+	opened   bool
+	released bool
+	reserved int64 // prefetch budget reservation, released at Open/Release
+	err      error // sticky per-partition failure
+
+	bytesRead int64
+	retries   int64
+}
+
+// NewPartitionScheduler returns a scheduler over the given work items. ctx
+// cancels blocking waits (nil = background); depth bounds in-flight block
+// reads across the whole scheduler (<= 0 selects DefaultReadDepth); budget,
+// when non-nil, gates prefetch lookahead (demand reads are never gated).
+// With blocking set, the scheduler degrades to the pre-scheduler baseline:
+// Open returns a plain synchronous PartitionReader and nothing is
+// prefetched — the configuration the overlap benchmark measures against.
+func NewPartitionScheduler(ctx context.Context, arr *nvmesim.Array, pageSize int, work []PartitionWork, depth int, budget *pages.Budget, blocking bool) *PartitionScheduler {
+	if depth <= 0 {
+		depth = DefaultReadDepth
+	}
+	s := &PartitionScheduler{
+		ctx:      ctx,
+		arr:      arr,
+		clock:    arr.Clock(),
+		budget:   budget,
+		pageSize: pageSize,
+		depth:    depth,
+		blocking: blocking,
+		work:     work,
+	}
+	s.cond = sync.NewCond(&s.mu)
+	if blocking {
+		return s
+	}
+	s.ring = uring.New(arr)
+	if ctx != nil {
+		s.ring.SetCancel(func() bool { return ctx.Err() != nil })
+	}
+	s.pending = make(map[uint64]pendingRead)
+	s.items = make([]*schedItem, len(work))
+	for i, w := range work {
+		it := &schedItem{part: w.Part}
+		byLoc := make(map[nvmesim.Loc]int, len(w.Slots))
+		for _, sl := range w.Slots {
+			gi, ok := byLoc[sl.Loc]
+			if !ok {
+				gi = len(it.groups)
+				byLoc[sl.Loc] = gi
+				it.groups = append(it.groups, blockGroup{loc: sl.Loc})
+			}
+			it.groups[gi].slots = append(it.groups[gi].slots, sl)
+		}
+		s.items[i] = it
+	}
+	return s
+}
+
+// Open hands out the streaming cursor for work item i. Each item must be
+// opened by exactly one consumer; opening releases the item's prefetch
+// reservation (its pages now stand in for the partition the consumer would
+// otherwise have materialized) and promotes its remaining reads to demand.
+func (s *PartitionScheduler) Open(i int) PartitionCursor {
+	if s.blocking {
+		r := NewPartitionReader(s.ctx, s.arr, s.pageSize, s.work[i].Slots, s.depth)
+		return &blockingCursor{r: r}
+	}
+	s.mu.Lock()
+	it := s.items[i]
+	it.opened = true
+	if it.reserved > 0 {
+		s.budget.Release(it.reserved)
+		it.reserved = 0
+	}
+	pre := it.issued
+	if pre {
+		s.prefetched++
+	}
+	s.mu.Unlock()
+	return &schedCursor{s: s, it: it, pre: pre}
+}
+
+// PrefetchedPartitions returns how many partitions had readback under way
+// before their consumer opened them.
+func (s *PartitionScheduler) PrefetchedPartitions() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.prefetched
+}
+
+// issueLocked tops up the ring: demand reads for opened partitions first
+// (unconditionally, up to the per-consumer depth the blocking reader would
+// use — an opened cursor must always be able to make progress), then
+// prefetch for upcoming partitions in work order while the depth and the
+// budget allow.
+func (s *PartitionScheduler) issueLocked() {
+	for _, it := range s.items {
+		if !it.opened || it.released || it.err != nil {
+			continue
+		}
+		for it.nextGroup < len(it.groups) && it.inflightN < s.depth {
+			s.queueGroupLocked(it)
+		}
+	}
+	// preInflight counts prefetch reads in flight across all unopened items;
+	// prefetch as a whole gets one consumer's worth of queue depth.
+	preInflight := 0
+	for _, it := range s.items {
+		if !it.opened && !it.released {
+			preInflight += it.inflightN
+		}
+	}
+	for _, it := range s.items {
+		if it.opened || it.released || it.err != nil {
+			continue
+		}
+		for it.nextGroup < len(it.groups) && preInflight < s.depth {
+			g := &it.groups[it.nextGroup]
+			// A prefetched group costs its block read buffer plus one
+			// decode buffer per staged page.
+			cost := int64(g.loc.Size()) + int64(len(g.slots))*int64(s.pageSize)
+			if !s.budget.TryReserve(cost) {
+				// Budget headroom gone: shrink the lookahead window rather
+				// than abandoning overlap entirely. One unreserved group may
+				// stay in flight — the same transient buffer footprint the
+				// blocking reader imposes the moment the next partition
+				// opens — so readback keeps running ahead of compute even
+				// when the operator has eaten the whole budget.
+				if preInflight > 0 {
+					return
+				}
+				cost = 0
+			}
+			it.reserved += cost
+			s.queueGroupLocked(it)
+			preInflight++
+		}
+	}
+}
+
+// queueGroupLocked queues the item's next block read on the ring.
+func (s *PartitionScheduler) queueGroupLocked(it *schedItem) {
+	g := &it.groups[it.nextGroup]
+	g.buf = pages.GetBuf(int(g.loc.Size()))
+	it.owned = append(it.owned, g.buf)
+	s.nextUD++
+	s.ring.QueueRead(g.loc, g.buf, s.nextUD)
+	s.pending[s.nextUD] = pendingRead{item: it, group: it.nextGroup}
+	it.nextGroup++
+	it.inflightN++
+	s.inflight++
+	it.issued = true
+}
+
+// retryUnlocked runs on the leader outside the scheduler lock: transient
+// failures with retry budget left are re-queued (same device — spilled data
+// has one copy, so reads cannot fail over) after a capped backoff, and the
+// remaining completions are returned for processing under the lock. Leader
+// state (ring, pending, nextUD, group attempts) is only ever touched by the
+// current leader; leadership transfer happens under the lock.
+func (s *PartitionScheduler) retryUnlocked(comps []uring.Completion) ([]uring.Completion, []*schedItem) {
+	out := comps[:0]
+	var retried []*schedItem
+	requeued := false
+	for _, c := range comps {
+		pr, ok := s.pending[c.UserData]
+		if ok && c.Err != nil && nvmesim.IsTransient(c.Err) && pr.item.groups[pr.group].attempts+1 < maxReadAttempts {
+			g := &pr.item.groups[pr.group]
+			g.attempts++
+			delete(s.pending, c.UserData)
+			s.clock.Sleep(retryBackoff(g.attempts))
+			s.nextUD++
+			s.ring.QueueRead(g.loc, g.buf, s.nextUD)
+			s.pending[s.nextUD] = pr
+			retried = append(retried, pr.item)
+			requeued = true
+			continue
+		}
+		out = append(out, c)
+	}
+	if requeued {
+		s.ring.Submit()
+	}
+	return out, retried
+}
+
+// processLocked folds reaped completions into item state: successful block
+// reads decode into ready pages, failures become sticky structured errors.
+func (s *PartitionScheduler) processLocked(comps []uring.Completion, retried []*schedItem) {
+	for _, it := range retried {
+		it.retries++
+	}
+	for _, c := range comps {
+		pr, ok := s.pending[c.UserData]
+		if !ok {
+			continue
+		}
+		delete(s.pending, c.UserData)
+		it := pr.item
+		it.inflightN--
+		s.inflight--
+		it.decoded++
+		if c.Err != nil {
+			if it.err == nil {
+				it.err = &QueryError{Op: "spill-read", Part: it.part, Device: c.Loc.Device(), Err: c.Err}
+			}
+			continue
+		}
+		it.bytesRead += int64(c.N)
+		if it.released || it.err != nil {
+			continue // pages are dead on arrival; buffers recycle at Close
+		}
+		g := &it.groups[pr.group]
+		ready, owned, err := decodeBlockSlots(g.buf, g.slots, s.pageSize, it.ready, it.owned)
+		it.ready, it.owned = ready, owned
+		g.buf = nil
+		if err != nil && it.err == nil {
+			it.err = WrapQueryError("spill-read", err)
+		}
+	}
+}
+
+// Close drains outstanding reads and recycles every remaining buffer and
+// budget reservation. Consumers register it as a query-end cleanup so error
+// paths and never-opened prefetch items cannot leak; it is idempotent and a
+// normal run that released every cursor has nothing left to do here.
+func (s *PartitionScheduler) Close() {
+	if s.blocking {
+		return
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	for s.pumping {
+		s.cond.Wait()
+	}
+	s.pumping = true // exclusive ring access for the final drain
+	s.mu.Unlock()
+	s.scratch = s.ring.WaitAll(s.scratch[:0])
+	s.mu.Lock()
+	s.pumping = false
+	s.pending = nil
+	for _, it := range s.items {
+		if it.reserved > 0 {
+			s.budget.Release(it.reserved)
+			it.reserved = 0
+		}
+		if !it.released {
+			it.released = true
+		}
+		it.ready = nil
+		for _, b := range it.owned {
+			pages.PutBuf(b)
+		}
+		it.owned = nil
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// schedCursor is the consumer-side view of one scheduled partition.
+type schedCursor struct {
+	s       *PartitionScheduler
+	it      *schedItem
+	pre     bool
+	stallNs int64
+}
+
+// Next returns the partition's next page, or (nil, nil) once every block
+// has been decoded and handed out. When no page is ready it joins the
+// leader/follower pump: the leader submits and polls the shared ring with
+// the scheduler lock dropped; followers wait for its broadcast.
+func (c *schedCursor) Next() (*pages.Page, error) {
+	start := time.Now()
+	s, it := c.s, c.it
+	s.mu.Lock()
+	for {
+		if it.err != nil {
+			err := it.err
+			s.mu.Unlock()
+			c.stallNs += int64(time.Since(start))
+			return nil, err
+		}
+		if s.ctx != nil && s.ctx.Err() != nil {
+			it.err = WrapQueryError("spill-read", s.ctx.Err())
+			continue
+		}
+		if s.closed {
+			it.err = &QueryError{Op: "spill-read", Part: it.part, Device: -1, Err: context.Canceled}
+			continue
+		}
+		if n := len(it.ready); n > 0 {
+			p := it.ready[n-1]
+			it.ready = it.ready[:n-1]
+			s.mu.Unlock()
+			c.stallNs += int64(time.Since(start))
+			return p, nil
+		}
+		if it.decoded >= len(it.groups) {
+			s.mu.Unlock()
+			c.stallNs += int64(time.Since(start))
+			return nil, nil
+		}
+		if s.pumping {
+			s.cond.Wait()
+			continue
+		}
+		s.pumping = true
+		s.issueLocked()
+		s.mu.Unlock()
+		s.ring.Submit()
+		comps := s.ring.Poll(s.scratch[:0], true)
+		comps, retried := s.retryUnlocked(comps)
+		s.mu.Lock()
+		s.scratch = comps[:0]
+		s.pumping = false
+		s.processLocked(comps, retried)
+		s.cond.Broadcast()
+	}
+}
+
+// Release recycles the partition's buffers and releases any leftover
+// prefetch reservation. Call it only once nothing references the
+// partition's tuples anymore. Buffers still owned by in-flight reads stay
+// out of the recycler until the scheduler's Close drains them.
+func (c *schedCursor) Release() {
+	s, it := c.s, c.it
+	s.mu.Lock()
+	if !it.released {
+		it.released = true
+		if it.reserved > 0 {
+			s.budget.Release(it.reserved)
+			it.reserved = 0
+		}
+		if it.inflightN == 0 {
+			it.ready = nil
+			for _, b := range it.owned {
+				pages.PutBuf(b)
+			}
+			it.owned = nil
+		}
+	}
+	s.mu.Unlock()
+}
+
+// BytesRead returns bytes read from the array for this partition.
+func (c *schedCursor) BytesRead() int64 {
+	c.s.mu.Lock()
+	defer c.s.mu.Unlock()
+	return c.it.bytesRead
+}
+
+// Retries returns transient read errors recovered for this partition.
+func (c *schedCursor) Retries() int64 {
+	c.s.mu.Lock()
+	defer c.s.mu.Unlock()
+	return c.it.retries
+}
+
+// StallNanos returns the wall time this cursor's consumer spent inside Next.
+func (c *schedCursor) StallNanos() int64 { return c.stallNs }
+
+// Prefetched reports whether readback had started before Open.
+func (c *schedCursor) Prefetched() bool { return c.pre }
+
+// blockingCursor adapts the synchronous PartitionReader to the cursor
+// interface — the scheduler's blocking baseline mode.
+type blockingCursor struct {
+	r       *PartitionReader
+	stallNs int64
+}
+
+func (c *blockingCursor) Next() (*pages.Page, error) {
+	start := time.Now()
+	p, err := c.r.Next()
+	c.stallNs += int64(time.Since(start))
+	return p, err
+}
+
+func (c *blockingCursor) Release()          { c.r.Release() }
+func (c *blockingCursor) BytesRead() int64  { return c.r.BytesRead() }
+func (c *blockingCursor) Retries() int64    { return c.r.Retries() }
+func (c *blockingCursor) StallNanos() int64 { return c.stallNs }
+func (c *blockingCursor) Prefetched() bool  { return false }

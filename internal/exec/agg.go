@@ -760,6 +760,7 @@ func (a *Agg) mergePhase(ctx *Ctx, sp *trace.Span, res *core.Result, rcPart *dat
 	type task struct {
 		shard int // >= 0: global shard; -1: partition
 		part  int
+		item  int // scheduler work item for partition tasks
 	}
 	var tasks []task
 	for s := range global.shards {
@@ -767,16 +768,26 @@ func (a *Agg) mergePhase(ctx *Ctx, sp *trace.Span, res *core.Result, rcPart *dat
 			tasks = append(tasks, task{shard: s})
 		}
 	}
+	// Spilled partitions go through the readback scheduler in task order,
+	// so while one worker merges partition k the ring is already reading
+	// the next partitions — the merge loop never stalls at a partition
+	// boundary.
+	var items []core.PartitionWork
+	anySlots := false
 	for p := 0; p < res.Partitions; p++ {
 		if mask&(1<<uint(p)) != 0 {
-			tasks = append(tasks, task{shard: -1, part: p})
+			tasks = append(tasks, task{shard: -1, part: p, item: len(items)})
+			items = append(items, core.PartitionWork{Part: p, Slots: res.Spilled[p]})
+			anySlots = anySlots || len(res.Spilled[p]) > 0
 		}
 	}
-	var taskCursor atomic.Int64
-	pageSize := ctx.PageSize
-	if pageSize == 0 {
-		pageSize = pages.DefaultPageSize
+	var sched *core.PartitionScheduler
+	if anySlots {
+		sched = core.NewPartitionScheduler(ctx.goCtx(), ctx.Spill.Array, ctx.pageSize(),
+			items, ctx.readDepth(), ctx.Budget, ctx.BlockingSpillRead)
+		ctx.AddCleanup(sched.Close)
 	}
+	var taskCursor atomic.Int64
 
 	return ctx.traceStream(&Stream{
 		schema: a.schema,
@@ -793,7 +804,7 @@ func (a *Agg) mergePhase(ctx *Ctx, sp *trace.Span, res *core.Result, rcPart *dat
 						a.emitGroup(b, g)
 					}
 				} else {
-					n, err := a.emitPartition(ctx, sp, b, res, rcPart, keyFields, overflow[t.part], t.part, pageSize)
+					n, err := a.emitPartition(ctx, sp, b, rcPart, keyFields, overflow[t.part], t.part, sched, t.item)
 					if err != nil {
 						return 0, err
 					}
@@ -810,8 +821,8 @@ func (a *Agg) mergePhase(ctx *Ctx, sp *trace.Span, res *core.Result, rcPart *dat
 }
 
 // emitPartition merges one spilled partition (overflow tuples + read-back
-// pages) and emits its groups.
-func (a *Agg) emitPartition(ctx *Ctx, sp *trace.Span, b *data.Batch, res *core.Result, rcPart *data.RowCodec, keyFields []int, overflow [][]byte, part, pageSize int) (int, error) {
+// pages, streamed through the scheduler) and emits its groups.
+func (a *Agg) emitPartition(ctx *Ctx, sp *trace.Span, b *data.Batch, rcPart *data.RowCodec, keyFields []int, overflow [][]byte, part int, sched *core.PartitionScheduler, item int) (int, error) {
 	local := newMergeTable(1)
 	scratch := make([]byte, 0, 128)
 	// Overflow holds every in-memory tuple of this partition (routed there
@@ -819,11 +830,12 @@ func (a *Agg) emitPartition(ctx *Ctx, sp *trace.Span, b *data.Batch, res *core.R
 	for _, tuple := range overflow {
 		scratch = local.merge(a, rcPart, tuple, rcPart.HashTuple(tuple, keyFields), scratch)
 	}
-	if slots := res.Spilled[part]; len(slots) > 0 {
-		r := core.NewPartitionReader(ctx.goCtx(), ctx.Spill.Array, pageSize, slots, core.DefaultReadDepth)
+	if sched != nil {
+		cur := sched.Open(item)
 		for {
-			pg, err := r.Next()
+			pg, err := cur.Next()
 			if err != nil {
+				chargeSpillCursor(ctx, sp, cur)
 				return 0, fmt.Errorf("exec: agg reading partition %d: %w", part, err)
 			}
 			if pg == nil {
@@ -834,14 +846,10 @@ func (a *Agg) emitPartition(ctx *Ctx, sp *trace.Span, b *data.Batch, res *core.R
 				scratch = local.merge(a, rcPart, tuple, rcPart.HashTuple(tuple, keyFields), scratch)
 			}
 		}
-		if ctx.Stats != nil {
-			ctx.Stats.SpillReadBytes.Add(r.BytesRead())
-			ctx.Stats.SpillRetries.Add(r.Retries())
-		}
-		sp.AddSpillRead(r.BytesRead(), r.Retries())
+		chargeSpillCursor(ctx, sp, cur)
 		// Every key and Min/Max string was copied into the merge table, so
 		// the read-back buffers can be recycled before emitting.
-		r.Release()
+		cur.Release()
 	}
 	n := 0
 	for _, g := range local.shards[0].m {

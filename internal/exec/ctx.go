@@ -55,6 +55,15 @@ type Ctx struct {
 	// time attribution (see traceStream); allocated on first traced
 	// stream wrap.
 	traceNest []nestSlot
+	// ReadDepth bounds in-flight spill readback block reads per operator
+	// (0 = core.DefaultReadDepth). Deeper queues keep more of the array's
+	// aggregate bandwidth busy during phase 2 (§5.2).
+	ReadDepth int
+	// BlockingSpillRead disables phase-2 readback overlap: every spilled
+	// partition is read back synchronously when its consumer reaches it,
+	// with no cross-partition prefetch — the pre-scheduler baseline the
+	// overlap benchmark and the equivalence tests compare against.
+	BlockingSpillRead bool
 	// ForceGrace makes every join run as a classical grace hash join —
 	// the always-partitioning baseline of Figure 2.
 	ForceGrace bool
@@ -151,6 +160,22 @@ func (c *Ctx) canceled() error {
 	return c.Context.Err()
 }
 
+// readDepth returns the spill readback depth, defaulted.
+func (c *Ctx) readDepth() int {
+	if c.ReadDepth <= 0 {
+		return core.DefaultReadDepth
+	}
+	return c.ReadDepth
+}
+
+// pageSize returns the materialization page size, defaulted.
+func (c *Ctx) pageSize() int {
+	if c.PageSize <= 0 {
+		return pages.DefaultPageSize
+	}
+	return c.PageSize
+}
+
 func (c *Ctx) coreConfig() core.Config {
 	return core.Config{
 		Ctx:         c.Context,
@@ -174,6 +199,12 @@ type Stats struct {
 	SpilledOps     atomic.Int64 // operators that spilled
 	SpillRetries   atomic.Int64 // transient I/O errors recovered by retry
 	SpillFailovers atomic.Int64 // spill writes re-striped away from a dead device
+
+	// Phase-2 overlap counters: worker wall time spent stalled inside
+	// spill-readback Next calls, and spilled partitions whose readback was
+	// already in flight when their consumer opened them.
+	SpillStallNanos      atomic.Int64
+	PrefetchedPartitions atomic.Int64
 
 	histMu sync.Mutex
 	hist   map[codec.ID]int64 // spilled pages per compression scheme
@@ -212,6 +243,27 @@ func (s *Stats) SchemeHistogram() map[codec.ID]int64 {
 		out[id] = n
 	}
 	return out
+}
+
+// chargeSpillCursor folds one partition cursor's readback counters into the
+// query stats and the operator's span. Call it exactly once per cursor, after
+// the consumer is done pulling from it.
+func chargeSpillCursor(ctx *Ctx, sp *trace.Span, c core.PartitionCursor) {
+	if c == nil {
+		return
+	}
+	var pre int64
+	if c.Prefetched() {
+		pre = 1
+	}
+	if ctx.Stats != nil {
+		ctx.Stats.SpillReadBytes.Add(c.BytesRead())
+		ctx.Stats.SpillRetries.Add(c.Retries())
+		ctx.Stats.SpillStallNanos.Add(c.StallNanos())
+		ctx.Stats.PrefetchedPartitions.Add(pre)
+	}
+	sp.AddSpillRead(c.BytesRead(), c.Retries())
+	sp.AddSpillStall(c.StallNanos(), pre)
 }
 
 // Stream is a parallel batch stream: workers 0..Workers-1 each repeatedly

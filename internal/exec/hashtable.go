@@ -131,6 +131,64 @@ func buildHashTable(pgs []*pages.Page, rc *data.RowCodec, keys []int, distinctHi
 	return ht, nil
 }
 
+// newStreamingHashTable returns an empty table sized for distinctHint keys
+// (per-partition HLL estimates, §4.4; <= 0 starts minimal and relies on
+// growth). Pages are then fed in one at a time with insertPage as they
+// arrive from the readback scheduler — the streaming counterpart of
+// buildHashTable for phase-2 partition builds, where completion order is
+// irrelevant and each partition is built by a single worker.
+func newStreamingHashTable(rc *data.RowCodec, keys []int, distinctHint int64) *hashTable {
+	size := distinctHint
+	if size <= 0 {
+		size = 1
+	}
+	nBuckets := int64(1024)
+	for nBuckets < size*2 {
+		nBuckets *= 2
+	}
+	return &hashTable{
+		buckets: make([]int32, nBuckets),
+		shift:   uint(64 - log2(uint64(nBuckets))),
+		rc:      rc,
+		keys:    keys,
+	}
+}
+
+// insertPage appends one page's tuples to the table. Single-threaded by
+// contract (one partition, one worker), so links are plain stores.
+func (h *hashTable) insertPage(p *pages.Page) {
+	n := p.Tuples()
+	if need := len(h.entries) + n; need*2 > len(h.buckets) {
+		h.grow(need)
+	}
+	pi := int32(len(h.pages))
+	h.pages = append(h.pages, p)
+	for t := 0; t < n; t++ {
+		e := htEntry{hash: h.rc.HashTuple(p.Tuple(t), h.keys), page: pi, tup: int32(t)}
+		b := e.hash >> h.shift
+		e.next = h.buckets[b]
+		h.entries = append(h.entries, e)
+		h.buckets[b] = int32(len(h.entries)) // index + 1
+	}
+}
+
+// grow rebuilds the bucket array to keep the load factor at or below 1/2
+// (the HLL hint usually makes this a no-op; it fires when the estimate was
+// low or absent).
+func (h *hashTable) grow(need int) {
+	nBuckets := int64(len(h.buckets))
+	for nBuckets < int64(need)*2 {
+		nBuckets *= 2
+	}
+	h.buckets = make([]int32, nBuckets)
+	h.shift = uint(64 - log2(uint64(nBuckets)))
+	for i := range h.entries {
+		b := h.entries[i].hash >> h.shift
+		h.entries[i].next = h.buckets[b]
+		h.buckets[b] = int32(i + 1)
+	}
+}
+
 func log2(v uint64) int {
 	n := 0
 	for v > 1 {

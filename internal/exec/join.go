@@ -147,7 +147,16 @@ func (j *Join) runBuild(ctx *Ctx, sp *trace.Span) (*core.Result, *data.RowCodec,
 	}
 	shared := core.NewShared(cfg)
 	workers := ctx.workers()
-	sketches := make([]*hll.Sketch, workers)
+	parts := cfg.Partitions
+	if parts <= 0 {
+		parts = core.MaxPartitions
+	}
+	shiftP := uint(64 - log2(uint64(parts)))
+	// Per-worker, per-partition HyperLogLog sketches: partition routing
+	// consumes the hash prefix, so slicing the sketches the same way yields
+	// a statistically valid distinct estimate per partition — the hint
+	// phase 2 sizes each partition's hash table from (§4.4).
+	sketches := make([][]*hll.Sketch, workers)
 	err = runWorkers("join-build", workers, func(w int) error {
 		done := false
 		defer func() {
@@ -156,8 +165,8 @@ func (j *Join) runBuild(ctx *Ctx, sp *trace.Span) (*core.Result, *data.RowCodec,
 			}
 		}()
 		buf := shared.NewBuffer()
-		sk := hll.New()
-		sketches[w] = sk
+		skp := make([]*hll.Sketch, parts)
+		sketches[w] = skp
 		b := ctx.BatchPool(bSchema).Get()
 		defer b.Release()
 		var be batchEncoder
@@ -173,7 +182,15 @@ func (j *Join) runBuild(ctx *Ctx, sp *trace.Span) (*core.Result, *data.RowCodec,
 			// Batch materialization: hashing, sizing, and encoding all run
 			// column-at-a-time. The HyperLogLog sketch computes a key hash
 			// anyway; Umami reuses it for adaptive partitioning (§4.5).
-			be.materialize(buf, rcB, b, bKeyCols, func(i int, h uint64) { sk.Add(h) })
+			be.materialize(buf, rcB, b, bKeyCols, func(i int, h uint64) {
+				p := int(h >> shiftP)
+				sk := skp[p]
+				if sk == nil {
+					sk = hll.New()
+					skp[p] = sk
+				}
+				sk.Add(h)
+			})
 		}
 	})
 	if err != nil {
@@ -194,26 +211,43 @@ func (j *Join) runBuild(ctx *Ctx, sp *trace.Span) (*core.Result, *data.RowCodec,
 	if shared.PartitioningActive() {
 		sp.SetPartitioned()
 	}
+	// Merge the sketch grid: per-partition estimates feed phase-2 table
+	// sizing; their union (register-wise max is associative) sizes the
+	// global in-memory table exactly as the single sketch used to.
+	partDistinct := make([]int64, parts)
 	merged := hll.New()
-	for _, sk := range sketches {
-		merged.Merge(sk)
+	acc := hll.New()
+	for p := 0; p < parts; p++ {
+		acc.Reset()
+		any := false
+		for w := range sketches {
+			if sk := sketches[w][p]; sk != nil {
+				acc.Merge(sk)
+				any = true
+			}
+		}
+		if any {
+			partDistinct[p] = int64(acc.Estimate())
+			merged.Merge(acc)
+		}
 	}
+	bres.PartDistinct = partDistinct
 	bKeyFields := bKeyCols // build tuples carry the full build schema
 	return bres, rcB, bKeyFields, int64(merged.Estimate()), nil
 }
 
 // joinShared is the probe-phase state shared by all workers.
 type joinShared struct {
-	j       *Join
-	ctx     *Ctx
-	sp      *trace.Span
-	bres    *core.Result
-	rcB     *data.RowCodec
-	bKeys   []int
-	ht      *hashTable
-	mask    uint64
-	shiftP  uint // partition shift (64 - log2 partitions)
-	nBuild  int  // build schema width
+	j      *Join
+	ctx    *Ctx
+	sp     *trace.Span
+	bres   *core.Result
+	rcB    *data.RowCodec
+	bKeys  []int
+	ht     *hashTable
+	mask   uint64
+	shiftP uint // partition shift (64 - log2 partitions)
+	nBuild int  // build schema width
 
 	pSchema  *data.Schema
 	pmSchema *data.Schema // probe materialization schema (probe ⊕ matched flag for Outer)
@@ -227,6 +261,7 @@ type joinShared struct {
 	finalOnce  sync.Once
 	pres       *core.Result
 	routed     []int
+	sched      *core.PartitionScheduler // nil when no partition spilled
 	partCursor atomic.Int64
 	err        errValue
 }
@@ -312,14 +347,18 @@ type joinWorker struct {
 	cur   *partJoinState
 }
 
+// partJoinState is one worker's in-progress spilled partition: the build
+// table (streamed in at open), the probe side's in-memory pages, and the
+// probe cursor still being pulled from — probe pages of a spilled partition
+// are joined as they arrive from the scheduler instead of being materialized
+// first.
 type partJoinState struct {
-	ht         *hashTable
-	probePages []*pages.Page
-	idx        int
-	// release recycles the partition readers' buffers; called once the
-	// partition is exhausted (hash table dropped, every emitted string
-	// arena-interned).
-	release func()
+	part     int
+	ht       *hashTable
+	memPages []*pages.Page // probe side in-memory pages, consumed first
+	idx      int
+	bcur     core.PartitionCursor // build side, exhausted; pages live until Release
+	pcur     core.PartitionCursor // probe side, streamed
 }
 
 func newJoinWorker(js *joinShared, wid int) *joinWorker {
@@ -502,11 +541,36 @@ func (jw *joinWorker) finalizeProbe() error {
 				js.routed = append(js.routed, p)
 			}
 		}
+		// Schedule readback for every routed partition, build side then
+		// probe side, in claim order — the order workers will consume them
+		// in partitionStep, so prefetch lookahead tracks actual progress.
+		anySpilled := false
+		items := make([]core.PartitionWork, 0, 2*len(js.routed))
+		for _, p := range js.routed {
+			bslots := js.bres.Spilled[p]
+			var pslots []core.SpilledSlot
+			if js.pres != nil {
+				pslots = js.pres.Spilled[p]
+			}
+			anySpilled = anySpilled || len(bslots) > 0 || len(pslots) > 0
+			items = append(items,
+				core.PartitionWork{Part: p, Slots: bslots},
+				core.PartitionWork{Part: p, Slots: pslots})
+		}
+		if anySpilled {
+			js.sched = core.NewPartitionScheduler(js.ctx.goCtx(), js.ctx.Spill.Array,
+				js.ctx.pageSize(), items, js.ctx.readDepth(), js.ctx.Budget,
+				js.ctx.BlockingSpillRead)
+			js.ctx.AddCleanup(js.sched.Close)
+		}
 	})
 	return ferr
 }
 
 // partitionStep processes (part of) one routed partition, emitting into b.
+// Probe pages are pulled one at a time — from the in-memory partition first,
+// then from the readback cursor — so the worker joins page k while the
+// scheduler's ring is already reading page k+1 (and the next partitions).
 func (jw *joinWorker) partitionStep(b *data.Batch) (int, error) {
 	js := jw.js
 	for {
@@ -516,26 +580,40 @@ func (jw *joinWorker) partitionStep(b *data.Batch) (int, error) {
 				jw.stage = 3
 				return 0, nil
 			}
-			st, err := jw.openPartition(js.routed[i])
+			st, err := jw.openPartition(i, js.routed[i])
 			if err != nil {
 				return 0, err
 			}
 			jw.cur = st
 		}
 		st := jw.cur
-		if st.idx >= len(st.probePages) {
+		var pg *pages.Page
+		if st.idx < len(st.memPages) {
+			pg = st.memPages[st.idx]
+			st.idx++
+		} else if st.pcur != nil {
+			next, err := st.pcur.Next()
+			if err != nil {
+				chargeSpillCursor(js.ctx, js.sp, st.pcur)
+				return 0, fmt.Errorf("exec: join reading probe partition %d: %w", st.part, err)
+			}
+			pg = next
+		}
+		if pg == nil {
 			// Partition fully joined: nothing references its pages anymore
 			// (outputs are arena-interned, the hash table dies with st), so
-			// the readers' buffers can be recycled.
+			// the cursors' buffers can be recycled.
 			jw.cur = nil
 			st.ht = nil
-			if st.release != nil {
-				st.release()
+			if st.pcur != nil {
+				chargeSpillCursor(js.ctx, js.sp, st.pcur)
+				st.pcur.Release()
+			}
+			if st.bcur != nil {
+				st.bcur.Release()
 			}
 			continue
 		}
-		pg := st.probePages[st.idx]
-		st.idx++
 		jw.emitProbePage(b, st, pg)
 		if b.Len() > 0 {
 			return b.Len(), nil
@@ -543,66 +621,47 @@ func (jw *joinWorker) partitionStep(b *data.Batch) (int, error) {
 	}
 }
 
-// openPartition assembles the build table and probe pages of partition p.
-func (jw *joinWorker) openPartition(p int) (*partJoinState, error) {
+// openPartition streams the build side of routed partition i (partition p)
+// into a hash table sized from its HLL distinct estimate, and opens the
+// probe-side cursor for partitionStep to pull from.
+func (jw *joinWorker) openPartition(i, p int) (*partJoinState, error) {
 	js := jw.js
-	cfg := core.Config{PageSize: js.ctx.PageSize}
-	pageSize := cfg.PageSize
-	if pageSize == 0 {
-		pageSize = pages.DefaultPageSize
-	}
+	st := &partJoinState{part: p}
 
+	var hint int64
+	if p < len(js.bres.PartDistinct) {
+		hint = js.bres.PartDistinct[p]
+	}
+	st.ht = newStreamingHashTable(js.rcB, js.bKeys, hint)
 	// Build side: spilled pages always; in-memory partition pages only for
 	// the grace baseline (the unified join already covered them in the
 	// global in-memory table).
-	var bpgs []*pages.Page
-	var readers []*core.PartitionReader
 	if js.j.grace(js.ctx) {
-		bpgs = append(bpgs, js.bres.InMemoryByPart(p)...)
-	}
-	if slots := js.bres.Spilled[p]; len(slots) > 0 {
-		r := core.NewPartitionReader(js.ctx.goCtx(), js.ctx.Spill.Array, pageSize, slots, core.DefaultReadDepth)
-		pgs, err := r.ReadAll()
-		if err != nil {
-			return nil, fmt.Errorf("exec: join reading build partition %d: %w", p, err)
+		for _, pg := range js.bres.InMemoryByPart(p) {
+			st.ht.insertPage(pg)
 		}
-		if js.ctx.Stats != nil {
-			js.ctx.Stats.SpillReadBytes.Add(r.BytesRead())
-			js.ctx.Stats.SpillRetries.Add(r.Retries())
-		}
-		js.sp.AddSpillRead(r.BytesRead(), r.Retries())
-		bpgs = append(bpgs, pgs...)
-		readers = append(readers, r)
 	}
-	ht, err := buildHashTable(bpgs, js.rcB, js.bKeys, 0, 1)
-	if err != nil {
-		return nil, err
-	}
-
-	var ppgs []*pages.Page
-	if js.pres != nil {
-		ppgs = append(ppgs, js.pres.InMemoryByPart(p)...)
-		if slots := js.pres.Spilled[p]; len(slots) > 0 {
-			r := core.NewPartitionReader(js.ctx.goCtx(), js.ctx.Spill.Array, pageSize, slots, core.DefaultReadDepth)
-			pgs, err := r.ReadAll()
+	if js.sched != nil {
+		bcur := js.sched.Open(2 * i)
+		for {
+			pg, err := bcur.Next()
 			if err != nil {
-				return nil, fmt.Errorf("exec: join reading probe partition %d: %w", p, err)
+				chargeSpillCursor(js.ctx, js.sp, bcur)
+				return nil, fmt.Errorf("exec: join reading build partition %d: %w", p, err)
 			}
-			if js.ctx.Stats != nil {
-				js.ctx.Stats.SpillReadBytes.Add(r.BytesRead())
-				js.ctx.Stats.SpillRetries.Add(r.Retries())
+			if pg == nil {
+				break
 			}
-			js.sp.AddSpillRead(r.BytesRead(), r.Retries())
-			ppgs = append(ppgs, pgs...)
-			readers = append(readers, r)
+			st.ht.insertPage(pg)
 		}
+		chargeSpillCursor(js.ctx, js.sp, bcur)
+		st.bcur = bcur
+		st.pcur = js.sched.Open(2*i + 1)
 	}
-	release := func() {
-		for _, r := range readers {
-			r.Release()
-		}
+	if js.pres != nil {
+		st.memPages = js.pres.InMemoryByPart(p)
 	}
-	return &partJoinState{ht: ht, probePages: ppgs, release: release}, nil
+	return st, nil
 }
 
 // emitProbePage probes every tuple of one materialized probe page.

@@ -9,7 +9,6 @@ import (
 
 	"github.com/spilly-db/spilly/internal/core"
 	"github.com/spilly-db/spilly/internal/data"
-	"github.com/spilly-db/spilly/internal/pages"
 	"github.com/spilly-db/spilly/internal/trace"
 )
 
@@ -171,9 +170,23 @@ func (w *Window) outputStream(ctx *Ctx, sp *trace.Span, res *core.Result, rc *da
 			routed[p] = append(routed[p], tuple)
 		}
 	}
-	pageSize := ctx.PageSize
-	if pageSize == 0 {
-		pageSize = pages.DefaultPageSize
+	// Spilled partitions stream back through the readback scheduler in the
+	// same ascending order workers claim them, so partition k+1's reads are
+	// in flight while partition k's windows are sorted and evaluated.
+	itemOf := make([]int, res.Partitions)
+	var items []core.PartitionWork
+	for p := 0; p < res.Partitions; p++ {
+		itemOf[p] = -1
+		if len(res.Spilled[p]) > 0 {
+			itemOf[p] = len(items)
+			items = append(items, core.PartitionWork{Part: p, Slots: res.Spilled[p]})
+		}
+	}
+	var sched *core.PartitionScheduler
+	if len(items) > 0 {
+		sched = core.NewPartitionScheduler(ctx.goCtx(), ctx.Spill.Array, ctx.pageSize(),
+			items, ctx.readDepth(), ctx.Budget, ctx.BlockingSpillRead)
+		ctx.AddCleanup(sched.Close)
 	}
 	var cursor atomic.Int64
 	return ctx.traceStream(&Stream{
@@ -191,24 +204,23 @@ func (w *Window) outputStream(ctx *Ctx, sp *trace.Span, res *core.Result, rc *da
 						tuples = append(tuples, pg.Tuple(t))
 					}
 				}
-				var reader *core.PartitionReader
-				if slots := res.Spilled[p]; len(slots) > 0 {
-					r := core.NewPartitionReader(ctx.goCtx(), ctx.Spill.Array, pageSize, slots, core.DefaultReadDepth)
-					pgs, err := r.ReadAll()
-					if err != nil {
-						return 0, fmt.Errorf("exec: window reading partition %d: %w", p, err)
-					}
-					if ctx.Stats != nil {
-						ctx.Stats.SpillReadBytes.Add(r.BytesRead())
-						ctx.Stats.SpillRetries.Add(r.Retries())
-					}
-					sp.AddSpillRead(r.BytesRead(), r.Retries())
-					for _, pg := range pgs {
+				var cur core.PartitionCursor
+				if itemOf[p] >= 0 {
+					cur = sched.Open(itemOf[p])
+					for {
+						pg, err := cur.Next()
+						if err != nil {
+							chargeSpillCursor(ctx, sp, cur)
+							return 0, fmt.Errorf("exec: window reading partition %d: %w", p, err)
+						}
+						if pg == nil {
+							break
+						}
 						for t := 0; t < pg.Tuples(); t++ {
 							tuples = append(tuples, pg.Tuple(t))
 						}
 					}
-					reader = r
+					chargeSpillCursor(ctx, sp, cur)
 				}
 				if len(tuples) == 0 {
 					continue
@@ -217,8 +229,8 @@ func (w *Window) outputStream(ctx *Ctx, sp *trace.Span, res *core.Result, rc *da
 				w.evalPartition(b, tuples, rc, partCols, &arena)
 				// The batch owns its values now (strings arena-interned), so
 				// the read-back buffers can be recycled.
-				if reader != nil {
-					reader.Release()
+				if cur != nil {
+					cur.Release()
 				}
 				if b.Len() > 0 {
 					return b.Len(), nil

@@ -45,6 +45,13 @@ type GCStats struct {
 	NumGC        int64
 }
 
+// SpillStats are cumulative phase-2 overlap totals: worker time stalled on
+// spill readback and partitions whose readback was prefetched.
+type SpillStats struct {
+	StallSecs            float64
+	PrefetchedPartitions int64
+}
+
 // Server renders engine observability snapshots over HTTP. All fields are
 // optional; nil sources simply omit their metrics.
 type Server struct {
@@ -57,6 +64,8 @@ type Server struct {
 	Queries func() []QueryStatus
 	// GC returns cumulative allocation and collector totals across queries.
 	GC func() GCStats
+	// Spill returns cumulative spill-readback stall totals across queries.
+	Spill func() SpillStats
 }
 
 // Handler returns the observability mux: /metrics, /queries, /debug/pprof/.
@@ -107,6 +116,15 @@ func (s *Server) serveMetrics(w http.ResponseWriter, _ *http.Request) {
 		writeCounter(&b, "spilly_query_gc_cycles_total", "counter",
 			"Garbage collections that ran during query execution.",
 			sample{value: float64(g.NumGC)})
+	}
+	if s.Spill != nil {
+		sp := s.Spill()
+		writeCounter(&b, "spilly_query_spill_stall_seconds", "counter",
+			"Worker time stalled waiting on spill readback during query execution.",
+			sample{value: sp.StallSecs})
+		writeCounter(&b, "spilly_query_prefetched_partitions_total", "counter",
+			"Spilled partitions whose readback was in flight before phase 2 reached them.",
+			sample{value: float64(sp.PrefetchedPartitions)})
 	}
 	writeArray(&b, "spill", s.SpillArray)
 	writeArray(&b, "table", s.TableArray)

@@ -173,6 +173,40 @@ func TestQueriesAlwaysPartitionEquivalence(t *testing.T) {
 	}
 }
 
+// TestQueriesReadbackEquivalence pins the phase-2 overlap contract: the
+// pipelined partition scheduler must return exactly what the blocking
+// readback baseline returns on every query, spilling or not — prefetching,
+// shrinking lookahead under budget pressure, and streaming pages into
+// build/probe may change timing, never rows.
+func TestQueriesReadbackEquivalence(t *testing.T) {
+	anySpilled := false
+	for q := 1; q <= NumQueries; q++ {
+		blockCtx := spillingCtx()
+		blockCtx.BlockingSpillRead = true
+		ref := rowStrings(runQuery(t, blockCtx, q))
+
+		pipeCtx := spillingCtx()
+		got := rowStrings(runQuery(t, pipeCtx, q))
+		if pipeCtx.Stats.SpillReadBytes.Load() > 0 {
+			anySpilled = true
+		}
+
+		if len(ref) != len(got) {
+			t.Errorf("Q%d: %d rows pipelined vs %d blocking", q, len(got), len(ref))
+			continue
+		}
+		for i := range ref {
+			if ref[i] != got[i] {
+				t.Errorf("Q%d row %d differs:\n  blocking:  %s\n  pipelined: %s", q, i, ref[i], got[i])
+				break
+			}
+		}
+	}
+	if !anySpilled {
+		t.Error("no query read back spilled pages; the comparison never exercised the scheduler")
+	}
+}
+
 // --- independent reference implementations (direct loops over columns) ---
 
 func colF(t *colstore.MemTable, name string) []float64 {

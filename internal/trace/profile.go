@@ -138,6 +138,9 @@ func formatNode(sb *strings.Builder, n *ProfileNode, indent string, total time.D
 	if n.SpillReadBytes > 0 {
 		fmt.Fprintf(sb, " spill-read=%s", fmtBytes(n.SpillReadBytes))
 	}
+	if n.SpillStallNs > 0 || n.PrefetchedParts > 0 {
+		fmt.Fprintf(sb, " stall=%s prefetched=%d", fmtDur(n.SpillStallNs), n.PrefetchedParts)
+	}
 	if n.SpillRetries > 0 || n.SpillFailovers > 0 {
 		fmt.Fprintf(sb, " retries=%d failovers=%d", n.SpillRetries, n.SpillFailovers)
 	}

@@ -57,6 +57,13 @@ type Span struct {
 	partitioned    atomic.Bool
 	spilled        atomic.Bool
 
+	// Phase-2 overlap telemetry: worker wall time stalled inside spill
+	// readback (exclusive — stall is measured at the cursor, not derived
+	// from busy time) and partitions whose readback was already in flight
+	// when this operator opened them.
+	spillStallNs    atomic.Int64
+	prefetchedParts atomic.Int64
+
 	// Self-regulating compression telemetry (§4.4): how often the
 	// regulator moved along the unified scale and how far up it got.
 	regLevelChanges atomic.Int64
@@ -225,6 +232,16 @@ func (s *Span) AddSpillRead(bytes, retries int64) {
 	s.spillRetries.Add(retries)
 }
 
+// AddSpillStall records spill-readback stall time (worker wall time spent
+// waiting inside cursor Next calls) and partitions found prefetched at open.
+func (s *Span) AddSpillStall(stallNs, prefetched int64) {
+	if s == nil {
+		return
+	}
+	s.spillStallNs.Add(stallNs)
+	s.prefetchedParts.Add(prefetched)
+}
+
 // SetPartitioned marks that the operator enabled partitioning.
 func (s *Span) SetPartitioned() {
 	if s == nil {
@@ -287,6 +304,9 @@ type SpanSnapshot struct {
 	Partitioned    bool  `json:"partitioned,omitempty"`
 	Spilled        bool  `json:"spilled,omitempty"`
 
+	SpillStallNs    time.Duration `json:"spill_stall_ns,omitempty"`
+	PrefetchedParts int64         `json:"prefetched_partitions,omitempty"`
+
 	RegLevelChanges int64            `json:"reg_level_changes,omitempty"`
 	RegMaxLevel     int64            `json:"reg_max_level,omitempty"`
 	Schemes         map[string]int64 `json:"schemes,omitempty"`
@@ -295,23 +315,25 @@ type SpanSnapshot struct {
 // Snapshot copies the span's current state.
 func (s *Span) Snapshot() SpanSnapshot {
 	snap := SpanSnapshot{
-		ID:             s.ID,
-		ParentID:       s.ParentID,
-		Op:             s.Op,
-		Label:          s.Label,
-		Start:          time.Duration(s.startNs),
-		End:            time.Duration(s.endNs.Load()),
-		Busy:           time.Duration(s.busyNs.Load()),
-		RowsOut:        s.rowsOut.Load(),
-		BatchesOut:     s.batchesOut.Load(),
-		TuplesStored:   s.tuplesStored.Load(),
-		SpilledBytes:   s.spilledBytes.Load(),
-		WrittenBytes:   s.writtenBytes.Load(),
-		SpillReadBytes: s.spillReadBytes.Load(),
-		SpillRetries:   s.spillRetries.Load(),
-		SpillFailovers: s.spillFailovers.Load(),
-		Partitioned:    s.partitioned.Load(),
-		Spilled:        s.spilled.Load(),
+		ID:              s.ID,
+		ParentID:        s.ParentID,
+		Op:              s.Op,
+		Label:           s.Label,
+		Start:           time.Duration(s.startNs),
+		End:             time.Duration(s.endNs.Load()),
+		Busy:            time.Duration(s.busyNs.Load()),
+		RowsOut:         s.rowsOut.Load(),
+		BatchesOut:      s.batchesOut.Load(),
+		TuplesStored:    s.tuplesStored.Load(),
+		SpilledBytes:    s.spilledBytes.Load(),
+		WrittenBytes:    s.writtenBytes.Load(),
+		SpillReadBytes:  s.spillReadBytes.Load(),
+		SpillRetries:    s.spillRetries.Load(),
+		SpillFailovers:  s.spillFailovers.Load(),
+		Partitioned:     s.partitioned.Load(),
+		Spilled:         s.spilled.Load(),
+		SpillStallNs:    time.Duration(s.spillStallNs.Load()),
+		PrefetchedParts: s.prefetchedParts.Load(),
 		RegLevelChanges: s.regLevelChanges.Load(),
 		RegMaxLevel:     s.regMaxLevel.Load(),
 	}

@@ -138,6 +138,8 @@ func TestServeDuringQuery(t *testing.T) {
 		"spilly_queries_started_total",
 		"spilly_queries_completed_total",
 		"spilly_spill_retries_total",
+		"spilly_query_spill_stall_seconds",
+		"spilly_query_prefetched_partitions_total",
 		`spilly_device_written_bytes_total{array="spill",device="0"}`,
 		"spilly_device_read_backlog_seconds",
 	} {
@@ -170,4 +172,37 @@ func httpGet(t *testing.T, url string) []byte {
 		t.Fatal(err)
 	}
 	return body
+}
+
+// TestProfileShowsSpillStall: a profiled spilling query must attribute
+// spill-readback stall time per operator and report scheduler prefetch, in
+// the stats and in the rendered tree.
+func TestProfileShowsSpillStall(t *testing.T) {
+	eng, err := Open(Config{Workers: 2, MemoryBudget: 256 << 10, Profile: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.LoadTPCH(0.01, false); err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.RunTPCH(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.SpillReadBytes == 0 {
+		t.Fatal("Q9 under a 256KB budget did not read back spilled pages")
+	}
+	if res.Stats.SpillStallTime <= 0 {
+		t.Fatal("no spill stall time recorded for a spilling query")
+	}
+	if res.Stats.PrefetchedPartitions == 0 {
+		t.Fatal("no partitions prefetched; the readback scheduler never ran ahead")
+	}
+	text := FormatProfile(res.Profile())
+	if !strings.Contains(text, "stall=") || !strings.Contains(text, "prefetched=") {
+		t.Fatalf("rendered profile missing stall attribution:\n%s", text)
+	}
+	if stall, prefetched := eng.SpillStallTotals(); stall <= 0 || prefetched == 0 {
+		t.Fatalf("engine totals stall=%v prefetched=%d, want both positive", stall, prefetched)
+	}
 }

@@ -35,6 +35,13 @@ func (e *Engine) Handler() http.Handler {
 				NumGC:        g.NumGC,
 			}
 		},
+		Spill: func() obsrv.SpillStats {
+			stall, prefetched := e.SpillStallTotals()
+			return obsrv.SpillStats{
+				StallSecs:            stall.Seconds(),
+				PrefetchedPartitions: prefetched,
+			}
+		},
 	}
 	return srv.Handler()
 }

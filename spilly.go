@@ -100,6 +100,12 @@ type Config struct {
 	PageSize    int
 	Partitions  int
 	PartitionAt float64
+	// ReadDepth bounds in-flight spill readback block reads per operator
+	// (0 = 8); BlockingSpillRead disables phase-2 readback prefetch so
+	// every spilled partition is read synchronously — the blocking baseline
+	// the overlap benchmark measures against.
+	ReadDepth         int
+	BlockingSpillRead bool
 	// ForceGrace runs every join as a classical grace hash join and
 	// NoPreAgg disables local pre-aggregation — together they make the
 	// engine behave like the always-partitioning systems of Figure 2.
@@ -153,6 +159,16 @@ type Engine struct {
 	gcAllocBytes   atomic.Int64
 	gcPauseNs      atomic.Int64
 	gcNumGC        atomic.Int64
+
+	// Engine-wide phase-2 overlap totals, accumulated per query for /metrics.
+	spillStallNs    atomic.Int64
+	prefetchedParts atomic.Int64
+}
+
+// SpillStallTotals returns the cumulative spill-readback stall time and
+// prefetched-partition count across all queries this engine has run.
+func (e *Engine) SpillStallTotals() (time.Duration, int64) {
+	return time.Duration(e.spillStallNs.Load()), e.prefetchedParts.Load()
 }
 
 // GCStats are the engine's cumulative GC-pressure totals: heap allocation
@@ -299,14 +315,16 @@ func (e *Engine) TableArray() *nvmesim.Array { return e.tableArr }
 // the knob a real engine would derive from its memory grant.
 func (e *Engine) NewCtx() *exec.Ctx {
 	ctx := &exec.Ctx{
-		Workers:     e.cfg.Workers,
-		Mode:        e.cfg.Mode,
-		PageSize:    e.cfg.PageSize,
-		Partitions:  e.cfg.Partitions,
-		PartitionAt: e.cfg.PartitionAt,
-		ForceGrace:  e.cfg.ForceGrace,
-		NoPreAgg:    e.cfg.NoPreAgg,
-		Stats:       &exec.Stats{},
+		Workers:           e.cfg.Workers,
+		Mode:              e.cfg.Mode,
+		PageSize:          e.cfg.PageSize,
+		Partitions:        e.cfg.Partitions,
+		PartitionAt:       e.cfg.PartitionAt,
+		ReadDepth:         e.cfg.ReadDepth,
+		BlockingSpillRead: e.cfg.BlockingSpillRead,
+		ForceGrace:        e.cfg.ForceGrace,
+		NoPreAgg:          e.cfg.NoPreAgg,
+		Stats:             &exec.Stats{},
 	}
 	if e.cfg.MemoryBudget > 0 {
 		ctx.Budget = pages.NewBudget(e.cfg.MemoryBudget)
@@ -356,6 +374,12 @@ type Stats struct {
 	// device. Both zero on a healthy array.
 	SpillRetries   int64
 	SpillFailovers int64
+	// SpillStallTime is worker wall time spent stalled inside spill
+	// readback (waiting for pages the scheduler had not yet prefetched);
+	// PrefetchedPartitions counts spilled partitions whose readback was
+	// already in flight when phase 2 reached them.
+	SpillStallTime       time.Duration
+	PrefetchedPartitions int64
 	// TuplesPerSec is scanned tuples divided by execution time — the
 	// paper's headline throughput metric (§6.1).
 	TuplesPerSec float64
@@ -483,16 +507,20 @@ func (e *Engine) runLabeled(ctx *exec.Ctx, node exec.Node, label string) (*Resul
 	runtime.ReadMemStats(&msAfter)
 	s := ctx.Stats
 	st := Stats{
-		Duration:       dur,
-		ScannedRows:    s.ScannedRows.Load(),
-		ScannedBytes:   s.ScannedBytes.Load(),
-		SpilledBytes:   s.SpilledBytes.Load(),
-		WrittenBytes:   s.WrittenBytes.Load(),
-		SpillReadBytes: s.SpillReadBytes.Load(),
-		SpilledOps:     s.SpilledOps.Load(),
-		SpillRetries:   s.SpillRetries.Load(),
-		SpillFailovers: s.SpillFailovers.Load(),
+		Duration:             dur,
+		ScannedRows:          s.ScannedRows.Load(),
+		ScannedBytes:         s.ScannedBytes.Load(),
+		SpilledBytes:         s.SpilledBytes.Load(),
+		WrittenBytes:         s.WrittenBytes.Load(),
+		SpillReadBytes:       s.SpillReadBytes.Load(),
+		SpilledOps:           s.SpilledOps.Load(),
+		SpillRetries:         s.SpillRetries.Load(),
+		SpillFailovers:       s.SpillFailovers.Load(),
+		SpillStallTime:       time.Duration(s.SpillStallNanos.Load()),
+		PrefetchedPartitions: s.PrefetchedPartitions.Load(),
 	}
+	e.spillStallNs.Add(int64(st.SpillStallTime))
+	e.prefetchedParts.Add(st.PrefetchedPartitions)
 	if dur > 0 {
 		st.TuplesPerSec = float64(st.ScannedRows) / dur.Seconds()
 	}
