@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all tier1 race chaos bench-vectorize bench-alloc bench-overlap profile-smoke clean
+.PHONY: all tier1 tier2 race chaos bench-vectorize bench-alloc bench-overlap bench-parity profile-smoke clean
 
 all: tier1
 
@@ -9,6 +9,12 @@ tier1:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test ./...
+
+# Tier-2 gate: the slow suites tier1 deliberately leaves out — the chaos
+# harness (seeded fault schedules under the race detector, including the
+# silent-corruption and device-loss scenarios) and the committed performance
+# gates (allocation, phase-2 overlap, spill-integrity tax).
+tier2: chaos bench-alloc bench-overlap bench-parity
 
 # Race-detector pass over the concurrency-heavy packages (morsel workers,
 # partition spilling, per-worker stats accumulators, span buffers, fault
@@ -49,6 +55,14 @@ bench-alloc:
 bench-overlap:
 	$(GO) run ./cmd/spillybench -exp overlap
 	$(GO) run ./cmd/overlapcmp -baseline BENCH_overlap.json
+
+# Spill-integrity gate: the parity-off-vs-on report on the spill-heavy
+# queries, then the self-relative wall-time comparison (no committed
+# baseline needed; fails when checksummed+parity spilling costs >10% wall
+# time geo-mean or changes any result fingerprint).
+bench-parity:
+	$(GO) run ./cmd/spillybench -exp parity
+	$(GO) run ./cmd/paritycmp
 
 clean:
 	$(GO) clean ./...

@@ -36,6 +36,7 @@ func main() {
 		serve    = flag.String("serve", "", "serve /metrics, /queries and pprof on this address while running")
 		depth    = flag.Int("readdepth", 0, "spill readback queue depth per partition scheduler (0 = default)")
 		blocking = flag.Bool("blockread", false, "disable pipelined spill readback (materialize partitions before processing)")
+		parity   = flag.Int("parity", 0, "spill parity stripe width K: checksummed pages + one XOR parity block per K spill blocks (0 = off)")
 	)
 	flag.Parse()
 
@@ -60,6 +61,7 @@ func main() {
 		Profile:           *profile,
 		ReadDepth:         *depth,
 		BlockingSpillRead: *blocking,
+		SpillParity:       *parity,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -102,6 +104,11 @@ func main() {
 		}
 		fmt.Printf("readback: %v stalled, %d partitions prefetched\n",
 			s.SpillStallTime, s.PrefetchedPartitions)
+		if s.SpillPagesVerified > 0 || s.SpillParityBytes > 0 {
+			fmt.Printf("integrity: %d pages verified, %d checksum errors, %d blocks reconstructed, %.1f MB parity overhead\n",
+				s.SpillPagesVerified, s.SpillChecksumErrors, s.SpillReconstructions,
+				float64(s.SpillParityBytes)/(1<<20))
+		}
 	} else {
 		fmt.Println("spilled: nothing (stayed in memory)")
 	}

@@ -44,6 +44,16 @@ type Schedule struct {
 	// scripted first-ops and exhausting its whole retry budget.
 	Script       map[int64]nvmesim.FaultKind
 	ScriptDevice int
+	// CorruptRate, TornWriteRate, and StaleReadRate inject silent faults —
+	// a flipped bit, a write whose tail never persisted, a read served from
+	// the wrong block — on CorruptDevice only. Silent-fault injection is
+	// single-device by design: one XOR parity stripe recovers any one lost
+	// block per group, so array-wide silent corruption is out of contract
+	// (it is the double-fault case, which must fail structured instead).
+	CorruptRate   float64
+	TornWriteRate float64
+	StaleReadRate float64
+	CorruptDevice int
 }
 
 // Apply installs the schedule on every device of the array. Call Clear to
@@ -61,6 +71,11 @@ func (s Schedule) Apply(arr *nvmesim.Array) {
 		}
 		if dev == s.ScriptDevice {
 			plan.Script = s.Script
+		}
+		if dev == s.CorruptDevice {
+			plan.CorruptRate = s.CorruptRate
+			plan.TornWriteRate = s.TornWriteRate
+			plan.StaleReadRate = s.StaleReadRate
 		}
 		if s.KillAfterOps > 0 && dev == s.KillDevice {
 			plan.DieAfterOps = s.KillAfterOps

@@ -253,3 +253,146 @@ func TestDeviceDeathDuringPrefetch(t *testing.T) {
 		t.Fatal("result after healing differs from fault-free run")
 	}
 }
+
+// parityEngine opens a spilling engine with spill integrity on: checksummed
+// frames plus XOR parity stripes of width 2 (every third spill block is
+// parity).
+func parityEngine(t *testing.T, cfg spilly.Config) *spilly.Engine {
+	t.Helper()
+	if cfg.SpillParity == 0 {
+		cfg.SpillParity = 2
+	}
+	return newEngine(t, cfg)
+}
+
+func TestSilentCorruptionHealsToExactResult(t *testing.T) {
+	want := baseline(t)
+
+	eng := parityEngine(t, spilly.Config{})
+	// Every request on device 0 silently flips one bit — reads and writes
+	// both. Parity is computed from the in-memory block before the device
+	// mangles it, so even write-corrupted blocks rebuild exactly.
+	chaos.Schedule{Seed: 21, CorruptRate: 1.0, CorruptDevice: 0}.Apply(eng.SpillArray())
+
+	res, err := eng.RunTPCH(9)
+	if err != nil {
+		t.Fatalf("query under silent corruption failed: %v", err)
+	}
+	if got := chaos.Fingerprint(res.Batch); got != want {
+		t.Fatalf("result under corruption differs from fault-free run:\n%s\nvs\n%s", got, want)
+	}
+	if res.Stats.SpillChecksumErrors == 0 {
+		t.Fatal("no checksum errors detected; corruption never reached the spill path")
+	}
+	if res.Stats.SpillReconstructions == 0 {
+		t.Fatal("no blocks reconstructed; corrupted data was served unverified")
+	}
+	if res.Stats.SpillPagesVerified == 0 {
+		t.Fatal("no pages verified; integrity is not armed")
+	}
+}
+
+func TestTornWritesAndStaleReadsHeal(t *testing.T) {
+	want := baseline(t)
+
+	eng := parityEngine(t, spilly.Config{})
+	// Torn writes persist only half the block; stale reads serve a
+	// neighboring block. Both pass the device's own error reporting and are
+	// only caught by frame verification.
+	chaos.Schedule{
+		Seed:          22,
+		TornWriteRate: 0.5,
+		StaleReadRate: 0.5,
+		CorruptDevice: 0,
+	}.Apply(eng.SpillArray())
+
+	res, err := eng.RunTPCH(9)
+	if err != nil {
+		t.Fatalf("query under torn writes / stale reads failed: %v", err)
+	}
+	if got := chaos.Fingerprint(res.Batch); got != want {
+		t.Fatalf("result under torn/stale faults differs from fault-free run:\n%s\nvs\n%s", got, want)
+	}
+	if res.Stats.SpillChecksumErrors == 0 || res.Stats.SpillReconstructions == 0 {
+		t.Fatalf("torn/stale faults not healed: %d checksum errors, %d reconstructions",
+			res.Stats.SpillChecksumErrors, res.Stats.SpillReconstructions)
+	}
+}
+
+func TestDeviceDeathAfterSpillHealsFromParity(t *testing.T) {
+	want := baseline(t)
+
+	// Calibrate device 0's write count during Q9's spill phase, then kill
+	// it right after — its spilled blocks are gone, and with parity on the
+	// query must reconstruct every one of them and still be exact.
+	cal := parityEngine(t, spilly.Config{})
+	if _, err := cal.RunTPCH(9); err != nil {
+		t.Fatal(err)
+	}
+	d0 := cal.SpillArray().PerDevice()[0]
+	if d0.Writes == 0 {
+		t.Fatal("device 0 absorbed no spill writes; calibration broken")
+	}
+
+	eng := parityEngine(t, spilly.Config{})
+	chaos.Schedule{Seed: 23, KillDevice: 0, KillAfterOps: d0.Writes + 1}.Apply(eng.SpillArray())
+
+	res, err := eng.RunTPCH(9)
+	if err != nil {
+		t.Fatalf("query with post-spill device death failed despite parity: %v", err)
+	}
+	if got := chaos.Fingerprint(res.Batch); got != want {
+		t.Fatalf("result after device death differs from fault-free run:\n%s\nvs\n%s", got, want)
+	}
+	if res.Stats.SpillReconstructions == 0 {
+		t.Fatal("no blocks reconstructed; the dead device's data came from nowhere")
+	}
+}
+
+func TestDoubleDeviceDeathFailsStructured(t *testing.T) {
+	want := baseline(t)
+
+	// Three spill devices and stripe width 2 mean every group spans all
+	// three. Killing two devices after the spill phase exceeds single-parity
+	// redundancy for every group — the query must fail with a structured
+	// error naming a dead device and the partition, never return wrong rows.
+	cal := parityEngine(t, spilly.Config{SpillDevices: 3})
+	if _, err := cal.RunTPCH(9); err != nil {
+		t.Fatal(err)
+	}
+	perDev := cal.SpillArray().PerDevice()
+
+	eng := parityEngine(t, spilly.Config{SpillDevices: 3})
+	for dev := 0; dev < 2; dev++ {
+		eng.SpillArray().SetFaultPlan(dev, nvmesim.FaultPlan{
+			Seed:        31 + int64(dev),
+			DieAfterOps: perDev[dev].Writes + 1,
+		})
+	}
+
+	res, err := eng.RunTPCH(9)
+	if err == nil {
+		t.Fatalf("query succeeded with two of three spill devices dead; fingerprint match: %v",
+			chaos.Fingerprint(res.Batch) == want)
+	}
+	var qe *spilly.QueryError
+	if !errors.As(err, &qe) {
+		t.Fatalf("err = %v (%T), want *QueryError", err, err)
+	}
+	if qe.Device != 0 && qe.Device != 1 {
+		t.Fatalf("QueryError.Device = %d, want a dead device (0 or 1)", qe.Device)
+	}
+	if qe.Part < 0 {
+		t.Fatalf("QueryError.Part = %d, want the failing partition", qe.Part)
+	}
+
+	// The double fault must not poison the engine: heal and run exact.
+	chaos.Clear(eng.SpillArray())
+	res, err = eng.RunTPCH(9)
+	if err != nil {
+		t.Fatalf("query after healing failed: %v", err)
+	}
+	if got := chaos.Fingerprint(res.Batch); got != want {
+		t.Fatal("result after healing differs from fault-free run")
+	}
+}

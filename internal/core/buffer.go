@@ -81,6 +81,12 @@ type SpillConfig struct {
 	// FlushAt is the staging flush threshold in bytes (default: page size,
 	// the paper's 64 KiB minimum write).
 	FlushAt int
+	// Parity enables spill integrity: every spilled page is wrapped in a
+	// checksummed frame, and every Parity staging-block writes form an XOR
+	// parity stripe group so a lost or corrupt block is reconstructed on
+	// read. 0 disables integrity. Groups span distinct devices when
+	// Parity+1 <= live devices.
+	Parity int
 }
 
 // Config configures one materializing operator's Umami state.
@@ -156,6 +162,10 @@ type Shared struct {
 	partShift   uint // shift value once partitioning is active
 	partitionOn atomic.Bool
 	mask        SpillMask
+	// frameSeq issues engine-unique integrity sequence numbers across all
+	// threads' writers, so a misdirected read can never serve a frame that
+	// happens to carry the expected identity.
+	frameSeq atomic.Uint32
 
 	mu       sync.Mutex
 	result   Result
@@ -242,7 +252,7 @@ func (s *Shared) NewBuffer() *Buffer {
 		if cfg.Spill.Compress {
 			b.reg = NewRegulator(cfg.Spill.Scale, cfg.Spill.RunN)
 		}
-		b.writer = newSpillWriter(cfg.Ctx, ring, b.reg, b.pool, cfg.Partitions, cfg.Spill.FlushAt, cfg.Spill.MaxAhead)
+		b.writer = newSpillWriter(cfg.Ctx, ring, b.reg, b.pool, cfg.Partitions, cfg.Spill.FlushAt, cfg.Spill.MaxAhead, cfg.Spill.Parity, &s.frameSeq)
 	}
 	return b
 }
@@ -529,8 +539,10 @@ func (b *Buffer) Finish() error {
 		r.SpilledPages += b.writer.spilledPages
 		r.SpilledBytes += b.writer.spilledBytes
 		r.WrittenBytes += b.writer.writtenBytes
+		r.ParityBytes += b.writer.parityBytes
 		r.SpillRetries += b.writer.retries
 		r.SpillFailovers += b.writer.failovers
+		r.Stripes = append(r.Stripes, b.writer.stripes...)
 	}
 	if b.reg != nil {
 		r.SchemeHistogram = MergeHistograms(r.SchemeHistogram, b.reg.SchemeHistogram())
@@ -557,10 +569,17 @@ type Result struct {
 	Partitions int
 	Mask       uint64
 
+	// Stripes is the parity stripe directory (SpillConfig.Parity > 0):
+	// every staging block's location mapped to the group whose XOR parity
+	// can rebuild it. Readers consult it to reconstruct lost or corrupt
+	// blocks on read.
+	Stripes []*StripeGroup
+
 	Tuples       int64
 	SpilledPages int64
 	SpilledBytes int64 // raw page bytes spilled
 	WrittenBytes int64 // bytes written to the array (post compression)
+	ParityBytes  int64 // parity blocks written (integrity overhead)
 	// Fault-path counters: transient write errors recovered by retrying
 	// and writes re-striped away from a failed device.
 	SpillRetries   int64

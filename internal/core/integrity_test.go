@@ -1,0 +1,327 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"github.com/spilly-db/spilly/internal/nvmesim"
+	"github.com/spilly-db/spilly/internal/pages"
+)
+
+// paritySpill spills ~640 KB of tuples with parity stripes of width K and
+// returns the array and the finalized result.
+func paritySpill(t *testing.T, devs, parity, n int) (*nvmesim.Array, *Result) {
+	t.Helper()
+	arr := fastArray(devs)
+	s := NewShared(Config{
+		PageSize: 4096, Partitions: 8,
+		Budget: pages.NewBudget(64 << 10), PartitionAt: 0.3,
+		Spill: &SpillConfig{Array: arr, Parity: parity},
+	})
+	b := s.NewBuffer()
+	storeN(b, n, 32, 0)
+	if err := b.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.HasSpilled() {
+		t.Fatal("test did not spill")
+	}
+	return arr, res
+}
+
+// collectVerified reads every spilled partition back with integrity armed
+// and returns the keys plus the summed integrity counters.
+func collectVerified(t *testing.T, arr *nvmesim.Array, res *Result) (map[uint64]int, vstats) {
+	t.Helper()
+	out := map[uint64]int{}
+	var st vstats
+	for _, p := range res.Unpartitioned {
+		for i := 0; i < p.Tuples(); i++ {
+			out[keyOf(p.Tuple(i))]++
+		}
+	}
+	for _, p := range res.InMemory {
+		for i := 0; i < p.Tuples(); i++ {
+			out[keyOf(p.Tuple(i))]++
+		}
+	}
+	for part := 0; part < res.Partitions; part++ {
+		if len(res.Spilled[part]) == 0 {
+			continue
+		}
+		r := NewPartitionReader(nil, arr, 4096, res.Spilled[part], 4)
+		r.SetIntegrity(part, res.Stripes)
+		pgs, err := r.ReadAll()
+		if err != nil {
+			t.Fatalf("reading partition %d: %v", part, err)
+		}
+		for _, p := range pgs {
+			for i := 0; i < p.Tuples(); i++ {
+				out[keyOf(p.Tuple(i))]++
+			}
+		}
+		st.verified += r.Verified()
+		st.checksumErrors += r.ChecksumErrors()
+		st.reconstructions += r.Reconstructions()
+		r.Release()
+	}
+	return out, st
+}
+
+func TestParitySpillRoundTrip(t *testing.T) {
+	const n = 20000
+	arr, res := paritySpill(t, 4, 2, n)
+	if len(res.Stripes) == 0 {
+		t.Fatal("parity spill recorded no stripe groups")
+	}
+	if res.ParityBytes == 0 {
+		t.Fatal("parity spill recorded no parity bytes")
+	}
+	for part := range res.Spilled {
+		for _, sl := range res.Spilled[part] {
+			if sl.Seq == 0 {
+				t.Fatalf("partition %d has unframed slot %+v under parity", part, sl)
+			}
+		}
+	}
+	got, st := collectVerified(t, arr, res)
+	checkAllKeys(t, got, n, 0)
+	if st.verified == 0 {
+		t.Fatal("no frames verified")
+	}
+	if st.checksumErrors != 0 || st.reconstructions != 0 {
+		t.Fatalf("clean run saw faults: %+v", st)
+	}
+}
+
+func TestStripeMembersOnDistinctDevices(t *testing.T) {
+	_, res := paritySpill(t, 4, 2, 20000)
+	for _, g := range res.Stripes {
+		if g.Parity == 0 {
+			t.Fatalf("group %+v has no parity", g)
+		}
+		seen := map[int]bool{}
+		for _, m := range append(append([]nvmesim.Loc(nil), g.Data...), g.Parity) {
+			if seen[m.Device()] {
+				t.Fatalf("stripe group %+v reuses device %d", g, m.Device())
+			}
+			seen[m.Device()] = true
+		}
+	}
+}
+
+func TestCorruptionHealsFromParity(t *testing.T) {
+	const n = 20000
+	arr, res := paritySpill(t, 4, 2, n)
+	// Every read from device 0 silently flips one bit. Blocks on device 0
+	// must be rebuilt from their stripe survivors on devices 1-3.
+	arr.SetFaultPlan(0, nvmesim.FaultPlan{Seed: 7, CorruptRate: 1.0})
+	got, st := collectVerified(t, arr, res)
+	checkAllKeys(t, got, n, 0)
+	if st.checksumErrors == 0 {
+		t.Fatal("corrupted reads were not detected")
+	}
+	if st.reconstructions == 0 {
+		t.Fatal("no blocks were reconstructed")
+	}
+	if st.checksumErrors != st.reconstructions {
+		t.Fatalf("checksum errors %d != reconstructions %d (some faults unhealed?)",
+			st.checksumErrors, st.reconstructions)
+	}
+}
+
+func TestDeadDeviceHealsFromParity(t *testing.T) {
+	const n = 20000
+	arr, res := paritySpill(t, 4, 2, n)
+	arr.KillDevice(0)
+	got, st := collectVerified(t, arr, res)
+	checkAllKeys(t, got, n, 0)
+	if st.reconstructions == 0 {
+		t.Fatal("dead device triggered no reconstructions")
+	}
+}
+
+func TestDoubleFaultIsStructuredError(t *testing.T) {
+	arr, res := paritySpill(t, 4, 2, 20000)
+	// Two dead devices exceed single-parity redundancy for any stripe that
+	// spans both. The reader must fail with a structured error naming the
+	// device and partition — never return wrong data.
+	arr.KillDevice(0)
+	arr.KillDevice(1)
+	sawError := false
+	for part := 0; part < res.Partitions; part++ {
+		if len(res.Spilled[part]) == 0 {
+			continue
+		}
+		r := NewPartitionReader(nil, arr, 4096, res.Spilled[part], 4)
+		r.SetIntegrity(part, res.Stripes)
+		_, err := r.ReadAll()
+		r.Release()
+		if err == nil {
+			continue
+		}
+		sawError = true
+		var qe *QueryError
+		if !errors.As(err, &qe) {
+			t.Fatalf("double fault surfaced unstructured error: %v", err)
+		}
+		if qe.Op != "spill-read" || qe.Part != part || qe.Device < 0 {
+			t.Fatalf("QueryError misses context: %+v", qe)
+		}
+	}
+	if !sawError {
+		t.Fatal("two dead devices produced no error")
+	}
+}
+
+func TestSilentDoubleFaultIsStructuredError(t *testing.T) {
+	// One device, so every stripe member shares it: corruption on every read
+	// makes reconstruction itself read corrupt survivors, the rebuilt block
+	// fails re-verification, and the fault must surface structured.
+	arr, res := paritySpill(t, 1, 2, 20000)
+	arr.SetFaultPlan(0, nvmesim.FaultPlan{Seed: 11, CorruptRate: 1.0})
+	sawError := false
+	for part := 0; part < res.Partitions; part++ {
+		if len(res.Spilled[part]) == 0 {
+			continue
+		}
+		r := NewPartitionReader(nil, arr, 4096, res.Spilled[part], 4)
+		r.SetIntegrity(part, res.Stripes)
+		_, err := r.ReadAll()
+		r.Release()
+		if err == nil {
+			continue
+		}
+		sawError = true
+		var qe *QueryError
+		if !errors.As(err, &qe) {
+			t.Fatalf("silent double fault surfaced unstructured error: %v", err)
+		}
+		if qe.Part != part {
+			t.Fatalf("QueryError names partition %d, want %d", qe.Part, part)
+		}
+	}
+	if !sawError {
+		t.Fatal("unhealable corruption produced no error")
+	}
+}
+
+func TestSchedulerHealsCorruption(t *testing.T) {
+	const n = 20000
+	arr, res := paritySpill(t, 4, 2, n)
+	arr.SetFaultPlan(0, nvmesim.FaultPlan{Seed: 7, CorruptRate: 1.0})
+	var work []PartitionWork
+	for part := 0; part < res.Partitions; part++ {
+		if len(res.Spilled[part]) > 0 {
+			work = append(work, PartitionWork{Part: part, Slots: res.Spilled[part]})
+		}
+	}
+	sched := NewPartitionScheduler(context.Background(), arr, 4096, work, 0, pages.NewBudget(1<<20), false)
+	sched.SetIntegrity(res.Stripes)
+	defer sched.Close()
+	got := map[uint64]int{}
+	for _, p := range res.Unpartitioned {
+		for i := 0; i < p.Tuples(); i++ {
+			got[keyOf(p.Tuple(i))]++
+		}
+	}
+	for _, p := range res.InMemory {
+		for i := 0; i < p.Tuples(); i++ {
+			got[keyOf(p.Tuple(i))]++
+		}
+	}
+	var st vstats
+	for i := range work {
+		cur := sched.Open(i)
+		for {
+			p, err := cur.Next()
+			if err != nil {
+				t.Fatalf("partition %d: %v", work[i].Part, err)
+			}
+			if p == nil {
+				break
+			}
+			for j := 0; j < p.Tuples(); j++ {
+				got[keyOf(p.Tuple(j))]++
+			}
+		}
+		st.verified += cur.Verified()
+		st.checksumErrors += cur.ChecksumErrors()
+		st.reconstructions += cur.Reconstructions()
+		cur.Release()
+	}
+	checkAllKeys(t, got, n, 0)
+	if st.verified == 0 || st.reconstructions == 0 {
+		t.Fatalf("scheduler integrity counters empty: %+v", st)
+	}
+}
+
+func TestSchedulerDoubleFaultIsStructuredError(t *testing.T) {
+	arr, res := paritySpill(t, 4, 2, 20000)
+	arr.KillDevice(0)
+	arr.KillDevice(1)
+	var work []PartitionWork
+	for part := 0; part < res.Partitions; part++ {
+		if len(res.Spilled[part]) > 0 {
+			work = append(work, PartitionWork{Part: part, Slots: res.Spilled[part]})
+		}
+	}
+	sched := NewPartitionScheduler(context.Background(), arr, 4096, work, 0, pages.NewBudget(1<<20), false)
+	sched.SetIntegrity(res.Stripes)
+	defer sched.Close()
+	sawError := false
+	for i := range work {
+		cur := sched.Open(i)
+		var err error
+		for {
+			var p *pages.Page
+			p, err = cur.Next()
+			if err != nil || p == nil {
+				break
+			}
+		}
+		cur.Release()
+		if err == nil {
+			continue
+		}
+		sawError = true
+		var qe *QueryError
+		if !errors.As(err, &qe) {
+			t.Fatalf("double fault surfaced unstructured error: %v", err)
+		}
+		if qe.Op != "spill-read" || qe.Device < 0 {
+			t.Fatalf("QueryError misses context: %+v", qe)
+		}
+	}
+	if !sawError {
+		t.Fatal("two dead devices produced no error through the scheduler")
+	}
+}
+
+func TestParityDegradesOnParityWriteFailure(t *testing.T) {
+	// A clean parity run and one where parity writes may fail must both
+	// produce correct data; the failed-parity groups simply lose redundancy.
+	arr := fastArray(2)
+	s := NewShared(Config{
+		PageSize: 4096, Partitions: 8,
+		Budget: pages.NewBudget(64 << 10), PartitionAt: 0.3,
+		Spill: &SpillConfig{Array: arr, Parity: 2},
+	})
+	b := s.NewBuffer()
+	const n = 20000
+	storeN(b, n, 32, 0)
+	if err := b.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := collectVerified(t, arr, res)
+	checkAllKeys(t, got, n, 0)
+}

@@ -49,6 +49,14 @@ type PartitionReader struct {
 	bytesRead int64
 	retries   int64
 
+	// Integrity state (SetIntegrity): the partition frames are verified
+	// against, the parity repairer, and the integrity counters.
+	part            int // -1 = unknown
+	rp              *repairer
+	verified        int64
+	checksumErrs    int64
+	reconstructions int64
+
 	owned    [][]byte // recycler-backed buffers the decoded pages alias
 	released bool
 }
@@ -87,6 +95,7 @@ func NewPartitionReader(ctx context.Context, arr *nvmesim.Array, pageSize int, s
 		clock:    arr.Clock(),
 		pageSize: pageSize,
 		depth:    depth,
+		part:     -1,
 		pending:  make(map[uint64]int),
 	}
 	// Group slots by staging block so each block is read exactly once.
@@ -101,6 +110,15 @@ func NewPartitionReader(ctx context.Context, arr *nvmesim.Array, pageSize int, s
 		r.groups[gi].slots = append(r.groups[gi].slots, s)
 	}
 	return r
+}
+
+// SetIntegrity arms frame verification and parity reconstruction: part is
+// the partition this reader's slots belong to (-1 skips the partition
+// check) and stripes is the result's parity stripe directory (nil = frames
+// verify but nothing can be rebuilt). Call before the first Next.
+func (r *PartitionReader) SetIntegrity(part int, stripes []*StripeGroup) {
+	r.part = part
+	r.rp = newRepairer(r.ctx, r.ring.Array(), stripes)
 }
 
 // Next returns the next spilled page, or (nil, nil) at end of partition.
@@ -135,26 +153,30 @@ func (r *PartitionReader) Next() (*pages.Page, error) {
 			}
 			delete(r.pending, c.UserData)
 			if c.Err != nil {
-				if err := r.recoverRead(c, gi); err != nil {
+				if r.retryRead(c, gi) {
+					continue
+				}
+				if err := r.completeGroup(&r.groups[gi], c.Err); err != nil {
 					r.err = err
 					break
 				}
 				continue
 			}
 			r.bytesRead += int64(c.N)
-			if err := r.decodeGroup(&r.groups[gi]); err != nil {
-				r.err = WrapQueryError("spill-read", err)
+			if err := r.completeGroup(&r.groups[gi], nil); err != nil {
+				r.err = err
 				break
 			}
 		}
 	}
 }
 
-// recoverRead retries a failed block read when the error is transient and
-// the group's retry budget allows it; otherwise it returns the fatal,
-// structured error. Reads retry on the same device: spilled data has one
-// copy, so a permanently failed device means the data is gone.
-func (r *PartitionReader) recoverRead(c uring.Completion, gi int) error {
+// retryRead re-queues a failed block read when the error is transient and
+// the group's retry budget allows it. Reads retry on the same device:
+// spilled data has one primary copy, so a permanently failed device leaves
+// only parity reconstruction (completeGroup) between the query and a fatal
+// error.
+func (r *PartitionReader) retryRead(c uring.Completion, gi int) bool {
 	g := &r.groups[gi]
 	if nvmesim.IsTransient(c.Err) && g.attempts+1 < maxReadAttempts {
 		g.attempts++
@@ -163,9 +185,9 @@ func (r *PartitionReader) recoverRead(c uring.Completion, gi int) error {
 		r.nextUD++
 		r.ring.QueueRead(g.loc, g.buf, r.nextUD)
 		r.pending[r.nextUD] = gi
-		return nil
+		return true
 	}
-	return &QueryError{Op: "spill-read", Part: -1, Device: c.Loc.Device(), Err: c.Err}
+	return false
 }
 
 // fill tops up in-flight block reads to the configured depth.
@@ -181,12 +203,28 @@ func (r *PartitionReader) fill() {
 	}
 }
 
-// decodeGroup turns a completed block read into pages.
-func (r *PartitionReader) decodeGroup(g *blockGroup) error {
+// completeGroup turns a completed (or permanently failed) block read into
+// pages. Every framed slot is verified before anything decodes; a checksum
+// mismatch or a failed read triggers parity reconstruction in place, and
+// only an unrepairable block surfaces an error — always a structured
+// *QueryError naming device and partition.
+func (r *PartitionReader) completeGroup(g *blockGroup, readErr error) error {
+	if readErr != nil || countFramed(g.slots) > 0 {
+		st, err := r.rp.validBlock(g.loc, g.buf, g.slots, r.part, readErr)
+		r.verified += st.verified
+		r.checksumErrs += st.checksumErrors
+		r.reconstructions += st.reconstructions
+		if err != nil {
+			return err
+		}
+	}
 	ready, owned, err := decodeBlockSlots(g.buf, g.slots, r.pageSize, r.ready, r.owned)
 	r.ready, r.owned = ready, owned
 	g.buf = nil // buffer ownership moved to r.owned; Release recycles it
-	return err
+	if err != nil {
+		return WrapQueryError("spill-read", err)
+	}
+	return nil
 }
 
 // decodeBlockSlots decodes the staged pages of one completed block read,
@@ -199,6 +237,14 @@ func decodeBlockSlots(buf []byte, slots []SpilledSlot, pageSize int, ready []*pa
 			return ready, owned, fmt.Errorf("core: spilled slot %v exceeds block bounds", s)
 		}
 		data := buf[s.Off : s.Off+s.Len]
+		if s.Seq != 0 {
+			// Framed slot: the extent starts with the (already verified)
+			// integrity header; the encoded page follows it.
+			if len(data) < pages.FrameSize {
+				return ready, owned, fmt.Errorf("core: framed slot %v shorter than its header", s)
+			}
+			data = data[pages.FrameSize:]
+		}
 		var block []byte
 		if s.Scheme == codec.None {
 			block = data
@@ -234,6 +280,17 @@ func (r *PartitionReader) Release() {
 	}
 	r.released = true
 	r.ready = nil
+	// A reader abandoned mid-stream (sticky error, early consumer exit)
+	// still has block reads in flight whose DMA targets are in r.owned.
+	// Drain them before recycling — handing a buffer to the recycler while
+	// the device still writes into it would corrupt whoever gets it next.
+	// If cancellation cut the drain short, leak the buffers to the GC
+	// instead: safe, and the query is being torn down anyway.
+	r.scratch = r.ring.WaitAll(r.scratch[:0])
+	if r.ring.Outstanding() > 0 {
+		r.owned = nil
+		return
+	}
 	for _, b := range r.owned {
 		pages.PutBuf(b)
 	}
@@ -245,6 +302,15 @@ func (r *PartitionReader) BytesRead() int64 { return r.bytesRead }
 
 // Retries returns the number of transient read errors recovered so far.
 func (r *PartitionReader) Retries() int64 { return r.retries }
+
+// Verified returns the framed pages whose checksums verified so far.
+func (r *PartitionReader) Verified() int64 { return r.verified }
+
+// ChecksumErrors returns the blocks that failed frame verification.
+func (r *PartitionReader) ChecksumErrors() int64 { return r.checksumErrs }
+
+// Reconstructions returns the blocks rebuilt from parity.
+func (r *PartitionReader) Reconstructions() int64 { return r.reconstructions }
 
 // ReadAll drains the reader into a slice (convenience for tests and small
 // partitions).

@@ -36,6 +36,13 @@ type PartitionCursor interface {
 	// Prefetched reports whether readback was already under way (at least
 	// one block read issued) before the consumer opened the cursor.
 	Prefetched() bool
+	// Verified returns framed pages whose checksums verified for this
+	// partition; ChecksumErrors the blocks that failed verification; and
+	// Reconstructions the blocks rebuilt from parity. All zero when spill
+	// integrity is off.
+	Verified() int64
+	ChecksumErrors() int64
+	Reconstructions() int64
 }
 
 // PartitionScheduler keeps the block reads of upcoming spilled partitions in
@@ -80,6 +87,11 @@ type PartitionScheduler struct {
 	nextUD   uint64
 	scratch  []uring.Completion
 
+	// Integrity state (SetIntegrity): the parity stripe directory covering
+	// every work item's blocks and the lazily built repairer.
+	stripes []*StripeGroup
+	rp      *repairer
+
 	prefetched int64
 }
 
@@ -107,6 +119,11 @@ type schedItem struct {
 
 	bytesRead int64
 	retries   int64
+
+	// Integrity counters (spill integrity on).
+	verified        int64
+	checksumErrs    int64
+	reconstructions int64
 }
 
 // NewPartitionScheduler returns a scheduler over the given work items. ctx
@@ -157,6 +174,24 @@ func NewPartitionScheduler(ctx context.Context, arr *nvmesim.Array, pageSize int
 	return s
 }
 
+// SetIntegrity arms frame verification and parity reconstruction for every
+// work item: stripes is the result's parity stripe directory (nil = frames
+// still verify, but nothing can be rebuilt). Call before the first Open.
+func (s *PartitionScheduler) SetIntegrity(stripes []*StripeGroup) {
+	s.mu.Lock()
+	s.stripes = stripes
+	s.rp = nil // rebuilt lazily against the new directory
+	s.mu.Unlock()
+}
+
+// repairerLocked returns the scheduler's repairer, building it on first use.
+func (s *PartitionScheduler) repairerLocked() *repairer {
+	if s.rp == nil {
+		s.rp = newRepairer(s.ctx, s.arr, s.stripes)
+	}
+	return s.rp
+}
+
 // Open hands out the streaming cursor for work item i. Each item must be
 // opened by exactly one consumer; opening releases the item's prefetch
 // reservation (its pages now stand in for the partition the consumer would
@@ -164,6 +199,7 @@ func NewPartitionScheduler(ctx context.Context, arr *nvmesim.Array, pageSize int
 func (s *PartitionScheduler) Open(i int) PartitionCursor {
 	if s.blocking {
 		r := NewPartitionReader(s.ctx, s.arr, s.pageSize, s.work[i].Slots, s.depth)
+		r.SetIntegrity(s.work[i].Part, s.stripes)
 		return &blockingCursor{r: r}
 	}
 	s.mu.Lock()
@@ -301,17 +337,32 @@ func (s *PartitionScheduler) processLocked(comps []uring.Completion, retried []*
 		it.inflightN--
 		s.inflight--
 		it.decoded++
-		if c.Err != nil {
-			if it.err == nil {
+		if c.Err == nil {
+			it.bytesRead += int64(c.N)
+		}
+		if it.released || it.err != nil {
+			// Pages are dead on arrival; buffers recycle at Close. A read
+			// failure still has to stick so a not-yet-failed consumer sees it.
+			if c.Err != nil && it.err == nil {
 				it.err = &QueryError{Op: "spill-read", Part: it.part, Device: c.Loc.Device(), Err: c.Err}
 			}
 			continue
 		}
-		it.bytesRead += int64(c.N)
-		if it.released || it.err != nil {
-			continue // pages are dead on arrival; buffers recycle at Close
-		}
 		g := &it.groups[pr.group]
+		if c.Err != nil || countFramed(g.slots) > 0 {
+			// Verify before decode; a permanently failed read or a checksum
+			// mismatch triggers parity reconstruction in place. The repair
+			// I/O runs under the scheduler lock — it is the cold path, and
+			// followers simply wait out the rare rebuild.
+			st, err := s.repairerLocked().validBlock(g.loc, g.buf, g.slots, it.part, c.Err)
+			it.verified += st.verified
+			it.checksumErrs += st.checksumErrors
+			it.reconstructions += st.reconstructions
+			if err != nil {
+				it.err = err
+				continue
+			}
+		}
 		ready, owned, err := decodeBlockSlots(g.buf, g.slots, s.pageSize, it.ready, it.owned)
 		it.ready, it.owned = ready, owned
 		g.buf = nil
@@ -341,6 +392,10 @@ func (s *PartitionScheduler) Close() {
 	s.pumping = true // exclusive ring access for the final drain
 	s.mu.Unlock()
 	s.scratch = s.ring.WaitAll(s.scratch[:0])
+	// If cancellation cut the drain short, reads may still be writing into
+	// owned buffers — leak those to the GC instead of recycling them; the
+	// query is being torn down anyway.
+	aborted := s.ring.Outstanding() > 0
 	s.mu.Lock()
 	s.pumping = false
 	s.pending = nil
@@ -353,8 +408,10 @@ func (s *PartitionScheduler) Close() {
 			it.released = true
 		}
 		it.ready = nil
-		for _, b := range it.owned {
-			pages.PutBuf(b)
+		if !aborted {
+			for _, b := range it.owned {
+				pages.PutBuf(b)
+			}
 		}
 		it.owned = nil
 	}
@@ -467,6 +524,27 @@ func (c *schedCursor) StallNanos() int64 { return c.stallNs }
 // Prefetched reports whether readback had started before Open.
 func (c *schedCursor) Prefetched() bool { return c.pre }
 
+// Verified returns framed pages whose checksums verified for this partition.
+func (c *schedCursor) Verified() int64 {
+	c.s.mu.Lock()
+	defer c.s.mu.Unlock()
+	return c.it.verified
+}
+
+// ChecksumErrors returns blocks of this partition that failed verification.
+func (c *schedCursor) ChecksumErrors() int64 {
+	c.s.mu.Lock()
+	defer c.s.mu.Unlock()
+	return c.it.checksumErrs
+}
+
+// Reconstructions returns blocks of this partition rebuilt from parity.
+func (c *schedCursor) Reconstructions() int64 {
+	c.s.mu.Lock()
+	defer c.s.mu.Unlock()
+	return c.it.reconstructions
+}
+
 // blockingCursor adapts the synchronous PartitionReader to the cursor
 // interface — the scheduler's blocking baseline mode.
 type blockingCursor struct {
@@ -481,8 +559,11 @@ func (c *blockingCursor) Next() (*pages.Page, error) {
 	return p, err
 }
 
-func (c *blockingCursor) Release()          { c.r.Release() }
-func (c *blockingCursor) BytesRead() int64  { return c.r.BytesRead() }
-func (c *blockingCursor) Retries() int64    { return c.r.Retries() }
-func (c *blockingCursor) StallNanos() int64 { return c.stallNs }
-func (c *blockingCursor) Prefetched() bool  { return false }
+func (c *blockingCursor) Release()               { c.r.Release() }
+func (c *blockingCursor) BytesRead() int64       { return c.r.BytesRead() }
+func (c *blockingCursor) Retries() int64         { return c.r.Retries() }
+func (c *blockingCursor) StallNanos() int64      { return c.stallNs }
+func (c *blockingCursor) Prefetched() bool       { return false }
+func (c *blockingCursor) Verified() int64        { return c.r.Verified() }
+func (c *blockingCursor) ChecksumErrors() int64  { return c.r.ChecksumErrors() }
+func (c *blockingCursor) Reconstructions() int64 { return c.r.Reconstructions() }

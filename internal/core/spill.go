@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"github.com/spilly-db/spilly/internal/codec"
@@ -21,8 +22,13 @@ import (
 type SpilledSlot struct {
 	Loc    nvmesim.Loc // staging block location on the array
 	Off    uint32      // offset of the encoded page within the block
-	Len    uint32      // encoded length
+	Len    uint32      // encoded length (frame included when Seq != 0)
 	Scheme codec.ID    // codec used, None = raw page bytes
+	// Seq is the page's engine-unique integrity sequence number; 0 means
+	// the page was written without an integrity frame. When set, the
+	// extent holds a pages.FrameSize header followed by the encoded page,
+	// and readback verifies the frame before decoding.
+	Seq uint32
 }
 
 // stagingArea accumulates compressed pages destined for one partition until
@@ -47,6 +53,11 @@ type inflightWrite struct {
 	slotFrom int // w.slots[part][slotFrom:slotTo] reference this write's Loc
 	slotTo   int
 	attempts int // transient-failure retries so far
+	// Parity bookkeeping: when the write belongs to a stripe group, a
+	// failover relocation must re-point the group's directory too.
+	// stripeIdx is the member index, or -1 for the group's parity block.
+	stripe    *StripeGroup
+	stripeIdx int
 }
 
 // Write-retry policy: transient device errors are retried with capped
@@ -97,17 +108,27 @@ type spillWriter struct {
 
 	slots [][]SpilledSlot // per partition
 
+	// Integrity state (SpillConfig.Parity > 0): every payload is framed
+	// with a checksum header, and every `parity` staging-block writes form
+	// a stripe group closed by an XOR parity block write.
+	parity    int            // stripe width K; 0 = integrity off
+	seqc      *atomic.Uint32 // shared engine-unique frame sequence counter
+	curStripe *StripeGroup   // open group collecting members
+	parityAcc []byte         // XOR accumulator over the open group's blocks
+	stripes   []*StripeGroup // all groups this writer produced
+
 	// Counters.
 	spilledPages int64
 	spilledBytes int64 // raw page bytes spilled
 	writtenBytes int64 // bytes handed to the device (post compression)
+	parityBytes  int64 // parity blocks written (integrity overhead)
 	retries      int64 // transient write errors recovered by retrying
 	failovers    int64 // writes re-striped onto a different device
 	firstErr     error
 	scratch      []uring.Completion
 }
 
-func newSpillWriter(ctx context.Context, ring *uring.Ring, reg *Regulator, pool *pages.Pool, parts, flushAt, maxAhead int) *spillWriter {
+func newSpillWriter(ctx context.Context, ring *uring.Ring, reg *Regulator, pool *pages.Pool, parts, flushAt, maxAhead, parity int, seqc *atomic.Uint32) *spillWriter {
 	if flushAt < nvmesim.BlockSize {
 		flushAt = pages.DefaultPageSize
 	}
@@ -121,12 +142,15 @@ func newSpillWriter(ctx context.Context, ring *uring.Ring, reg *Regulator, pool 
 		reg:   reg,
 		// Staging batches small or compressed pages into >= flushAt
 		// writes (§5.3). Full-size raw pages skip the copy and go out
-		// directly.
-		stage:    reg != nil || pool.PageSize() < flushAt,
+		// directly — unless integrity is on, which frames every payload
+		// and therefore always routes through staging.
+		stage:    reg != nil || pool.PageSize() < flushAt || parity > 0,
 		pool:     pool,
 		parts:    parts,
 		flushAt:  flushAt,
 		maxAhead: maxAhead,
+		parity:   parity,
+		seqc:     seqc,
 		staging:  make([]*stagingArea, parts),
 		inflight: make(map[uint64]*inflightWrite),
 		slots:    make([][]SpilledSlot, parts),
@@ -186,8 +210,19 @@ func (w *spillWriter) spillPage(p *pages.Page) {
 		st = &stagingArea{buf: w.getStagingBuf()}
 		w.staging[part] = st
 	}
-	st.slots = append(st.slots, SpilledSlot{Off: uint32(len(st.buf)), Len: uint32(len(enc)), Scheme: scheme})
-	st.buf = append(st.buf, enc...)
+	if w.parity > 0 {
+		// Integrity frame: checksum header + payload; the slot records the
+		// sequence number readback verifies against.
+		seq := w.seqc.Add(1)
+		st.slots = append(st.slots, SpilledSlot{
+			Off: uint32(len(st.buf)), Len: uint32(pages.FrameSize + len(enc)),
+			Scheme: scheme, Seq: seq,
+		})
+		st.buf = pages.AppendFrame(st.buf, part, seq, enc)
+	} else {
+		st.slots = append(st.slots, SpilledSlot{Off: uint32(len(st.buf)), Len: uint32(len(enc)), Scheme: scheme})
+		st.buf = append(st.buf, enc...)
+	}
 	w.pool.Put(p)
 	if len(st.buf) >= w.flushAt {
 		w.flushStaging(part)
@@ -218,8 +253,67 @@ func (w *spillWriter) flushStaging(part int) {
 		s.Loc = loc
 		w.slots[part] = append(w.slots[part], s)
 	}
-	w.inflight[ud] = &inflightWrite{buf: st.buf, data: st.buf, part: part, slotFrom: slotFrom, slotTo: len(w.slots[part])}
+	rec := &inflightWrite{buf: st.buf, data: st.buf, part: part, slotFrom: slotFrom, slotTo: len(w.slots[part]), stripeIdx: -1}
+	if w.parity > 0 {
+		w.addStripeMember(rec, loc, st.buf)
+	}
+	w.inflight[ud] = rec
 	w.writtenBytes += int64(len(st.buf))
+}
+
+// addStripeMember folds a just-queued staging block into the open stripe
+// group, closing the group with a parity write once it holds `parity`
+// members. Consecutive QueueWrites round-robin across live devices, so the
+// group's members and parity land on distinct devices whenever the array
+// has at least parity+1 of them.
+func (w *spillWriter) addStripeMember(rec *inflightWrite, loc nvmesim.Loc, data []byte) {
+	if w.curStripe == nil {
+		w.curStripe = &StripeGroup{Data: make([]nvmesim.Loc, 0, w.parity)}
+		w.parityAcc = w.getStagingBuf()
+	}
+	g := w.curStripe
+	rec.stripe = g
+	rec.stripeIdx = len(g.Data)
+	g.Data = append(g.Data, loc)
+	if len(data) > len(w.parityAcc) {
+		w.parityAcc = append(w.parityAcc, make([]byte, len(data)-len(w.parityAcc))...)
+	}
+	xorInto(w.parityAcc, data)
+	if len(g.Data) >= w.parity {
+		w.sealStripe()
+	}
+}
+
+// sealStripe writes the open stripe group's parity block and records the
+// group in the writer's stripe directory. Called when the group is full and
+// at finish() for a trailing partial group.
+func (w *spillWriter) sealStripe() {
+	g, acc := w.curStripe, w.parityAcc
+	w.curStripe, w.parityAcc = nil, nil
+	if g == nil || len(g.Data) == 0 {
+		if acc != nil {
+			w.putStagingBuf(acc)
+		}
+		return
+	}
+	w.stripes = append(w.stripes, g)
+	if w.firstErr != nil || w.canceled() {
+		w.putStagingBuf(acc)
+		return
+	}
+	ud := w.newUD()
+	loc, err := w.ring.QueueWrite(acc, ud)
+	if err != nil {
+		// No writable device for the parity block: the group simply has no
+		// parity (Parity stays 0). Data writes already queued are intact,
+		// so this alone does not fail the query — but with every device
+		// dead or full those writes are failing too.
+		w.putStagingBuf(acc)
+		return
+	}
+	g.Parity = loc
+	w.inflight[ud] = &inflightWrite{buf: acc, data: acc, part: -1, stripe: g, stripeIdx: -1}
+	w.parityBytes += int64(len(acc))
 }
 
 // pump submits queued requests and reaps completions, blocking only when
@@ -302,12 +396,28 @@ func (w *spillWriter) requeue(c uring.Completion, rec *inflightWrite) {
 	for i := rec.slotFrom; i < rec.slotTo; i++ {
 		w.slots[rec.part][i].Loc = loc
 	}
+	// Keep the stripe directory pointing at the data's final home.
+	if g := rec.stripe; g != nil {
+		if rec.stripeIdx >= 0 {
+			g.Data[rec.stripeIdx] = loc
+		} else {
+			g.Parity = loc
+		}
+	}
 	w.inflight[ud] = rec
 }
 
 // failWrite records a fatal, structured spill failure and reclaims the
-// write's buffer.
+// write's buffer. A failed parity write degrades instead: the group loses
+// its redundancy (Parity = 0) but the data blocks are unaffected, so the
+// query keeps running.
 func (w *spillWriter) failWrite(c uring.Completion, rec *inflightWrite, err error) {
+	if g := rec.stripe; g != nil && rec.stripeIdx < 0 {
+		g.Parity = 0
+		w.parityBytes -= int64(len(rec.data))
+		w.release(rec)
+		return
+	}
 	if w.firstErr == nil {
 		qe := &QueryError{Op: "spill", Part: rec.part, Device: c.Loc.Device(), Err: err}
 		var de *nvmesim.DeviceError
@@ -346,6 +456,11 @@ func (w *spillWriter) abort(cause error) {
 			w.staging[part] = nil
 		}
 	}
+	if w.parityAcc != nil {
+		w.putStagingBuf(w.parityAcc)
+		w.parityAcc = nil
+		w.curStripe = nil
+	}
 	if cause != nil {
 		w.fail(cause)
 	}
@@ -358,6 +473,9 @@ func (w *spillWriter) finish() error {
 	for part := range w.staging {
 		w.flushStaging(part)
 	}
+	// A trailing partial stripe group still gets its parity block — the
+	// last blocks written are as exposed to device loss as any other.
+	w.sealStripe()
 	for w.ring.Pending() > 0 || w.ring.Outstanding() > 0 {
 		if w.canceled() {
 			w.abort(w.ctx.Err())

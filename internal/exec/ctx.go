@@ -206,6 +206,15 @@ type Stats struct {
 	SpillStallNanos      atomic.Int64
 	PrefetchedPartitions atomic.Int64
 
+	// Spill integrity counters (checksummed frames + parity stripes, see
+	// core.SpillConfig.Parity): frames whose checksums verified on
+	// readback, blocks that failed verification, blocks rebuilt from their
+	// parity stripe, and parity bytes written alongside the spilled data.
+	SpillPagesVerified   atomic.Int64
+	SpillChecksumErrors  atomic.Int64
+	SpillReconstructions atomic.Int64
+	SpillParityBytes     atomic.Int64
+
 	histMu sync.Mutex
 	hist   map[codec.ID]int64 // spilled pages per compression scheme
 }
@@ -218,6 +227,7 @@ func (s *Stats) addResult(r *core.Result) {
 	s.WrittenBytes.Add(r.WrittenBytes)
 	s.SpillRetries.Add(r.SpillRetries)
 	s.SpillFailovers.Add(r.SpillFailovers)
+	s.SpillParityBytes.Add(r.ParityBytes)
 	if r.HasSpilled() {
 		s.SpilledOps.Add(1)
 	}
@@ -261,9 +271,13 @@ func chargeSpillCursor(ctx *Ctx, sp *trace.Span, c core.PartitionCursor) {
 		ctx.Stats.SpillRetries.Add(c.Retries())
 		ctx.Stats.SpillStallNanos.Add(c.StallNanos())
 		ctx.Stats.PrefetchedPartitions.Add(pre)
+		ctx.Stats.SpillPagesVerified.Add(c.Verified())
+		ctx.Stats.SpillChecksumErrors.Add(c.ChecksumErrors())
+		ctx.Stats.SpillReconstructions.Add(c.Reconstructions())
 	}
 	sp.AddSpillRead(c.BytesRead(), c.Retries())
 	sp.AddSpillStall(c.StallNanos(), pre)
+	sp.AddSpillIntegrity(c.Verified(), c.ChecksumErrors(), c.Reconstructions())
 }
 
 // Stream is a parallel batch stream: workers 0..Workers-1 each repeatedly

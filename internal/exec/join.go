@@ -373,6 +373,7 @@ func (jw *joinWorker) next(b *data.Batch) (int, error) {
 	b.Reset()
 	for {
 		if err := jw.js.err.get(); err != nil {
+			jw.releaseIn()
 			return 0, err
 		}
 		switch jw.stage {
@@ -380,13 +381,11 @@ func (jw *joinWorker) next(b *data.Batch) (int, error) {
 			n, err := jw.js.probeIn.Next(jw.workerID(), jw.in)
 			if err != nil {
 				jw.js.err.set(err)
+				jw.releaseIn()
 				return 0, err
 			}
 			if n == 0 {
-				if jw.in != nil {
-					jw.in.Release()
-					jw.in = nil
-				}
+				jw.releaseIn()
 				if jw.pbuf != nil {
 					if err := jw.pbuf.Finish(); err != nil {
 						jw.js.err.set(err)
@@ -418,6 +417,17 @@ func (jw *joinWorker) next(b *data.Batch) (int, error) {
 		default:
 			return 0, nil
 		}
+	}
+}
+
+// releaseIn returns the worker's probe-input batch lease. Every terminal
+// path out of next must call it — the clean end of stream and all error
+// returns alike — or a failing query strands the lease and the query-end
+// pool audit (gets == puts) reports a leak. Idempotent.
+func (jw *joinWorker) releaseIn() {
+	if jw.in != nil {
+		jw.in.Release()
+		jw.in = nil
 	}
 }
 
@@ -561,6 +571,13 @@ func (jw *joinWorker) finalizeProbe() error {
 			js.sched = core.NewPartitionScheduler(js.ctx.goCtx(), js.ctx.Spill.Array,
 				js.ctx.pageSize(), items, js.ctx.readDepth(), js.ctx.Budget,
 				js.ctx.BlockingSpillRead)
+			// One scheduler serves both sides, so its stripe directory is
+			// the union of the build and probe results' parity stripes.
+			stripes := js.bres.Stripes
+			if js.pres != nil && len(js.pres.Stripes) > 0 {
+				stripes = append(append([]*core.StripeGroup(nil), stripes...), js.pres.Stripes...)
+			}
+			js.sched.SetIntegrity(stripes)
 			js.ctx.AddCleanup(js.sched.Close)
 		}
 	})

@@ -68,6 +68,20 @@ const (
 	FaultSpike
 	// FaultDeath fails the request and kills the device permanently.
 	FaultDeath
+	// FaultCorrupt completes the request "successfully" but flips one bit
+	// in the data — in the stored block on a write (bit rot at rest), in
+	// the returned buffer on a read. The device reports no error; only an
+	// integrity layer above can notice.
+	FaultCorrupt
+	// FaultTorn applies to writes: only a prefix of the data reaches the
+	// media (the tail half of the stored block is zeroed), yet the write
+	// completes without error — the classic torn-write failure mode.
+	FaultTorn
+	// FaultStale applies to reads: the device returns the contents of a
+	// different (previously written) block on the same device instead of
+	// the requested one — a misdirected or stale read. No error is
+	// reported.
+	FaultStale
 )
 
 // FaultPlan configures fault injection for one device. The zero value
@@ -84,6 +98,17 @@ type FaultPlan struct {
 	// SpikeLatency (added on top of the modeled transfer time).
 	SpikeRate    float64
 	SpikeLatency time.Duration
+	// CorruptRate is the per-request probability of a silent single-bit
+	// flip (reads corrupt the returned buffer, writes corrupt the stored
+	// block). The request still completes without error.
+	CorruptRate float64
+	// TornWriteRate is the per-write probability that only a prefix of
+	// the data reaches the media (tail half zeroed) while the write still
+	// reports success.
+	TornWriteRate float64
+	// StaleReadRate is the per-read probability of a misdirected read:
+	// the device silently returns a different previously written block.
+	StaleReadRate float64
 	// DieAfterOps kills the device permanently on request DieAfterOps+1
 	// (counting reads and writes together); 0 means never.
 	DieAfterOps int64
@@ -101,31 +126,48 @@ type faultState struct {
 }
 
 // roll decides the fault for the next request of class op. It returns the
-// fault kind and the extra latency to add (for FaultSpike).
-func (f *faultState) roll(op string) (FaultKind, time.Duration) {
+// fault kind, the extra latency to add (for FaultSpike), and a deterministic
+// random value the silent-corruption kinds use to pick the bit or block to
+// damage.
+func (f *faultState) roll(op string) (FaultKind, time.Duration, uint64) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.ops++
 	if k, ok := f.plan.Script[f.ops]; ok {
-		if k == FaultSpike {
-			return k, f.plan.SpikeLatency
+		switch k {
+		case FaultSpike:
+			return k, f.plan.SpikeLatency, 0
+		case FaultCorrupt, FaultTorn, FaultStale:
+			return k, 0, f.rng.Uint64()
 		}
-		return k, 0
+		return k, 0, 0
 	}
 	if f.plan.DieAfterOps > 0 && f.ops > f.plan.DieAfterOps {
-		return FaultDeath, 0
+		return FaultDeath, 0, 0
 	}
 	rate := f.plan.ReadErrRate
 	if op == "write" {
 		rate = f.plan.WriteErrRate
 	}
 	if rate > 0 && f.rng.Float64() < rate {
-		return FaultTransient, 0
+		return FaultTransient, 0, 0
+	}
+	if f.plan.CorruptRate > 0 && f.rng.Float64() < f.plan.CorruptRate {
+		return FaultCorrupt, 0, f.rng.Uint64()
+	}
+	if op == "write" {
+		if f.plan.TornWriteRate > 0 && f.rng.Float64() < f.plan.TornWriteRate {
+			return FaultTorn, 0, f.rng.Uint64()
+		}
+	} else {
+		if f.plan.StaleReadRate > 0 && f.rng.Float64() < f.plan.StaleReadRate {
+			return FaultStale, 0, f.rng.Uint64()
+		}
 	}
 	if f.plan.SpikeRate > 0 && f.rng.Float64() < f.plan.SpikeRate {
-		return FaultSpike, f.plan.SpikeLatency
+		return FaultSpike, f.plan.SpikeLatency, 0
 	}
-	return FaultNone, 0
+	return FaultNone, 0, 0
 }
 
 // SetFaultPlan arms fault injection on device dev. Passing a plan that
@@ -134,6 +176,7 @@ func (f *faultState) roll(op string) (FaultKind, time.Duration) {
 func (a *Array) SetFaultPlan(dev int, plan FaultPlan) {
 	d := a.devices[dev]
 	if plan.ReadErrRate == 0 && plan.WriteErrRate == 0 && plan.SpikeRate == 0 &&
+		plan.CorruptRate == 0 && plan.TornWriteRate == 0 && plan.StaleReadRate == 0 &&
 		plan.DieAfterOps == 0 && len(plan.Script) == 0 {
 		d.faults.Store(nil)
 		return
@@ -174,6 +217,11 @@ type DeviceFaults struct {
 	ReadErrors  int64
 	WriteErrors int64
 	Spikes      int64
+	// Silent-fault counters: requests that completed without error but
+	// damaged data (bit flips, torn writes, misdirected reads).
+	Corruptions int64
+	TornWrites  int64
+	StaleReads  int64
 	Dead        bool
 }
 
@@ -184,41 +232,64 @@ func (a *Array) FaultStats(dev int) DeviceFaults {
 		ReadErrors:  d.readErrs.Load(),
 		WriteErrors: d.writeErrs.Load(),
 		Spikes:      d.spikes.Load(),
+		Corruptions: d.corrupts.Load(),
+		TornWrites:  d.tornWrites.Load(),
+		StaleReads:  d.staleReads.Load(),
 		Dead:        d.dead.Load(),
 	}
 }
 
+// faultEffect is a silent-fault directive handed back to the data path:
+// the request completes without error, but the stored or returned bytes
+// must be perturbed as kind dictates. r supplies deterministic randomness
+// for choosing the bit or block to damage.
+type faultEffect struct {
+	kind FaultKind // FaultNone, FaultCorrupt, FaultTorn, or FaultStale
+	r    uint64
+}
+
 // injectFault runs the device's fault machinery for one request of class op
 // ("read" or "write"). It returns the error to fail the request with (nil =
-// proceed) and extra latency to add to the completion time.
-func (d *device) injectFault(dev int, op string) (error, time.Duration) {
+// proceed), extra latency to add to the completion time, and any silent
+// data-damage effect the data path must apply.
+func (d *device) injectFault(dev int, op string) (error, time.Duration, faultEffect) {
 	if d.dead.Load() {
 		d.countErr(op)
-		return &DeviceError{Device: dev, Op: op, Err: ErrDeviceDead}, 0
+		return &DeviceError{Device: dev, Op: op, Err: ErrDeviceDead}, 0, faultEffect{}
 	}
 	// Legacy knob: fail the next N requests with a transient error.
 	if d.failNext.Load() > 0 && d.failNext.Add(-1) >= 0 {
 		d.countErr(op)
-		return &DeviceError{Device: dev, Op: op, Err: fmt.Errorf("injected %s failure: %w", op, ErrTransient)}, 0
+		return &DeviceError{Device: dev, Op: op, Err: fmt.Errorf("injected %s failure: %w", op, ErrTransient)}, 0, faultEffect{}
 	}
 	f := d.faults.Load()
 	if f == nil {
-		return nil, 0
+		return nil, 0, faultEffect{}
 	}
-	kind, spike := f.roll(op)
+	kind, spike, r := f.roll(op)
 	switch kind {
 	case FaultTransient:
 		d.countErr(op)
-		return &DeviceError{Device: dev, Op: op, Err: ErrTransient}, 0
+		return &DeviceError{Device: dev, Op: op, Err: ErrTransient}, 0, faultEffect{}
 	case FaultDeath:
 		d.dead.Store(true)
 		d.countErr(op)
-		return &DeviceError{Device: dev, Op: op, Err: ErrDeviceDead}, 0
+		return &DeviceError{Device: dev, Op: op, Err: ErrDeviceDead}, 0, faultEffect{}
 	case FaultSpike:
 		d.spikes.Add(1)
-		return nil, spike
+		return nil, spike, faultEffect{}
+	case FaultCorrupt:
+		return nil, 0, faultEffect{kind: FaultCorrupt, r: r}
+	case FaultTorn:
+		if op == "write" {
+			return nil, 0, faultEffect{kind: FaultTorn, r: r}
+		}
+	case FaultStale:
+		if op == "read" {
+			return nil, 0, faultEffect{kind: FaultStale, r: r}
+		}
 	}
-	return nil, 0
+	return nil, 0, faultEffect{}
 }
 
 func (d *device) countErr(op string) {

@@ -127,3 +127,202 @@ func TestLatencySpike(t *testing.T) {
 		t.Fatal("spike not counted")
 	}
 }
+
+// countBitFlips returns the number of differing bits between a and b.
+func countBitFlips(a, b []byte) int {
+	n := 0
+	for i := range a {
+		d := a[i] ^ b[i]
+		for d != 0 {
+			n++
+			d &= d - 1
+		}
+	}
+	return n
+}
+
+func TestCorruptReadFlipsOneBit(t *testing.T) {
+	a, _ := virtualArray(1)
+	data := make([]byte, 1024)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	if _, err := a.Write(0, 0, data); err != nil {
+		t.Fatal(err)
+	}
+	a.SetFaultPlan(0, FaultPlan{Seed: 11, CorruptRate: 1.0})
+	dst := make([]byte, 1024)
+	if _, _, err := a.Read(0, 0, dst); err != nil {
+		t.Fatalf("corrupt read must not error: %v", err)
+	}
+	if flips := countBitFlips(data, dst); flips != 1 {
+		t.Fatalf("want exactly 1 flipped bit, got %d", flips)
+	}
+	if a.FaultStats(0).Corruptions != 1 {
+		t.Fatalf("corruption not counted: %+v", a.FaultStats(0))
+	}
+	// The stored block itself is untouched: a clean re-read round-trips.
+	a.SetFaultPlan(0, FaultPlan{})
+	if _, _, err := a.Read(0, 0, dst); err != nil {
+		t.Fatal(err)
+	}
+	if countBitFlips(data, dst) != 0 {
+		t.Fatal("read corruption leaked into the store")
+	}
+}
+
+func TestCorruptionDeterministicUnderSeed(t *testing.T) {
+	run := func() (string, int64) {
+		a, _ := virtualArray(1)
+		data := make([]byte, 4096)
+		for i := range data {
+			data[i] = byte(i * 7)
+		}
+		for i := 0; i < 8; i++ {
+			if _, err := a.Write(0, int64(i)*4096, data); err != nil {
+				t.Fatal(err)
+			}
+		}
+		a.SetFaultPlan(0, FaultPlan{Seed: 99, CorruptRate: 0.4, StaleReadRate: 0.2})
+		var sig []byte
+		dst := make([]byte, 4096)
+		for i := 0; i < 8; i++ {
+			if _, _, err := a.Read(0, int64(i)*4096, dst); err != nil {
+				t.Fatal(err)
+			}
+			sig = append(sig, dst...)
+		}
+		st := a.FaultStats(0)
+		return string(sig), st.Corruptions + st.StaleReads
+	}
+	sig1, n1 := run()
+	sig2, n2 := run()
+	if n1 != n2 || sig1 != sig2 {
+		t.Fatalf("same seed produced different corruption outcomes: %d vs %d faults", n1, n2)
+	}
+	if n1 == 0 {
+		t.Fatal("no silent faults injected at 40%+20% rates over 8 reads")
+	}
+}
+
+func TestScriptedSingleOpCorruption(t *testing.T) {
+	a, _ := virtualArray(1)
+	data := make([]byte, 512)
+	for i := range data {
+		data[i] = 0xAB
+	}
+	if _, err := a.Write(0, 0, data); err != nil { // op 1: clean write
+		t.Fatal(err)
+	}
+	// Ops count reads and writes together, so op 2 is the first read.
+	a.SetFaultPlan(0, FaultPlan{Seed: 5, Script: map[int64]FaultKind{2: FaultCorrupt}})
+	if _, err := a.Write(0, BlockSize, data); err != nil { // op 1 under new plan
+		t.Fatal(err)
+	}
+	dst := make([]byte, 512)
+	if _, _, err := a.Read(0, 0, dst); err != nil { // op 2: scripted corruption
+		t.Fatal(err)
+	}
+	if countBitFlips(data, dst) != 1 {
+		t.Fatal("scripted op did not corrupt")
+	}
+	if _, _, err := a.Read(0, 0, dst); err != nil { // op 3: clean again
+		t.Fatal(err)
+	}
+	if countBitFlips(data, dst) != 0 {
+		t.Fatal("corruption fired outside the scripted op")
+	}
+}
+
+func TestCorruptThenDie(t *testing.T) {
+	a, _ := virtualArray(1)
+	data := make([]byte, 512)
+	if _, err := a.Write(0, 0, data); err != nil {
+		t.Fatal(err)
+	}
+	// Scripted corruption on op 2 composes with DieAfterOps: op 3 and every
+	// later request fail permanently.
+	a.SetFaultPlan(0, FaultPlan{
+		Seed:        13,
+		Script:      map[int64]FaultKind{1: FaultCorrupt},
+		DieAfterOps: 2,
+	})
+	dst := make([]byte, 512)
+	if _, _, err := a.Read(0, 0, dst); err != nil { // op 1: corrupt
+		t.Fatal(err)
+	}
+	if countBitFlips(data, dst) != 1 {
+		t.Fatal("op 1 corruption missing")
+	}
+	if _, _, err := a.Read(0, 0, dst); err != nil { // op 2: last clean op
+		t.Fatal(err)
+	}
+	if _, _, err := a.Read(0, 0, dst); !IsDeviceDead(err) { // op 3: death
+		t.Fatalf("want device death after corrupt-then-die, got %v", err)
+	}
+	st := a.FaultStats(0)
+	if st.Corruptions != 1 || !st.Dead {
+		t.Fatalf("corrupt-then-die counters wrong: %+v", st)
+	}
+}
+
+func TestTornWriteZeroesTail(t *testing.T) {
+	a, _ := virtualArray(1)
+	data := make([]byte, 1024)
+	for i := range data {
+		data[i] = 0xFF
+	}
+	a.SetFaultPlan(0, FaultPlan{Seed: 21, TornWriteRate: 1.0})
+	if _, err := a.Write(0, 0, data); err != nil {
+		t.Fatalf("torn write must report success: %v", err)
+	}
+	a.SetFaultPlan(0, FaultPlan{})
+	dst := make([]byte, 1024)
+	if _, _, err := a.Read(0, 0, dst); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 512; i++ {
+		if dst[i] != 0xFF {
+			t.Fatalf("torn write damaged the persisted prefix at %d", i)
+		}
+	}
+	for i := 512; i < 1024; i++ {
+		if dst[i] != 0 {
+			t.Fatalf("torn write tail byte %d survived", i)
+		}
+	}
+	if a.FaultStats(0).TornWrites != 1 {
+		t.Fatal("torn write not counted")
+	}
+	// TornWriteRate never perturbs reads.
+	a.SetFaultPlan(0, FaultPlan{Seed: 21, TornWriteRate: 1.0})
+	if _, _, err := a.Read(0, 0, dst); err != nil || a.FaultStats(0).TornWrites != 1 {
+		t.Fatal("torn-write plan affected a read")
+	}
+}
+
+func TestStaleReadServesOtherBlock(t *testing.T) {
+	a, _ := virtualArray(1)
+	blockA := make([]byte, 512)
+	blockB := make([]byte, 512)
+	for i := range blockA {
+		blockA[i], blockB[i] = 0x11, 0x22
+	}
+	if _, err := a.Write(0, 0, blockA); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Write(0, BlockSize, blockB); err != nil {
+		t.Fatal(err)
+	}
+	a.SetFaultPlan(0, FaultPlan{Seed: 31, StaleReadRate: 1.0})
+	dst := make([]byte, 512)
+	if _, _, err := a.Read(0, BlockSize, dst); err != nil {
+		t.Fatalf("stale read must not error: %v", err)
+	}
+	if dst[0] != 0x11 {
+		t.Fatalf("stale read of block B should serve block A, got %#x", dst[0])
+	}
+	if a.FaultStats(0).StaleReads != 1 {
+		t.Fatal("stale read not counted")
+	}
+}

@@ -86,12 +86,15 @@ type device struct {
 	writes       atomic.Int64
 
 	// Fault injection state (fault.go).
-	failNext  atomic.Int32 // legacy knob: fail the next N requests
-	dead      atomic.Bool  // permanent device failure
-	faults    atomic.Pointer[faultState]
-	readErrs  atomic.Int64
-	writeErrs atomic.Int64
-	spikes    atomic.Int64
+	failNext   atomic.Int32 // legacy knob: fail the next N requests
+	dead       atomic.Bool  // permanent device failure
+	faults     atomic.Pointer[faultState]
+	readErrs   atomic.Int64
+	writeErrs  atomic.Int64
+	spikes     atomic.Int64
+	corrupts   atomic.Int64 // silent bit flips applied
+	tornWrites atomic.Int64 // writes that persisted only a prefix
+	staleReads atomic.Int64 // reads served from the wrong block
 }
 
 // Array is a set of simulated SSDs sharing a clock.
@@ -174,12 +177,30 @@ func (a *Array) Write(dev int, offset int64, data []byte) (time.Time, error) {
 		return time.Time{}, ErrUnaligned
 	}
 	d := a.devices[dev]
-	err, spike := d.injectFault(dev, "write")
+	err, spike, effect := d.injectFault(dev, "write")
 	if err != nil {
 		return a.clock.Now(), err
 	}
 	cp := make([]byte, len(data))
 	copy(cp, data)
+	switch effect.kind {
+	case FaultCorrupt:
+		// Silent bit rot: flip one deterministic bit of the stored copy.
+		if len(cp) > 0 {
+			bit := effect.r % uint64(len(cp)*8)
+			cp[bit/8] ^= 1 << (bit % 8)
+			d.corrupts.Add(1)
+		}
+	case FaultTorn:
+		// Torn write: only the head of the block reached the media; the
+		// tail reads back as zeroes. The write still reports success.
+		if len(cp) > 1 {
+			for i := len(cp) / 2; i < len(cp); i++ {
+				cp[i] = 0
+			}
+			d.tornWrites.Add(1)
+		}
+	}
 
 	now := a.clock.Now()
 	d.mu.Lock()
@@ -205,7 +226,7 @@ func (a *Array) Read(dev int, offset int64, dst []byte) (time.Time, int, error) 
 		return time.Time{}, 0, ErrBadDevice
 	}
 	d := a.devices[dev]
-	err, spike := d.injectFault(dev, "read")
+	err, spike, effect := d.injectFault(dev, "read")
 	if err != nil {
 		return a.clock.Now(), 0, err
 	}
@@ -221,6 +242,27 @@ func (a *Array) Read(dev int, offset int64, dst []byte) (time.Time, int, error) 
 	}
 	copy(dst, block)
 	n := len(block)
+	switch effect.kind {
+	case FaultCorrupt:
+		// Silent read corruption: the transfer "succeeds" with one bit
+		// flipped in the returned buffer. The stored block is untouched.
+		if n > 0 {
+			bit := effect.r % uint64(n*8)
+			dst[bit/8] ^= 1 << (bit % 8)
+			d.corrupts.Add(1)
+		}
+	case FaultStale:
+		// Misdirected read: serve the nearest other stored block instead
+		// of the requested one (deterministic — greatest offset below the
+		// target, else smallest above). With no other block written the
+		// read degenerates to all-zero garbage.
+		stale := d.staleBlockLocked(offset)
+		for i := 0; i < n; i++ {
+			dst[i] = 0
+		}
+		copy(dst[:n], stale)
+		d.staleReads.Add(1)
+	}
 	now := a.clock.Now()
 	start := now
 	if d.readBusy.After(start) {
@@ -233,6 +275,33 @@ func (a *Array) Read(dev int, offset int64, dst []byte) (time.Time, int, error) 
 	d.bytesRead.Add(int64(n))
 	d.reads.Add(1)
 	return busy.Add(d.spec.Latency).Add(spike), n, nil
+}
+
+// staleBlockLocked picks the block a misdirected read of offset would land
+// on: the stored block at the greatest offset below the target, else the
+// smallest offset above it, else nil. Both the choice and its contents are
+// deterministic for a given store state. Caller holds d.mu.
+func (d *device) staleBlockLocked(offset int64) []byte {
+	bestBelow, bestAbove := int64(-1), int64(-1)
+	for off := range d.store {
+		if off == offset {
+			continue
+		}
+		if off < offset {
+			if off > bestBelow {
+				bestBelow = off
+			}
+		} else if bestAbove < 0 || off < bestAbove {
+			bestAbove = off
+		}
+	}
+	if bestBelow >= 0 {
+		return d.store[bestBelow]
+	}
+	if bestAbove >= 0 {
+		return d.store[bestAbove]
+	}
+	return nil
 }
 
 func transferTime(n int, bw float64) time.Duration {

@@ -45,11 +45,15 @@ type GCStats struct {
 	NumGC        int64
 }
 
-// SpillStats are cumulative phase-2 overlap totals: worker time stalled on
-// spill readback and partitions whose readback was prefetched.
+// SpillStats are cumulative phase-2 overlap and integrity totals: worker
+// time stalled on spill readback, partitions whose readback was prefetched,
+// and the checksummed-frame/parity-stripe counters.
 type SpillStats struct {
 	StallSecs            float64
 	PrefetchedPartitions int64
+	PagesVerified        int64
+	ChecksumErrors       int64
+	Reconstructions      int64
 }
 
 // Server renders engine observability snapshots over HTTP. All fields are
@@ -125,6 +129,15 @@ func (s *Server) serveMetrics(w http.ResponseWriter, _ *http.Request) {
 		writeCounter(&b, "spilly_query_prefetched_partitions_total", "counter",
 			"Spilled partitions whose readback was in flight before phase 2 reached them.",
 			sample{value: float64(sp.PrefetchedPartitions)})
+		writeCounter(&b, "spilly_spill_pages_verified_total", "counter",
+			"Spilled page frames whose checksums verified on readback.",
+			sample{value: float64(sp.PagesVerified)})
+		writeCounter(&b, "spilly_spill_checksum_errors_total", "counter",
+			"Spilled blocks that failed checksum verification on readback.",
+			sample{value: float64(sp.ChecksumErrors)})
+		writeCounter(&b, "spilly_spill_reconstructions_total", "counter",
+			"Spilled blocks rebuilt from their XOR parity stripe.",
+			sample{value: float64(sp.Reconstructions)})
 	}
 	writeArray(&b, "spill", s.SpillArray)
 	writeArray(&b, "table", s.TableArray)

@@ -1,6 +1,7 @@
 package tpch
 
 import (
+	"errors"
 	"fmt"
 	"testing"
 	"time"
@@ -75,5 +76,54 @@ func TestNoBudgetLeaks(t *testing.T) {
 				}
 			})
 		}
+	}
+}
+
+// TestCorruptionBeyondRepairNoLeak forces an unrecoverable spill-read
+// failure — every read of the single spill device flips a bit, so parity
+// reconstruction reads corrupt survivors and re-verification fails — and
+// asserts the failing query still returns every budget reservation and
+// every pooled batch. Error paths through the readback scheduler are where
+// spill buffers historically leaked.
+func TestCorruptionBeyondRepairNoLeak(t *testing.T) {
+	arr := nvmesim.New(1, nvmesim.DeviceSpec{
+		ReadBandwidth:  4e9,
+		WriteBandwidth: 2e9,
+		Latency:        20 * time.Microsecond,
+	}, nvmesim.RealClock{})
+	ctx := &exec.Ctx{
+		Workers:     2,
+		Budget:      pages.NewBudget(128 << 10), // tight enough that Q9 must spill
+		PageSize:    16 << 10,
+		Partitions:  16,
+		PartitionAt: 0.4,
+		Spill:       &core.SpillConfig{Array: arr, Compress: true, Parity: 2},
+		Stats:       &exec.Stats{},
+	}
+	node, err := BuildQuery(ctx, sharedDB(), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr.SetFaultPlan(0, nvmesim.FaultPlan{Seed: 5, CorruptRate: 1.0})
+	_, err = exec.Collect(ctx, node)
+	if err == nil {
+		t.Fatal("query succeeded with unhealable corruption on its only spill device")
+	}
+	var qe *core.QueryError
+	if !errors.As(err, &qe) {
+		t.Fatalf("err = %v (%T), want *core.QueryError", err, err)
+	}
+	if qe.Op != "spill-read" || qe.Device != 0 || qe.Part < 0 {
+		t.Fatalf("QueryError misses context: %+v", qe)
+	}
+	ctx.Close()
+	if used := ctx.Budget.Used(); used != 0 {
+		t.Errorf("budget leak: %d bytes still reserved after failed query", used)
+	}
+	if gets, puts := ctx.PoolCounters(); gets != puts {
+		t.Errorf("batch pool imbalance: %d gets vs %d puts", gets, puts)
+	}
+	if ctx.Stats.SpillChecksumErrors.Load() == 0 {
+		t.Error("no checksum errors recorded; corruption was not the failure cause")
 	}
 }

@@ -144,6 +144,12 @@ func formatNode(sb *strings.Builder, n *ProfileNode, indent string, total time.D
 	if n.SpillRetries > 0 || n.SpillFailovers > 0 {
 		fmt.Fprintf(sb, " retries=%d failovers=%d", n.SpillRetries, n.SpillFailovers)
 	}
+	if n.SpillVerified > 0 || n.SpillChecksumErrs > 0 {
+		fmt.Fprintf(sb, " verified=%d", n.SpillVerified)
+	}
+	if n.SpillChecksumErrs > 0 || n.SpillReconstructs > 0 {
+		fmt.Fprintf(sb, " csum-errors=%d reconstructed=%d", n.SpillChecksumErrs, n.SpillReconstructs)
+	}
 	if n.RegLevelChanges > 0 {
 		fmt.Fprintf(sb, " reg-changes=%d reg-max-level=%d", n.RegLevelChanges, n.RegMaxLevel)
 	}

@@ -64,6 +64,13 @@ type Span struct {
 	spillStallNs    atomic.Int64
 	prefetchedParts atomic.Int64
 
+	// Spill integrity telemetry (checksummed frames + parity stripes):
+	// frames whose checksums verified on readback, blocks that failed
+	// verification, and blocks rebuilt from their parity stripe.
+	spillVerified     atomic.Int64
+	spillChecksumErrs atomic.Int64
+	spillReconstructs atomic.Int64
+
 	// Self-regulating compression telemetry (§4.4): how often the
 	// regulator moved along the unified scale and how far up it got.
 	regLevelChanges atomic.Int64
@@ -242,6 +249,17 @@ func (s *Span) AddSpillStall(stallNs, prefetched int64) {
 	s.prefetchedParts.Add(prefetched)
 }
 
+// AddSpillIntegrity records readback integrity work: frames verified,
+// blocks that failed verification, and blocks rebuilt from parity.
+func (s *Span) AddSpillIntegrity(verified, checksumErrs, reconstructions int64) {
+	if s == nil {
+		return
+	}
+	s.spillVerified.Add(verified)
+	s.spillChecksumErrs.Add(checksumErrs)
+	s.spillReconstructs.Add(reconstructions)
+}
+
 // SetPartitioned marks that the operator enabled partitioning.
 func (s *Span) SetPartitioned() {
 	if s == nil {
@@ -307,6 +325,10 @@ type SpanSnapshot struct {
 	SpillStallNs    time.Duration `json:"spill_stall_ns,omitempty"`
 	PrefetchedParts int64         `json:"prefetched_partitions,omitempty"`
 
+	SpillVerified     int64 `json:"spill_pages_verified,omitempty"`
+	SpillChecksumErrs int64 `json:"spill_checksum_errors,omitempty"`
+	SpillReconstructs int64 `json:"spill_reconstructions,omitempty"`
+
 	RegLevelChanges int64            `json:"reg_level_changes,omitempty"`
 	RegMaxLevel     int64            `json:"reg_max_level,omitempty"`
 	Schemes         map[string]int64 `json:"schemes,omitempty"`
@@ -334,6 +356,9 @@ func (s *Span) Snapshot() SpanSnapshot {
 		Spilled:         s.spilled.Load(),
 		SpillStallNs:    time.Duration(s.spillStallNs.Load()),
 		PrefetchedParts: s.prefetchedParts.Load(),
+		SpillVerified:     s.spillVerified.Load(),
+		SpillChecksumErrs: s.spillChecksumErrs.Load(),
+		SpillReconstructs: s.spillReconstructs.Load(),
 		RegLevelChanges: s.regLevelChanges.Load(),
 		RegMaxLevel:     s.regMaxLevel.Load(),
 	}

@@ -37,9 +37,13 @@ func (e *Engine) Handler() http.Handler {
 		},
 		Spill: func() obsrv.SpillStats {
 			stall, prefetched := e.SpillStallTotals()
+			verified, csumErrs, recons := e.SpillIntegrityTotals()
 			return obsrv.SpillStats{
 				StallSecs:            stall.Seconds(),
 				PrefetchedPartitions: prefetched,
+				PagesVerified:        verified,
+				ChecksumErrors:       csumErrs,
+				Reconstructions:      recons,
 			}
 		},
 	}

@@ -106,6 +106,12 @@ type Config struct {
 	// the overlap benchmark measures against.
 	ReadDepth         int
 	BlockingSpillRead bool
+	// SpillParity is the parity stripe width K: every K spill block writes
+	// are joined by one XOR parity block on a distinct device, so spilled
+	// data survives silent corruption and the loss of one device per stripe
+	// (reconstruct-on-read). 0 disables spill integrity entirely — no
+	// checksummed frames, no parity, the pre-integrity write path.
+	SpillParity int
 	// ForceGrace runs every join as a classical grace hash join and
 	// NoPreAgg disables local pre-aggregation — together they make the
 	// engine behave like the always-partitioning systems of Figure 2.
@@ -163,12 +169,24 @@ type Engine struct {
 	// Engine-wide phase-2 overlap totals, accumulated per query for /metrics.
 	spillStallNs    atomic.Int64
 	prefetchedParts atomic.Int64
+
+	// Engine-wide spill integrity totals, accumulated per query for /metrics.
+	spillVerified     atomic.Int64
+	spillChecksumErrs atomic.Int64
+	spillReconstructs atomic.Int64
 }
 
 // SpillStallTotals returns the cumulative spill-readback stall time and
 // prefetched-partition count across all queries this engine has run.
 func (e *Engine) SpillStallTotals() (time.Duration, int64) {
 	return time.Duration(e.spillStallNs.Load()), e.prefetchedParts.Load()
+}
+
+// SpillIntegrityTotals returns the cumulative spill integrity counters —
+// frames verified, checksum failures, parity reconstructions — across all
+// queries this engine has run.
+func (e *Engine) SpillIntegrityTotals() (verified, checksumErrors, reconstructions int64) {
+	return e.spillVerified.Load(), e.spillChecksumErrs.Load(), e.spillReconstructs.Load()
 }
 
 // GCStats are the engine's cumulative GC-pressure totals: heap allocation
@@ -335,7 +353,11 @@ func (e *Engine) NewCtx() *exec.Ctx {
 		}
 	}
 	if !e.cfg.DisableSpill {
-		ctx.Spill = &core.SpillConfig{Array: e.spillArr, Compress: e.cfg.Compression}
+		ctx.Spill = &core.SpillConfig{
+			Array:    e.spillArr,
+			Compress: e.cfg.Compression,
+			Parity:   e.cfg.SpillParity,
+		}
 	}
 	if e.cfg.Profile {
 		ctx.Trace = trace.New(ctx.Workers)
@@ -380,6 +402,14 @@ type Stats struct {
 	// already in flight when phase 2 reached them.
 	SpillStallTime       time.Duration
 	PrefetchedPartitions int64
+	// Spill integrity counters (Config.SpillParity > 0): frames whose
+	// checksums verified on readback, blocks that failed verification,
+	// blocks rebuilt from their parity stripe, and the parity bytes written
+	// alongside the spilled data (the redundancy overhead).
+	SpillPagesVerified   int64
+	SpillChecksumErrors  int64
+	SpillReconstructions int64
+	SpillParityBytes     int64
 	// TuplesPerSec is scanned tuples divided by execution time — the
 	// paper's headline throughput metric (§6.1).
 	TuplesPerSec float64
@@ -518,9 +548,16 @@ func (e *Engine) runLabeled(ctx *exec.Ctx, node exec.Node, label string) (*Resul
 		SpillFailovers:       s.SpillFailovers.Load(),
 		SpillStallTime:       time.Duration(s.SpillStallNanos.Load()),
 		PrefetchedPartitions: s.PrefetchedPartitions.Load(),
+		SpillPagesVerified:   s.SpillPagesVerified.Load(),
+		SpillChecksumErrors:  s.SpillChecksumErrors.Load(),
+		SpillReconstructions: s.SpillReconstructions.Load(),
+		SpillParityBytes:     s.SpillParityBytes.Load(),
 	}
 	e.spillStallNs.Add(int64(st.SpillStallTime))
 	e.prefetchedParts.Add(st.PrefetchedPartitions)
+	e.spillVerified.Add(st.SpillPagesVerified)
+	e.spillChecksumErrs.Add(st.SpillChecksumErrors)
+	e.spillReconstructs.Add(st.SpillReconstructions)
 	if dur > 0 {
 		st.TuplesPerSec = float64(st.ScannedRows) / dur.Seconds()
 	}
