@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all tier1 tier2 race chaos bench-vectorize bench-alloc bench-overlap bench-parity profile-smoke clean
+.PHONY: all tier1 tier2 race stress chaos bench-vectorize bench-alloc bench-overlap bench-parity profile-smoke clean
 
 all: tier1
 
@@ -21,6 +21,19 @@ tier2: chaos bench-alloc bench-overlap bench-parity
 # recovery, utilization tracer).
 race:
 	$(GO) test -race -short ./internal/exec/ ./internal/core/ ./internal/chaos/ ./internal/trace/ ./internal/metrics/
+
+# Multi-query stress gate: concurrent TPC-H mixes through the admission
+# governor and per-query spill leases, under the race detector — overlap
+# regression, 8-query stress, admission cancel/timeout, catalog races,
+# governor unit races, and concurrent queries under injected faults. Each
+# run re-verifies that concurrent results stay bit-identical to serial
+# runs and that the spill array and governor drain to zero.
+stress:
+	$(GO) test -race -count=1 -timeout 300s \
+		-run 'TestOverlapping|TestConcurrent|TestAdmission|TestCatalog' .
+	$(GO) test -race -count=1 -timeout 300s -run 'TestGovernor' ./internal/pages/
+	$(GO) test -race -count=1 -timeout 300s -run 'TestConcurrentQueriesUnderTransientFaults|TestLease' \
+		./internal/chaos/ ./internal/nvmesim/
 
 # Observability smoke test: a spilling TPC-H Q9 with the per-operator
 # profile tree, plus the profile/endpoint regression tests.

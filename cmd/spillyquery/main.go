@@ -10,12 +10,15 @@
 //	spillyquery -q 9 -sf 0.05 -budget 2097152 -mode never -nospill   # fails like an in-memory engine
 //	spillyquery -q 9 -sf 0.05 -budget 2097152 -profile               # per-operator profile tree
 //	spillyquery -q 9 -sf 0.5 -serve :8080                            # live /metrics, /queries, pprof
+//	spillyquery -q 9 -sf 0.05 -budget 2097152 -concurrent 8          # 8 admitted copies sharing the budget
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sync"
+	"time"
 
 	spilly "github.com/spilly-db/spilly"
 )
@@ -37,6 +40,7 @@ func main() {
 		depth    = flag.Int("readdepth", 0, "spill readback queue depth per partition scheduler (0 = default)")
 		blocking = flag.Bool("blockread", false, "disable pipelined spill readback (materialize partitions before processing)")
 		parity   = flag.Int("parity", 0, "spill parity stripe width K: checksummed pages + one XOR parity block per K spill blocks (0 = off)")
+		conc     = flag.Int("concurrent", 1, "run this many copies of the query concurrently through the admission governor")
 	)
 	flag.Parse()
 
@@ -86,6 +90,11 @@ func main() {
 		os.Exit(1)
 	}
 
+	if *conc > 1 {
+		runConcurrent(eng, *q, *conc)
+		return
+	}
+
 	res, err := eng.RunTPCH(*q)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "Q%d failed: %v\n", *q, err)
@@ -114,5 +123,52 @@ func main() {
 	}
 	if *profile {
 		fmt.Printf("\n%s", spilly.FormatProfile(res.Profile()))
+	}
+}
+
+// runConcurrent fires n copies of the query at once; the governor admits
+// them against the shared budget and each copy runs under its own spill
+// lease. Per-copy admission wait and grant sizes show the sharing policy.
+func runConcurrent(eng *spilly.Engine, q, n int) {
+	type run struct {
+		res *spilly.Result
+		err error
+		dur time.Duration
+	}
+	runs := make([]run, n)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			t0 := time.Now()
+			res, err := eng.RunTPCH(q)
+			runs[i] = run{res: res, err: err, dur: time.Since(t0)}
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	failed := 0
+	for i, r := range runs {
+		if r.err != nil {
+			failed++
+			fmt.Printf("run %2d: FAILED after %v: %v\n", i, r.dur, r.err)
+			continue
+		}
+		s := r.res.Stats
+		fmt.Printf("run %2d: %v (admission wait %v, grant %.1f MB, spilled %.1f MB)\n",
+			i, s.Duration, s.AdmissionWait, float64(s.MemoryGrant)/(1<<20),
+			float64(s.SpilledBytes)/(1<<20))
+	}
+	g := eng.GovernorStats()
+	fmt.Printf("\n%d×Q%d in %v wall (%d failed)\n", n, q, wall, failed)
+	fmt.Printf("admission: %d admitted, %d timeouts, %v total queue wait\n",
+		g.Admitted, g.Timeouts, g.WaitTotal)
+	fmt.Printf("spill array: %d live extents, %d live leases (both should be 0 when idle)\n",
+		eng.SpillArray().LiveExtents(), eng.SpillArray().Leases())
+	if failed > 0 {
+		os.Exit(1)
 	}
 }

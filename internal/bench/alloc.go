@@ -30,6 +30,11 @@ type AllocMeasurement struct {
 	NsPerOp      float64 `json:"ns_per_op"`
 	GCCycles     float64 `json:"gc_cycles"`
 	SpilledBytes int64   `json:"spilled_bytes"`
+	// Approx marks the cell's allocation numbers unreliable: another
+	// query was in flight during at least one rep, so the process-wide
+	// MemStats delta mixes in its allocations. Regression gates skip
+	// approximate cells.
+	Approx bool `json:"approx,omitempty"`
 }
 
 // Key returns the map key "Q1/inmem" used by BENCH_alloc.json baselines.
@@ -88,6 +93,9 @@ func MeasureAlloc(o Options) ([]AllocMeasurement, error) {
 					best.BytesPerOp = float64(s.AllocBytes)
 					best.GCCycles = float64(s.NumGC)
 					best.SpilledBytes = s.SpilledBytes
+				}
+				if s.AllocApprox {
+					best.Approx = true
 				}
 				if ns := float64(s.Duration.Nanoseconds()); rep == 0 || ns < best.NsPerOp {
 					best.NsPerOp = ns

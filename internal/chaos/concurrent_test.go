@@ -1,0 +1,116 @@
+package chaos_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	spilly "github.com/spilly-db/spilly"
+	"github.com/spilly-db/spilly/internal/chaos"
+	"github.com/spilly-db/spilly/internal/nvmesim"
+)
+
+// concurrentCfg pins the Umami tuning so per-grant retuning cannot change
+// partitioning between the serial baseline and the concurrent runs, and
+// uses the smallest load/budget pair at which Q9 and Q12 both spill.
+func concurrentCfg() spilly.Config {
+	return spilly.Config{
+		Workers:      2,
+		MemoryBudget: 128 << 10,
+		MemoryFloor:  64 << 10,
+		PageSize:     8 << 10,
+		Partitions:   16,
+		Compression:  true,
+	}
+}
+
+func newConcurrentEngine(t *testing.T) *spilly.Engine {
+	t.Helper()
+	eng, err := spilly.Open(concurrentCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.LoadTPCH(0.01, false); err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// TestConcurrentQueriesUnderTransientFaults combines the two failure
+// domains this package and the admission governor each cover alone:
+// several queries share the spill array while every device injects
+// transient faults. Retried I/O must land in the right query's extents —
+// a retry that reallocated from a global cursor (the pre-lease design)
+// could interleave two queries' rewrites — so every result must still be
+// bit-identical to its serial fault-free run, and recovery must not leak
+// extents or leases.
+func TestConcurrentQueriesUnderTransientFaults(t *testing.T) {
+	queries := []int{9, 12, 9, 12}
+
+	ref := newConcurrentEngine(t)
+	want := map[int]string{}
+	for _, q := range []int{9, 12} {
+		res, err := ref.RunTPCH(q)
+		if err != nil {
+			t.Fatalf("baseline Q%d: %v", q, err)
+		}
+		if res.Stats.SpilledBytes == 0 {
+			t.Fatalf("baseline Q%d did not spill; faults would not exercise the shared spill path", q)
+		}
+		want[q] = chaos.Fingerprint(res.Batch)
+	}
+
+	eng := newConcurrentEngine(t)
+	chaos.Schedule{
+		Seed:         7,
+		ReadErrRate:  0.05,
+		WriteErrRate: 0.05,
+		SpikeRate:    0.02,
+		SpikeLatency: 200 * time.Microsecond,
+		Script: map[int64]nvmesim.FaultKind{
+			1: nvmesim.FaultTransient,
+			2: nvmesim.FaultTransient,
+		},
+		ScriptDevice: 3,
+	}.Apply(eng.SpillArray())
+
+	var wg sync.WaitGroup
+	var retries int64
+	var mu sync.Mutex
+	errs := make(chan error, len(queries))
+	for _, q := range queries {
+		wg.Add(1)
+		go func(q int) {
+			defer wg.Done()
+			res, err := eng.RunTPCH(q)
+			if err != nil {
+				errs <- fmt.Errorf("Q%d under faults: %w", q, err)
+				return
+			}
+			if got := chaos.Fingerprint(res.Batch); got != want[q] {
+				errs <- fmt.Errorf("Q%d result under concurrent faults differs from serial fault-free run", q)
+			}
+			mu.Lock()
+			retries += res.Stats.SpillRetries
+			mu.Unlock()
+		}(q)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if retries == 0 {
+		t.Error("no spill retries recorded across any query; the schedule injected no faults into the shared spill path")
+	}
+	if n := eng.SpillArray().LiveExtents(); n != 0 {
+		t.Errorf("%d extents live after recovery; fault retries leaked spill space", n)
+	}
+	if n := eng.SpillArray().Leases(); n != 0 {
+		t.Errorf("%d leases live after all queries finished", n)
+	}
+	if g := eng.GovernorStats(); g.Granted != 0 || g.Active != 0 || g.Queued != 0 {
+		t.Errorf("governor not drained after faulted concurrent run: %+v", g)
+	}
+}

@@ -70,6 +70,11 @@ func RecoverOOM(errp *error) {
 type SpillConfig struct {
 	// Array is the target NVMe array.
 	Array *nvmesim.Array
+	// Lease owns every spill extent the query's writers allocate; freeing
+	// it at query teardown reclaims exactly this query's spilled data.
+	// Nil leaves allocations unleased (single-query benches that Reset the
+	// array between runs).
+	Lease *nvmesim.Lease
 	// Compress enables self-regulating compression with the given scale
 	// (nil scale = DefaultScale when Compress is true).
 	Compress bool
@@ -249,6 +254,7 @@ func (s *Shared) NewBuffer() *Buffer {
 	}
 	if cfg.Spill != nil {
 		ring := uring.New(cfg.Spill.Array)
+		ring.SetLease(cfg.Spill.Lease)
 		if cfg.Spill.Compress {
 			b.reg = NewRegulator(cfg.Spill.Scale, cfg.Spill.RunN)
 		}

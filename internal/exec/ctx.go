@@ -125,7 +125,10 @@ func (c *Ctx) AddCleanup(fn func()) {
 // Close runs the registered cleanups (once each) after the query's output
 // has been collected. Only accounting and recycling happen here — result
 // data is already copied out — so Budget.Used() drops back to zero. The
-// context stays usable for another query.
+// spill lease, if any, is freed last — after every cleanup (scheduler
+// drains, cursor closes) has quiesced the readers that might still touch
+// the query's extents — so the array reclaims this query's spilled data.
+// The context stays usable for another query (the freed lease is cleared).
 func (c *Ctx) Close() {
 	c.cleanupMu.Lock()
 	fns := c.cleanups
@@ -133,6 +136,10 @@ func (c *Ctx) Close() {
 	c.cleanupMu.Unlock()
 	for _, fn := range fns {
 		fn()
+	}
+	if c.Spill != nil && c.Spill.Lease != nil {
+		c.Spill.Lease.Free()
+		c.Spill.Lease = nil
 	}
 }
 

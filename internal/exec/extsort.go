@@ -192,6 +192,7 @@ func (g *runGenerator) spillRun() error {
 	g.sortRefs()
 	if g.ring == nil {
 		g.ring = uring.New(g.ctx.Spill.Array)
+		g.ring.SetLease(g.ctx.Spill.Lease)
 	}
 	run := &sortRun{}
 	// Write buffers are plain pages owned by the ring until completion;

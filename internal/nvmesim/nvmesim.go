@@ -79,7 +79,16 @@ type device struct {
 	readBusy  time.Time        // read channel busy-until
 	writeBusy time.Time        // write channel busy-until
 
-	writeCursor  atomic.Int64 // next free spill offset; the paper's per-SSD counter (§5.1)
+	writeCursor  atomic.Int64 // spill high-water mark; the paper's per-SSD counter (§5.1)
+
+	// Spill allocation bookkeeping (lease.go): live extents by offset and
+	// the sorted, coalesced free list below the write cursor. allocMu is
+	// taken before mu when both are needed.
+	allocMu   sync.Mutex
+	allocs    map[int64]allocRec
+	frees     []extent
+	freeBytes int64 // total bytes in frees
+
 	bytesRead    atomic.Int64
 	bytesWritten atomic.Int64
 	reads        atomic.Int64
@@ -99,8 +108,9 @@ type device struct {
 
 // Array is a set of simulated SSDs sharing a clock.
 type Array struct {
-	devices []*device
-	clock   Clock
+	devices    []*device
+	clock      Clock
+	liveLeases atomic.Int64 // leases created and not yet freed (lease.go)
 }
 
 // New returns an array of n identical devices.
@@ -140,24 +150,13 @@ func (a *Array) Clock() Clock { return a.clock }
 // Spec returns the spec of device dev.
 func (a *Array) Spec(dev int) DeviceSpec { return a.devices[dev].spec }
 
-// AllocSpill reserves size bytes in device dev's append-only spill area and
-// returns the starting offset. Size is rounded up to the block size. This is
-// the paper's single per-SSD atomic coordination point (§5.1).
+// AllocSpill reserves size bytes in device dev's spill area without a lease
+// and returns the starting offset. Size is rounded up to the block size.
+// Unleased allocations live until Reset — the column store uses them for
+// permanent table chunks; spill writers allocate through AllocSpillLease so
+// query teardown can reclaim exactly its own extents.
 func (a *Array) AllocSpill(dev int, size int) (int64, error) {
-	if dev < 0 || dev >= len(a.devices) {
-		return 0, ErrBadDevice
-	}
-	d := a.devices[dev]
-	if d.dead.Load() {
-		return 0, &DeviceError{Device: dev, Op: "alloc", Err: ErrDeviceDead}
-	}
-	n := int64(alignUp(size))
-	off := d.writeCursor.Add(n) - n
-	if d.spec.Capacity > 0 && off+n > d.spec.Capacity {
-		d.writeCursor.Add(-n)
-		return 0, &DeviceError{Device: dev, Op: "alloc", Err: ErrDeviceFull}
-	}
-	return off, nil
+	return a.AllocSpillLease(dev, size, nil)
 }
 
 func alignUp(n int) int {
@@ -311,13 +310,20 @@ func transferTime(n int, bw float64) time.Duration {
 	return time.Duration(float64(n) / bw * float64(time.Second))
 }
 
-// Reset clears all spilled data and write cursors, e.g. between queries.
+// Reset clears all spilled data, allocation bookkeeping, and write cursors.
+//
+// Deprecated: Reset wipes every query's extents at once and is only safe
+// when no query is running — single-query benches that want a pristine array
+// between runs. Concurrent execution relies on per-query leases (NewLease)
+// whose Free reclaims exactly the owner's extents.
 func (a *Array) Reset() {
 	for _, d := range a.devices {
+		d.allocMu.Lock()
 		d.mu.Lock()
 		d.store = make(map[int64][]byte)
 		d.mu.Unlock()
-		d.writeCursor.Store(0)
+		d.resetAllocLocked()
+		d.allocMu.Unlock()
 	}
 }
 
@@ -339,9 +345,18 @@ func (a *Array) Stats() Stats {
 	for _, d := range a.devices {
 		s.BytesRead += d.bytesRead.Load()
 		s.BytesWritten += d.bytesWritten.Load()
-		s.SpillBytes += d.writeCursor.Load()
+		s.SpillBytes += d.liveSpillBytes()
 	}
 	return s
+}
+
+// liveSpillBytes is the device's currently allocated spill footprint: the
+// write cursor minus the free ranges below it.
+func (d *device) liveSpillBytes() int64 {
+	d.allocMu.Lock()
+	n := d.writeCursor.Load() - d.freeBytes
+	d.allocMu.Unlock()
+	return n
 }
 
 // DeviceStats is a snapshot of one device's counters — the per-device
@@ -352,7 +367,8 @@ type DeviceStats struct {
 	BytesWritten int64
 	Reads        int64
 	Writes       int64
-	// SpillBytes is the currently allocated spill area (the write cursor).
+	// SpillBytes is the currently allocated (live) spill footprint: the
+	// write cursor minus freed ranges awaiting reuse.
 	SpillBytes int64
 	// ReadBacklog/WriteBacklog approximate queue depth: how far the
 	// channel's busy-until horizon lies beyond now (0 when idle). This is
@@ -375,7 +391,7 @@ func (a *Array) PerDevice() []DeviceStats {
 			BytesWritten: d.bytesWritten.Load(),
 			Reads:        d.reads.Load(),
 			Writes:       d.writes.Load(),
-			SpillBytes:   d.writeCursor.Load(),
+			SpillBytes:   d.liveSpillBytes(),
 			ReadErrors:   d.readErrs.Load(),
 			WriteErrors:  d.writeErrs.Load(),
 			Dead:         d.dead.Load(),

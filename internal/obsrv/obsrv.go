@@ -56,6 +56,27 @@ type SpillStats struct {
 	Reconstructions      int64
 }
 
+// AdmissionStats is a snapshot of the engine's memory governor and query
+// registry: how many queries run and wait, how much of the governed budget
+// is granted, and cumulative admission totals.
+type AdmissionStats struct {
+	ActiveQueries int
+	Queued        int
+	GrantedBytes  int64
+	TotalBytes    int64
+	Admitted      int64
+	Timeouts      int64
+	WaitSecs      float64
+}
+
+// LeaseStats is a snapshot of spill-extent ownership: leases still live,
+// live extents across the array, and live bytes per lease.
+type LeaseStats struct {
+	Leases      int64
+	LiveExtents int64
+	LiveBytes   map[uint64]int64
+}
+
 // Server renders engine observability snapshots over HTTP. All fields are
 // optional; nil sources simply omit their metrics.
 type Server struct {
@@ -70,6 +91,10 @@ type Server struct {
 	GC func() GCStats
 	// Spill returns cumulative spill-readback stall totals across queries.
 	Spill func() SpillStats
+	// Admission returns the memory governor / query registry snapshot.
+	Admission func() AdmissionStats
+	// Leases returns the spill-extent ownership snapshot.
+	Leases func() LeaseStats
 }
 
 // Handler returns the observability mux: /metrics, /queries, /debug/pprof/.
@@ -138,6 +163,55 @@ func (s *Server) serveMetrics(w http.ResponseWriter, _ *http.Request) {
 		writeCounter(&b, "spilly_spill_reconstructions_total", "counter",
 			"Spilled blocks rebuilt from their XOR parity stripe.",
 			sample{value: float64(sp.Reconstructions)})
+	}
+	if s.Admission != nil {
+		a := s.Admission()
+		writeCounter(&b, "spilly_engine_active_queries", "gauge",
+			"Queries currently holding a memory grant and executing.",
+			sample{value: float64(a.ActiveQueries)})
+		writeCounter(&b, "spilly_engine_admission_queued", "gauge",
+			"Queries waiting in the admission queue for a memory grant.",
+			sample{value: float64(a.Queued)})
+		writeCounter(&b, "spilly_engine_admission_granted_bytes", "gauge",
+			"Memory currently granted to admitted queries.",
+			sample{value: float64(a.GrantedBytes)})
+		writeCounter(&b, "spilly_engine_admission_total_bytes", "gauge",
+			"The governed engine-wide memory budget.",
+			sample{value: float64(a.TotalBytes)})
+		writeCounter(&b, "spilly_engine_admissions_total", "counter",
+			"Memory grants handed out to queries.",
+			sample{value: float64(a.Admitted)})
+		writeCounter(&b, "spilly_engine_admission_timeouts_total", "counter",
+			"Queries that timed out waiting for admission.",
+			sample{value: float64(a.Timeouts)})
+		writeCounter(&b, "spilly_engine_admission_wait_seconds", "counter",
+			"Total time admitted queries spent in the admission queue.",
+			sample{value: a.WaitSecs})
+	}
+	if s.Leases != nil {
+		l := s.Leases()
+		writeCounter(&b, "spilly_spill_leases", "gauge",
+			"Spill leases created and not yet freed.",
+			sample{value: float64(l.Leases)})
+		writeCounter(&b, "spilly_spill_live_extents", "gauge",
+			"Live spill extents across the array (returns to zero when idle).",
+			sample{value: float64(l.LiveExtents)})
+		if len(l.LiveBytes) > 0 {
+			ids := make([]uint64, 0, len(l.LiveBytes))
+			for id := range l.LiveBytes {
+				ids = append(ids, id)
+			}
+			sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+			ss := make([]sample, len(ids))
+			for i, id := range ids {
+				ss[i] = sample{
+					labels: fmt.Sprintf("lease=%q", fmt.Sprint(id)),
+					value:  float64(l.LiveBytes[id]),
+				}
+			}
+			writeCounter(&b, "spilly_spill_lease_live_bytes", "gauge",
+				"Spill bytes currently live under each query lease.", ss...)
+		}
 	}
 	writeArray(&b, "spill", s.SpillArray)
 	writeArray(&b, "table", s.TableArray)

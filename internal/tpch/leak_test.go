@@ -36,7 +36,7 @@ func leakSpillCtx() *exec.Ctx {
 		PageSize:    16 << 10,
 		Partitions:  16,
 		PartitionAt: 0.4,
-		Spill:       &core.SpillConfig{Array: arr, Compress: true},
+		Spill:       &core.SpillConfig{Array: arr, Lease: arr.NewLease(), Compress: true},
 		Stats:       &exec.Stats{},
 	}
 }
@@ -63,6 +63,10 @@ func TestNoBudgetLeaks(t *testing.T) {
 		for q := 1; q <= NumQueries; q++ {
 			t.Run(fmt.Sprintf("%s/Q%d", m.name, q), func(t *testing.T) {
 				ctx := m.ctx()
+				var arr *nvmesim.Array
+				if ctx.Spill != nil {
+					arr = ctx.Spill.Array
+				}
 				out := runQuery(t, ctx, q)
 				if out == nil {
 					t.Fatal("nil result")
@@ -73,6 +77,14 @@ func TestNoBudgetLeaks(t *testing.T) {
 				}
 				if gets, puts := ctx.PoolCounters(); gets != puts {
 					t.Errorf("batch pool imbalance: %d gets vs %d puts", gets, puts)
+				}
+				if arr != nil {
+					if n := arr.LiveExtents(); n != 0 {
+						t.Errorf("spill extent leak: %d extents live after Close", n)
+					}
+					if n := arr.Leases(); n != 0 {
+						t.Errorf("lease leak: %d leases live after Close", n)
+					}
 				}
 			})
 		}
@@ -97,7 +109,7 @@ func TestCorruptionBeyondRepairNoLeak(t *testing.T) {
 		PageSize:    16 << 10,
 		Partitions:  16,
 		PartitionAt: 0.4,
-		Spill:       &core.SpillConfig{Array: arr, Compress: true, Parity: 2},
+		Spill:       &core.SpillConfig{Array: arr, Lease: arr.NewLease(), Compress: true, Parity: 2},
 		Stats:       &exec.Stats{},
 	}
 	node, err := BuildQuery(ctx, sharedDB(), 9)
@@ -125,5 +137,8 @@ func TestCorruptionBeyondRepairNoLeak(t *testing.T) {
 	}
 	if ctx.Stats.SpillChecksumErrors.Load() == 0 {
 		t.Error("no checksum errors recorded; corruption was not the failure cause")
+	}
+	if n := arr.LiveExtents(); n != 0 {
+		t.Errorf("spill extent leak on error path: %d extents live after Close", n)
 	}
 }

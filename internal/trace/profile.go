@@ -19,10 +19,18 @@ type Profile struct {
 	// AllocObjects and AllocBytes are the heap-allocation deltas across
 	// the query; GCPause and NumGC the collector activity it incurred.
 	// Filled in by the engine (spans do not track allocations).
+	// AllocApprox marks them approximate: another query overlapped this
+	// one, and the process-wide counters mix in its allocations too.
 	AllocObjects int64
 	AllocBytes   int64
 	GCPause      time.Duration
 	NumGC        int64
+	AllocApprox  bool
+	// AdmissionWait is the time spent queued for a memory grant before
+	// execution; MemoryGrant the grant admitted with (0 = unlimited).
+	// Filled in by the engine.
+	AdmissionWait time.Duration
+	MemoryGrant   int64
 	// Roots are the top-level operators (normally one: the plan root).
 	Roots []*ProfileNode
 }
@@ -103,9 +111,17 @@ func FormatProfile(p *Profile) string {
 	}
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "query: %s total, %d workers\n", fmtDur(p.Total), p.Workers)
+	if p.AdmissionWait > 0 || p.MemoryGrant > 0 {
+		fmt.Fprintf(&sb, "admission: wait=%s grant=%s\n",
+			fmtDur(p.AdmissionWait), fmtBytes(p.MemoryGrant))
+	}
 	if p.AllocObjects > 0 || p.NumGC > 0 {
-		fmt.Fprintf(&sb, "gc: allocs=%d alloc-bytes=%s cycles=%d pause=%s\n",
-			p.AllocObjects, fmtBytes(p.AllocBytes), p.NumGC, fmtDur(p.GCPause))
+		approx := ""
+		if p.AllocApprox {
+			approx = " (approx: concurrent queries)"
+		}
+		fmt.Fprintf(&sb, "gc: allocs=%d alloc-bytes=%s cycles=%d pause=%s%s\n",
+			p.AllocObjects, fmtBytes(p.AllocBytes), p.NumGC, fmtDur(p.GCPause), approx)
 	}
 	for _, r := range p.Roots {
 		formatNode(&sb, r, "", p.Total)

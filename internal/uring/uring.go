@@ -83,6 +83,11 @@ type Ring struct {
 	inflight cqHeap
 	lastDev  int // round-robin write spreading (paper §5.1)
 
+	// lease, when set, owns every spill extent the ring's writes allocate,
+	// so query teardown can reclaim exactly this query's spilled data.
+	// Read-only rings and permanent column-store writes leave it nil.
+	lease *nvmesim.Lease
+
 	// cancel, when set, is polled during blocking waits so that a stuck
 	// device (or an arbitrarily long latency spike) cannot hang the caller:
 	// once it returns true, Poll returns whatever is ready instead of
@@ -108,6 +113,11 @@ func (r *Ring) Array() *nvmesim.Array { return r.arr }
 // (typically a context.Context check). Passing nil restores indefinite
 // blocking.
 func (r *Ring) SetCancel(cancel func() bool) { r.cancel = cancel }
+
+// SetLease tags all subsequent queued writes' spill allocations with the
+// given lease (nil = unleased). The query's teardown frees the lease, which
+// reclaims every extent the ring allocated under it.
+func (r *Ring) SetLease(l *nvmesim.Lease) { r.lease = l }
 
 // QueueWrite queues data to be written to the next writable device in the
 // ring's round-robin order and returns the location it will occupy. Devices
@@ -137,7 +147,7 @@ func (r *Ring) QueueWrite(buf []byte, userData uint64) (nvmesim.Loc, error) {
 // QueueWriteDev queues a write to a specific device (used by the column
 // store to stripe chunks deterministically).
 func (r *Ring) QueueWriteDev(dev int, buf []byte, userData uint64) (nvmesim.Loc, error) {
-	off, err := r.arr.AllocSpill(dev, len(buf))
+	off, err := r.arr.AllocSpillLease(dev, len(buf), r.lease)
 	if err != nil {
 		return 0, err
 	}

@@ -46,6 +46,25 @@ func (e *Engine) Handler() http.Handler {
 				Reconstructions:      recons,
 			}
 		},
+		Admission: func() obsrv.AdmissionStats {
+			g := e.GovernorStats()
+			return obsrv.AdmissionStats{
+				ActiveQueries: e.ActiveQueries(),
+				Queued:        g.Queued,
+				GrantedBytes:  g.Granted,
+				TotalBytes:    g.Total,
+				Admitted:      g.Admitted,
+				Timeouts:      g.Timeouts,
+				WaitSecs:      g.WaitTotal.Seconds(),
+			}
+		},
+		Leases: func() obsrv.LeaseStats {
+			return obsrv.LeaseStats{
+				Leases:      e.spillArr.Leases(),
+				LiveExtents: e.spillArr.LiveExtents(),
+				LiveBytes:   e.spillArr.LeaseLiveBytes(),
+			}
+		},
 	}
 	return srv.Handler()
 }

@@ -75,9 +75,22 @@ type Config struct {
 	// Workers is the number of worker goroutines per query (default:
 	// GOMAXPROCS).
 	Workers int
-	// MemoryBudget bounds operator materialization memory per query in
-	// bytes (0 = unlimited; nothing ever partitions or spills).
+	// MemoryBudget bounds operator materialization memory in bytes
+	// (0 = unlimited; nothing ever partitions or spills). The budget is
+	// engine-wide: a shared governor admits queries and hands each one a
+	// grant carved from it — the full budget when the engine is idle, a
+	// shrinking share under concurrency — so N concurrent queries never
+	// overcommit memory N×.
 	MemoryBudget int64
+	// MemoryFloor is the smallest memory grant the governor admits a query
+	// with (default MemoryBudget/8). Queries that cannot get a floor-sized
+	// grant wait in a FIFO admission queue.
+	MemoryFloor int64
+	// AdmitTimeout bounds how long a query waits in the admission queue
+	// before failing with a structured "admission queue timeout"
+	// *QueryError (default 30s; negative = wait indefinitely). Context
+	// cancellation is honored while queued regardless.
+	AdmitTimeout time.Duration
 	// Mode is the materialization strategy (default Adaptive).
 	Mode Mode
 	// DisableSpill makes out-of-memory queries fail instead of spilling
@@ -140,6 +153,12 @@ func (c Config) withDefaults() Config {
 	if c.Device == (DeviceSpec{}) {
 		c.Device = DefaultDevice
 	}
+	if c.MemoryFloor <= 0 {
+		c.MemoryFloor = c.MemoryBudget / 8
+	}
+	if c.AdmitTimeout == 0 {
+		c.AdmitTimeout = 30 * time.Second
+	}
 	return c
 }
 
@@ -151,9 +170,17 @@ type Engine struct {
 	spillArr *nvmesim.Array
 	cache    *colstore.Cache
 	store    *colstore.Store
-	tables   map[string]colstore.Table
 	faults   *metrics.FaultTracker
-	sf       float64
+
+	// Catalog. tmu guards tables and sf: registration and queries may run
+	// concurrently (readers take the read lock, loaders the write lock).
+	tmu    sync.RWMutex
+	tables map[string]colstore.Table
+	sf     float64
+
+	// gov admits queries against the engine-wide memory budget; nil when
+	// the engine runs without a budget.
+	gov *pages.Governor
 
 	// In-flight query registry for the observability endpoint.
 	queryID atomic.Int64
@@ -217,6 +244,10 @@ type activeQuery struct {
 	start time.Time
 	stats *exec.Stats
 	trace *trace.Tracer
+	// concurrentAtStart records that another query was already in flight
+	// when this one registered (approximate GC attribution, see
+	// Stats.AllocApprox).
+	concurrentAtStart bool
 }
 
 // Open creates an engine.
@@ -234,16 +265,25 @@ func Open(cfg Config) (*Engine, error) {
 		e.cache = colstore.NewCache(c.CacheBytes)
 	}
 	e.store = colstore.NewStore(e.tableArr, e.cache)
+	if c.MemoryBudget > 0 {
+		e.gov = pages.NewGovernor(c.MemoryBudget, c.MemoryFloor)
+	}
 	return e, nil
 }
 
 // RegisterTable adds an in-memory table to the catalog.
-func (e *Engine) RegisterTable(t *colstore.MemTable) { e.tables[t.Name()] = t }
+func (e *Engine) RegisterTable(t *colstore.MemTable) {
+	e.tmu.Lock()
+	e.tables[t.Name()] = t
+	e.tmu.Unlock()
+}
 
 // StoreOnArray moves a registered in-memory table onto the simulated NVMe
 // array (compressed column chunks striped across devices, §5.2).
 func (e *Engine) StoreOnArray(name string) error {
+	e.tmu.RLock()
 	mt, ok := e.tables[name].(*colstore.MemTable)
+	e.tmu.RUnlock()
 	if !ok {
 		return fmt.Errorf("spilly: table %q is not in memory", name)
 	}
@@ -251,13 +291,17 @@ func (e *Engine) StoreOnArray(name string) error {
 	if err != nil {
 		return err
 	}
+	e.tmu.Lock()
 	e.tables[name] = dt
+	e.tmu.Unlock()
 	return nil
 }
 
 // Table returns a catalog table.
 func (e *Engine) Table(name string) (colstore.Table, error) {
+	e.tmu.RLock()
 	t, ok := e.tables[name]
+	e.tmu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("spilly: unknown table %q", name)
 	}
@@ -277,7 +321,9 @@ func (e *Engine) LoadTPCH(sf float64, onArray bool) error {
 			}
 		}
 	}
+	e.tmu.Lock()
 	e.sf = sf
+	e.tmu.Unlock()
 	return nil
 }
 
@@ -301,13 +347,24 @@ func (e *Engine) LoadTPCHTbl(dir string, sf float64, onArray bool) error {
 			}
 		}
 	}
+	e.tmu.Lock()
 	e.sf = sf
+	e.tmu.Unlock()
 	return nil
 }
 
-// TPCH returns the TPC-H catalog view used to build the 22 queries.
+// TPCH returns the TPC-H catalog view used to build the 22 queries. The
+// view holds a snapshot copy of the catalog so concurrent registration
+// cannot race a running query's plan construction.
 func (e *Engine) TPCH() *tpch.DB {
-	return &tpch.DB{SF: e.sf, Tables: e.tables}
+	e.tmu.RLock()
+	tables := make(map[string]colstore.Table, len(e.tables))
+	for name, t := range e.tables {
+		tables[name] = t
+	}
+	db := &tpch.DB{SF: e.sf, Tables: tables}
+	e.tmu.RUnlock()
+	return db
 }
 
 // ClearCaches empties the buffer cache (cold runs, §6.1).
@@ -327,10 +384,12 @@ func (e *Engine) Faults() *metrics.FaultTracker { return e.faults }
 // TableArray exposes the table storage array.
 func (e *Engine) TableArray() *nvmesim.Array { return e.tableArr }
 
-// NewCtx builds a fresh per-query execution context. When the budget is
-// tight, partition count and page size are reduced so the active page
-// working set (workers × partitions × page size) stays within the budget —
-// the knob a real engine would derive from its memory grant.
+// NewCtx builds a fresh per-query execution context, including the query's
+// spill lease. When the budget is tight, partition count and page size are
+// reduced so the active page working set (workers × partitions × page size)
+// stays within the budget — the knob a real engine would derive from its
+// memory grant. Engine run paths re-derive both from the admission grant
+// (applyGrant) when the governor hands out less than the full budget.
 func (e *Engine) NewCtx() *exec.Ctx {
 	ctx := &exec.Ctx{
 		Workers:           e.cfg.Workers,
@@ -355,6 +414,7 @@ func (e *Engine) NewCtx() *exec.Ctx {
 	if !e.cfg.DisableSpill {
 		ctx.Spill = &core.SpillConfig{
 			Array:    e.spillArr,
+			Lease:    e.spillArr.NewLease(),
 			Compress: e.cfg.Compression,
 			Parity:   e.cfg.SpillParity,
 		}
@@ -380,6 +440,20 @@ func tuneForBudget(budget int64, workers int) (parts, pageSize int) {
 		pageSize /= 2
 	}
 	return parts, pageSize
+}
+
+// applyGrant resizes a context's memory budget to the admission grant and
+// re-derives the partition/page-size tuning from it (unless the caller
+// pinned those explicitly in Config). The idle-engine grant equals the full
+// budget, so single-query execution is tuned exactly as before.
+func (e *Engine) applyGrant(ctx *exec.Ctx, grant *pages.Grant) {
+	if grant == nil || grant.Bytes() == e.cfg.MemoryBudget {
+		return
+	}
+	ctx.Budget = pages.NewBudget(grant.Bytes())
+	if e.cfg.Partitions == 0 && e.cfg.PageSize == 0 {
+		ctx.Partitions, ctx.PageSize = tuneForBudget(grant.Bytes(), e.cfg.Workers)
+	}
 }
 
 // Stats summarizes one query execution.
@@ -415,16 +489,31 @@ type Stats struct {
 	TuplesPerSec float64
 	// CyclesPerByte is the §4.4 cost metric over scanned bytes.
 	CyclesPerByte float64
+	// AdmissionWait is the time the query spent queued for a memory grant
+	// before execution began (zero on an ungoverned or idle engine);
+	// MemoryGrant is the memory grant it was admitted with (the full
+	// budget when idle, a share under concurrency; 0 = unlimited).
+	AdmissionWait time.Duration
+	MemoryGrant   int64
 	// AllocObjects and AllocBytes are the process-wide heap-allocation
 	// deltas (runtime.MemStats Mallocs / TotalAlloc) across the query —
-	// the GC-pressure cost of executing it. They include allocations from
-	// concurrent queries, so measure on a quiet engine for precise numbers.
+	// the GC-pressure cost of executing it. Approximate under
+	// concurrency: the process-wide counters mix in every other query
+	// running at the same time. AllocApprox reports whether any other
+	// query overlapped this one's measurement window; engine-level totals
+	// (Engine.GCTotals) remain exact sums of these deltas.
 	AllocObjects int64
 	AllocBytes   int64
 	// GCPause is the total stop-the-world pause time incurred during the
-	// query; NumGC counts the garbage collections that ran.
+	// query; NumGC counts the garbage collections that ran. Like
+	// AllocObjects, both are process-wide and approximate under
+	// concurrency (see AllocApprox).
 	GCPause time.Duration
 	NumGC   int64
+	// AllocApprox is true when another query was in flight during any part
+	// of this query's execution, making the per-query AllocObjects /
+	// AllocBytes / GCPause / NumGC attributions approximate.
+	AllocApprox bool
 	// Schemes counts spilled pages per compression scheme name (§6.8).
 	Schemes map[string]int64
 }
@@ -471,16 +560,16 @@ func (e *Engine) RunContext(goCtx context.Context, node exec.Node) (*Result, err
 func (e *Engine) RunTPCHContext(goCtx context.Context, q int) (*Result, error) {
 	ctx := e.NewCtx()
 	ctx.Context = goCtx
-	node, err := tpch.BuildQuery(ctx, e.TPCH(), q)
-	if err != nil {
-		return nil, err
-	}
-	return e.runLabeled(ctx, node, fmt.Sprintf("tpch-q%d", q))
+	return e.runAdmitted(ctx, fmt.Sprintf("tpch-q%d", q), func() (exec.Node, error) {
+		return tpch.BuildQuery(ctx, e.TPCH(), q)
+	})
 }
 
-// registerQuery adds a query to the in-flight registry and returns its
-// deregistration func.
-func (e *Engine) registerQuery(label string, ctx *exec.Ctx) func() {
+// registerQuery adds a query to the in-flight registry and returns the
+// entry plus its deregistration func. The entry records whether another
+// query was already in flight at registration — one half of the
+// approximate-allocation-attribution check.
+func (e *Engine) registerQuery(label string, ctx *exec.Ctx) (*activeQuery, func()) {
 	q := &activeQuery{
 		id:    e.queryID.Add(1),
 		label: label,
@@ -490,12 +579,31 @@ func (e *Engine) registerQuery(label string, ctx *exec.Ctx) func() {
 	}
 	e.qmu.Lock()
 	e.active[q.id] = q
+	q.concurrentAtStart = len(e.active) > 1
 	e.qmu.Unlock()
-	return func() {
+	return q, func() {
 		e.qmu.Lock()
 		delete(e.active, q.id)
 		e.qmu.Unlock()
 	}
+}
+
+// ActiveQueries returns the number of queries currently executing.
+func (e *Engine) ActiveQueries() int {
+	e.qmu.Lock()
+	n := len(e.active)
+	e.qmu.Unlock()
+	return n
+}
+
+// GovernorStats returns a snapshot of the admission governor: granted
+// bytes, active and queued queries, and cumulative admission totals. Zero
+// when the engine runs without a memory budget.
+func (e *Engine) GovernorStats() pages.GovernorStats {
+	if e.gov == nil {
+		return pages.GovernorStats{}
+	}
+	return e.gov.Stats()
 }
 
 // RunCtx executes a plan under a caller-provided context.
@@ -503,18 +611,64 @@ func (e *Engine) RunCtx(ctx *exec.Ctx, node exec.Node) (*Result, error) {
 	return e.runLabeled(ctx, node, "query")
 }
 
-// runLabeled is the shared execution path: it registers the query with the
-// observability endpoint under label, runs the plan, and folds the execution
-// counters into engine-wide totals.
+// runLabeled runs an already-built plan through the admission path.
 func (e *Engine) runLabeled(ctx *exec.Ctx, node exec.Node, label string) (*Result, error) {
-	e.spillArr.Reset() // spill areas are per-query scratch space
+	return e.runAdmitted(ctx, label, func() (exec.Node, error) { return node, nil })
+}
+
+// admitCtx waits for a memory grant when the engine is governed, resizing
+// the context's budget and tuning to the grant. A nil grant with nil error
+// means the engine is ungoverned.
+func (e *Engine) admitCtx(ctx *exec.Ctx) (*pages.Grant, time.Duration, error) {
+	if e.gov == nil {
+		return nil, 0, nil
+	}
+	timeout := e.cfg.AdmitTimeout
+	if timeout < 0 {
+		timeout = 0 // negative config = wait indefinitely
+	}
+	grant, wait, err := e.gov.Admit(ctx.Context, timeout)
+	if err != nil {
+		qe := &QueryError{Op: "admit", Part: -1, Device: -1, Err: err}
+		if errors.Is(err, pages.ErrAdmissionTimeout) {
+			qe.Hint = "raise Config.AdmitTimeout or MemoryBudget, or lower concurrency"
+		}
+		return nil, wait, qe
+	}
+	e.applyGrant(ctx, grant)
+	return grant, wait, nil
+}
+
+// runAdmitted is the shared execution path: it waits for a memory grant,
+// registers the query with the observability endpoint under label, builds
+// and runs the plan, and folds the execution counters into engine-wide
+// totals. Plan construction happens after admission because some TPC-H
+// plans (Q11/Q15/Q22) execute scalar subqueries at build time — that work
+// must run under the query's grant and spill lease too.
+func (e *Engine) runAdmitted(ctx *exec.Ctx, label string, build func() (exec.Node, error)) (*Result, error) {
 	e.faults.QueryStarted()
-	defer e.registerQuery(label, ctx)()
-	defer ctx.Close() // return pooled batches, release retained page budget
+	grant, admitWait, err := e.admitCtx(ctx)
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			e.faults.QueryCanceled()
+		} else {
+			e.faults.QueryFailed()
+		}
+		ctx.Close() // frees the query's (unused) spill lease
+		return nil, err
+	}
+	defer grant.Release() // after ctx.Close: memory really is back by then
+	q, deregister := e.registerQuery(label, ctx)
+	defer deregister()
+	defer ctx.Close() // return pooled batches, release budget, free the spill lease
 	var msBefore runtime.MemStats
 	runtime.ReadMemStats(&msBefore)
 	start := time.Now()
-	out, err := exec.Collect(ctx, node)
+	node, err := build()
+	var out *data.Batch
+	if err == nil {
+		out, err = exec.Collect(ctx, node)
+	}
 	if s := ctx.Stats; s != nil {
 		e.faults.AddRetries(s.SpillRetries.Load())
 		e.faults.AddFailovers(s.SpillFailovers.Load())
@@ -552,6 +706,11 @@ func (e *Engine) runLabeled(ctx *exec.Ctx, node exec.Node, label string) (*Resul
 		SpillChecksumErrors:  s.SpillChecksumErrors.Load(),
 		SpillReconstructions: s.SpillReconstructions.Load(),
 		SpillParityBytes:     s.SpillParityBytes.Load(),
+		AdmissionWait:        admitWait,
+		MemoryGrant:          grant.Bytes(),
+	}
+	if grant == nil {
+		st.MemoryGrant = e.cfg.MemoryBudget
 	}
 	e.spillStallNs.Add(int64(st.SpillStallTime))
 	e.prefetchedParts.Add(st.PrefetchedPartitions)
@@ -566,6 +725,10 @@ func (e *Engine) runLabeled(ctx *exec.Ctx, node exec.Node, label string) (*Resul
 	st.AllocBytes = int64(msAfter.TotalAlloc - msBefore.TotalAlloc)
 	st.GCPause = time.Duration(msAfter.PauseTotalNs - msBefore.PauseTotalNs)
 	st.NumGC = int64(msAfter.NumGC - msBefore.NumGC)
+	// Approximate attribution if any other query overlapped us: one was
+	// already running when we registered, or one registered after us (its
+	// id is past ours) while we ran.
+	st.AllocApprox = q.concurrentAtStart || e.queryID.Load() > q.id
 	e.gcAllocObjects.Add(st.AllocObjects)
 	e.gcAllocBytes.Add(st.AllocBytes)
 	e.gcPauseNs.Add(int64(st.GCPause))
@@ -588,6 +751,9 @@ func (e *Engine) runLabeled(ctx *exec.Ctx, node exec.Node, label string) (*Resul
 		res.profile.AllocBytes = st.AllocBytes
 		res.profile.GCPause = st.GCPause
 		res.profile.NumGC = st.NumGC
+		res.profile.AllocApprox = st.AllocApprox
+		res.profile.AdmissionWait = st.AdmissionWait
+		res.profile.MemoryGrant = st.MemoryGrant
 	}
 	return res, nil
 }
@@ -602,11 +768,9 @@ func (e *Engine) JoinMicroPlan() exec.Node { return tpch.JoinMicro(e.TPCH()) }
 // RunTPCH builds and runs TPC-H query q (1–22).
 func (e *Engine) RunTPCH(q int) (*Result, error) {
 	ctx := e.NewCtx()
-	node, err := tpch.BuildQuery(ctx, e.TPCH(), q)
-	if err != nil {
-		return nil, err
-	}
-	return e.runLabeled(ctx, node, fmt.Sprintf("tpch-q%d", q))
+	return e.runAdmitted(ctx, fmt.Sprintf("tpch-q%d", q), func() (exec.Node, error) {
+		return tpch.BuildQuery(ctx, e.TPCH(), q)
+	})
 }
 
 // TraceQuery runs a plan while sampling engine utilization at the given
@@ -616,7 +780,6 @@ func (e *Engine) RunTPCH(q int) (*Result, error) {
 // "mem_bytes" (a memory-bandwidth proxy: all bytes touched/s).
 func (e *Engine) TraceQuery(node exec.Node, interval time.Duration) (*Result, []metrics.Sample, error) {
 	ctx := e.NewCtx()
-	e.spillArr.Reset()
 	tracer := metrics.NewTracer(interval, func() map[string]float64 {
 		sp := e.spillArr.Stats()
 		tb := e.tableArr.Stats()
