@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all tier1 tier2 race stress chaos bench-vectorize bench-alloc bench-overlap bench-parity profile-smoke clean
+.PHONY: all tier1 tier2 race stress chaos bench-vectorize bench-alloc bench-overlap bench-parity bench-rescache profile-smoke clean
 
 all: tier1
 
@@ -13,8 +13,8 @@ tier1:
 # Tier-2 gate: the slow suites tier1 deliberately leaves out — the chaos
 # harness (seeded fault schedules under the race detector, including the
 # silent-corruption and device-loss scenarios) and the committed performance
-# gates (allocation, phase-2 overlap, spill-integrity tax).
-tier2: chaos bench-alloc bench-overlap bench-parity
+# gates (allocation, phase-2 overlap, spill-integrity tax, result reuse).
+tier2: chaos bench-alloc bench-overlap bench-parity bench-rescache
 
 # Race-detector pass over the concurrency-heavy packages (morsel workers,
 # partition spilling, per-worker stats accumulators, span buffers, fault
@@ -68,6 +68,15 @@ bench-alloc:
 bench-overlap:
 	$(GO) run ./cmd/spillybench -exp overlap
 	$(GO) run ./cmd/overlapcmp -baseline BENCH_overlap.json
+
+# Result-reuse gate: the cold/warm-memory/warm-nvme/post-invalidation
+# report, then the warm-hit latency comparison against the committed
+# baseline (BENCH_rescache.json; fails on a warm-hit regression beyond 20%
+# plus an absolute jitter slack, any cross-phase result checksum mismatch,
+# or a warm phase that fails to hit the cache at all).
+bench-rescache:
+	$(GO) run ./cmd/spillybench -exp rescache
+	$(GO) run ./cmd/rescachecmp -baseline BENCH_rescache.json
 
 # Spill-integrity gate: the parity-off-vs-on report on the spill-heavy
 # queries, then the self-relative wall-time comparison (no committed

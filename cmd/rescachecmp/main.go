@@ -1,0 +1,117 @@
+// Command rescachecmp guards the result-reuse win: it re-measures the bench
+// package's cold/warm-memory/warm-nvme/post-invalidation matrix and compares
+// the warm-hit latencies against the committed baseline in
+// BENCH_rescache.json, failing when a warm phase's ns/op regresses by more
+// than the threshold. It also fails when any phase of a query disagrees on
+// the result checksum — a cache hit must be bit-identical to recomputing.
+//
+// Warm hits complete in microseconds, where scheduler jitter dwarfs a 20%
+// ratio, so the gate only fires when the regression also exceeds an absolute
+// slack: it catches a broken fast path (an order-of-magnitude slowdown), not
+// micro-noise. Cold and post-invalidation wall times are reported but never
+// gate. MeasureRescache itself fails if a warm phase misses the cache or an
+// NVMe-phase hit serves from the wrong tier, so a silently disabled cache
+// cannot pass.
+//
+// Usage:
+//
+//	rescachecmp -baseline BENCH_rescache.json          # compare, exit 1 on regression
+//	rescachecmp -baseline BENCH_rescache.json -quick   # smaller scale factor
+//	rescachecmp -print                                 # print fresh measurements as JSON
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/spilly-db/spilly/internal/bench"
+)
+
+// baselineFile mirrors the BENCH_rescache.json layout; only "after" gates.
+type baselineFile struct {
+	After map[string]baselineCell `json:"after"`
+}
+
+type baselineCell struct {
+	NsPerOp float64 `json:"ns_per_op"`
+	Tier    string  `json:"tier"`
+}
+
+func main() {
+	var (
+		baseline  = flag.String("baseline", "", "baseline JSON file (BENCH_rescache.json)")
+		quick     = flag.Bool("quick", false, "measure at the smaller scale factor")
+		threshold = flag.Float64("threshold", 1.20, "fail when a warm hit's ns/op exceeds baseline by this factor")
+		slackNs   = flag.Float64("slack", 200e3, "ignore regressions smaller than this many ns (scheduler jitter floor)")
+		printJSON = flag.Bool("print", false, "print fresh measurements as JSON and exit")
+	)
+	flag.Parse()
+
+	ms, err := bench.MeasureRescache(bench.Options{Quick: *quick, Workers: 2})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rescachecmp: measurement failed: %v\n", err)
+		os.Exit(1)
+	}
+
+	// Every phase of a query must compute the same result, baseline or not:
+	// serving a cached entry — from either tier — may never change bits.
+	sums := map[string]string{}
+	for _, m := range ms {
+		if prev, ok := sums[m.Query]; ok && prev != m.Checksum {
+			fmt.Fprintf(os.Stderr, "rescachecmp: %s checksum mismatch across cache phases\n", m.Query)
+			os.Exit(1)
+		}
+		sums[m.Query] = m.Checksum
+	}
+
+	if *printJSON || *baseline == "" {
+		cells := map[string]baselineCell{}
+		for _, m := range ms {
+			cells[m.Key()] = baselineCell{NsPerOp: m.NsPerOp, Tier: m.Tier}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(map[string]any{"after": cells})
+		return
+	}
+
+	raw, err := os.ReadFile(*baseline)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rescachecmp: %v\n", err)
+		os.Exit(1)
+	}
+	var base baselineFile
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "rescachecmp: parsing %s: %v\n", *baseline, err)
+		os.Exit(1)
+	}
+
+	failed := false
+	for _, m := range ms {
+		// Only warm hits gate: cold and post-invalidation times are plan
+		// execution and track machine speed, not cache quality.
+		if !strings.Contains(m.Key(), "/warm-") {
+			continue
+		}
+		b, ok := base.After[m.Key()]
+		if !ok || b.NsPerOp <= 0 {
+			fmt.Printf("%-22s ns/op=%-12.0f (no baseline)\n", m.Key(), m.NsPerOp)
+			continue
+		}
+		ratio := m.NsPerOp / b.NsPerOp
+		status := "ok"
+		if ratio > *threshold && m.NsPerOp-b.NsPerOp > *slackNs {
+			status = "REGRESSION"
+			failed = true
+		}
+		fmt.Printf("%-22s ns/op=%-12.0f baseline=%-12.0f ratio=%.2f  %s\n",
+			m.Key(), m.NsPerOp, b.NsPerOp, ratio, status)
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "rescachecmp: warm-hit ns/op regressed beyond %.0f%% of baseline\n", (*threshold-1)*100)
+		os.Exit(1)
+	}
+}

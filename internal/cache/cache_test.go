@@ -1,0 +1,269 @@
+package cache
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/spilly-db/spilly/internal/data"
+	"github.com/spilly-db/spilly/internal/nvmesim"
+	"github.com/spilly-db/spilly/internal/pages"
+)
+
+func testArray() *nvmesim.Array {
+	return nvmesim.New(2, nvmesim.DeviceSpec{
+		ReadBandwidth:  4e9,
+		WriteBandwidth: 2e9,
+		Latency:        20 * time.Microsecond,
+	}, nvmesim.RealClock{})
+}
+
+func testBatch(rows int, tag string) *data.Batch {
+	sch := &data.Schema{Cols: []data.ColumnDef{
+		{Name: "k", Type: data.Int64},
+		{Name: "v", Type: data.Float64},
+		{Name: "s", Type: data.String},
+	}}
+	b := data.NewBatch(sch, rows)
+	for i := 0; i < rows; i++ {
+		b.Cols[0].I = append(b.Cols[0].I, int64(i))
+		b.Cols[1].F = append(b.Cols[1].F, float64(i)*0.5)
+		b.Cols[2].S = append(b.Cols[2].S, fmt.Sprintf("%s-%d", tag, i))
+	}
+	b.SetLen(rows)
+	return b
+}
+
+func batchesEqual(t *testing.T, a, b *data.Batch) {
+	t.Helper()
+	if a.Rows() != b.Rows() {
+		t.Fatalf("row count: %d vs %d", a.Rows(), b.Rows())
+	}
+	for i := 0; i < a.Rows(); i++ {
+		ra, rb := a.Row(i), b.Row(i)
+		if a.Cols[0].I[ra] != b.Cols[0].I[rb] ||
+			a.Cols[1].F[ra] != b.Cols[1].F[rb] ||
+			a.Cols[2].S[ra] != b.Cols[2].S[rb] {
+			t.Fatalf("row %d differs", i)
+		}
+	}
+}
+
+func TestCacheMemoryHit(t *testing.T) {
+	c := New(Config{Capacity: 1 << 20, Array: testArray()})
+	in := testBatch(100, "a")
+	key := Key{Plan: 1, Gen: 1}
+	if !c.Put(key, in, time.Second) {
+		t.Fatal("put refused")
+	}
+	got, tier, err := c.Get(key)
+	if err != nil || tier != TierMemory {
+		t.Fatalf("tier=%v err=%v, want memory hit", tier, err)
+	}
+	batchesEqual(t, in, got)
+	// The returned batch is a private copy: mutating it must not poison
+	// the cache.
+	got.Cols[0].I[0] = 999
+	again, _, _ := c.Get(key)
+	if again.Cols[0].I[0] == 999 {
+		t.Fatal("cache returned an aliased batch")
+	}
+	if _, tier, _ := c.Get(Key{Plan: 2, Gen: 1}); tier != TierNone {
+		t.Fatal("phantom hit")
+	}
+	s := c.Stats()
+	if s.Hits != 2 || s.HitsMemory != 2 || s.Misses != 1 {
+		t.Fatalf("stats: %+v", s)
+	}
+}
+
+func TestCacheDemoteRestore(t *testing.T) {
+	arr := testArray()
+	c := New(Config{Capacity: 1 << 20, Array: arr})
+	in := testBatch(1000, "demote")
+	key := Key{Plan: 7, Gen: 1}
+	if !c.Put(key, in, time.Second) {
+		t.Fatal("put refused")
+	}
+	if n := c.DemoteAll(); n != 1 {
+		t.Fatalf("demoted %d entries, want 1", n)
+	}
+	if s := c.Stats(); s.HotEntries != 0 || s.DiskEntries != 1 || s.Reserved != 0 {
+		t.Fatalf("after demotion: %+v", s)
+	}
+	if arr.LiveExtents() == 0 {
+		t.Fatal("demotion wrote nothing to the array")
+	}
+	got, tier, err := c.Get(key)
+	if err != nil || tier != TierNVMe {
+		t.Fatalf("tier=%v err=%v, want nvme hit", tier, err)
+	}
+	batchesEqual(t, in, got)
+	// The hit promoted the entry back to memory and freed its lease.
+	if s := c.Stats(); s.HotEntries != 1 || s.DiskEntries != 0 {
+		t.Fatalf("after restore: %+v", s)
+	}
+	if n := arr.LiveExtents(); n != 0 {
+		t.Fatalf("%d extents live after promotion", n)
+	}
+	if _, tier, _ := c.Get(key); tier != TierMemory {
+		t.Fatal("promoted entry did not serve from memory")
+	}
+	c.Clear()
+	if n := arr.Leases(); n != 0 {
+		t.Fatalf("%d leases live after Clear", n)
+	}
+}
+
+func TestCacheCostAdmission(t *testing.T) {
+	c := New(Config{Capacity: 1 << 20, Array: testArray()})
+	// A result whose compute time is below the restore estimate must be
+	// refused — caching it cannot win.
+	if c.Put(Key{Plan: 1, Gen: 1}, testBatch(10, "cheap"), time.Nanosecond) {
+		t.Fatal("cached a result cheaper than its restore")
+	}
+	if s := c.Stats(); s.Rejects != 1 || s.Puts != 0 {
+		t.Fatalf("stats: %+v", s)
+	}
+}
+
+func TestCacheEvictionDemotes(t *testing.T) {
+	arr := testArray()
+	// Capacity fits roughly two of the three entries.
+	b := testBatch(1000, "x")
+	size := batchFootprint(b)
+	c := New(Config{Capacity: size*2 + size/2, Array: arr})
+	for i := 0; i < 3; i++ {
+		if !c.Put(Key{Plan: uint64(i), Gen: 1}, testBatch(1000, "x"), time.Duration(i+1)*time.Second) {
+			t.Fatalf("put %d refused", i)
+		}
+	}
+	s := c.Stats()
+	if s.HotEntries != 2 || s.DiskEntries != 1 {
+		t.Fatalf("want 2 hot + 1 demoted, got %+v", s)
+	}
+	// The lowest-cost entry (Plan 0) is the demotion victim.
+	if _, tier, err := c.Get(Key{Plan: 0, Gen: 1}); err != nil || tier != TierNVMe {
+		t.Fatalf("lowest-score entry: tier=%v err=%v, want nvme", tier, err)
+	}
+}
+
+func TestCacheGovernorIntegration(t *testing.T) {
+	gov := pages.NewGovernor(1<<20, 1<<16)
+	arr := testArray()
+	c := New(Config{Capacity: 1 << 19, Array: arr, Gov: gov})
+	in := testBatch(2000, "gov")
+	size := batchFootprint(in)
+	if !c.Put(Key{Plan: 1, Gen: 1}, in, time.Second) {
+		t.Fatal("put refused")
+	}
+	if got := gov.CacheReserved(); got != size {
+		t.Fatalf("CacheReserved = %d, want %d", got, size)
+	}
+	// Shrink (the pressure callback) demotes and returns the reservation.
+	if freed := c.Shrink(1); freed < size {
+		t.Fatalf("Shrink freed %d, want >= %d", freed, size)
+	}
+	if got := gov.CacheReserved(); got != 0 {
+		t.Fatalf("CacheReserved = %d after shrink, want 0", got)
+	}
+	if s := c.Stats(); s.DiskEntries != 1 || s.Demotions != 1 {
+		t.Fatalf("shrink did not demote: %+v", s)
+	}
+	// The entry is still servable.
+	got, tier, err := c.Get(Key{Plan: 1, Gen: 1})
+	if err != nil || tier != TierNVMe {
+		t.Fatalf("tier=%v err=%v", tier, err)
+	}
+	batchesEqual(t, in, got)
+	c.Clear()
+	if gov.CacheReserved() != 0 || arr.Leases() != 0 {
+		t.Fatalf("drain failed: reserved=%d leases=%d", gov.CacheReserved(), arr.Leases())
+	}
+}
+
+func TestCacheInvalidation(t *testing.T) {
+	arr := testArray()
+	c := New(Config{Capacity: 1 << 20, Array: arr})
+	c.Put(Key{Plan: 1, Gen: 1}, testBatch(100, "old"), time.Second)
+	c.Put(Key{Plan: 2, Gen: 1}, testBatch(100, "old2"), time.Second)
+	c.DemoteAll()
+	c.Put(Key{Plan: 3, Gen: 2}, testBatch(100, "new"), time.Second)
+	c.RemoveStale(2)
+	if _, tier, _ := c.Get(Key{Plan: 1, Gen: 1}); tier != TierNone {
+		t.Fatal("stale hot entry survived invalidation")
+	}
+	if _, tier, _ := c.Get(Key{Plan: 2, Gen: 1}); tier != TierNone {
+		t.Fatal("stale demoted entry survived invalidation")
+	}
+	if _, tier, _ := c.Get(Key{Plan: 3, Gen: 2}); tier != TierMemory {
+		t.Fatal("current-generation entry dropped by invalidation")
+	}
+	if s := c.Stats(); s.Invalidated != 2 {
+		t.Fatalf("stats: %+v", s)
+	}
+	if n := arr.Leases(); n != 0 {
+		t.Fatalf("%d leases live after invalidation", n)
+	}
+}
+
+func TestCacheDeviceLossDropsEntry(t *testing.T) {
+	arr := testArray()
+	c := New(Config{Capacity: 1 << 20, Array: arr})
+	key := Key{Plan: 1, Gen: 1}
+	c.Put(key, testBatch(500, "dead"), time.Second)
+	c.DemoteAll()
+	arr.KillDevice(0)
+	arr.KillDevice(1)
+	if _, tier, err := c.Get(key); err == nil && tier != TierNone {
+		t.Fatalf("hit served from dead devices (tier=%v)", tier)
+	}
+	// The unreadable entry must be gone, not retried forever.
+	if s := c.Stats(); s.DiskEntries != 0 {
+		t.Fatalf("unreadable entry retained: %+v", s)
+	}
+}
+
+// TestCacheDemoteRestoreMultiChunk demotes a result whose serialized tuple
+// stream exceeds one 256KB chunk. Chunks must split on tuple boundaries —
+// each chunk's stream is decoded independently on restore, so a tuple
+// straddling a byte-offset split comes back as garbage (regression: large
+// aggregate results restored as "corrupt tuple length").
+func TestCacheDemoteRestoreMultiChunk(t *testing.T) {
+	sch := &data.Schema{Cols: []data.ColumnDef{
+		{Name: "k", Type: data.Int64},
+		{Name: "v", Type: data.Float64},
+	}}
+	const rows = 40000 // 18 bytes/tuple serialized: well past two chunks
+	b := data.NewBatch(sch, rows)
+	for i := 0; i < rows; i++ {
+		b.Cols[0].I = append(b.Cols[0].I, int64(i*4))
+		b.Cols[1].F = append(b.Cols[1].F, float64(i)*1.25)
+	}
+	b.SetLen(rows)
+
+	c := New(Config{Capacity: 4 << 20, Array: testArray()})
+	key := Key{Plan: 7, Gen: 1}
+	if !c.Put(key, b, time.Second) {
+		t.Fatal("put refused")
+	}
+	if n := c.DemoteAll(); n != 1 {
+		t.Fatalf("demoted %d entries, want 1", n)
+	}
+	got, tier, err := c.Get(key)
+	if err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if tier != TierNVMe {
+		t.Fatalf("tier %v, want nvme", tier)
+	}
+	if got.Rows() != rows {
+		t.Fatalf("restored %d rows, want %d", got.Rows(), rows)
+	}
+	for i := 0; i < rows; i++ {
+		r := got.Row(i)
+		if got.Cols[0].I[r] != int64(i*4) || got.Cols[1].F[r] != float64(i)*1.25 {
+			t.Fatalf("row %d corrupt: %d %v", i, got.Cols[0].I[r], got.Cols[1].F[r])
+		}
+	}
+}

@@ -198,14 +198,14 @@ func TestBufferCache(t *testing.T) {
 		t.Fatal(err)
 	}
 	checkScan(t, scanAll(t, dt, []int{0, 1, 2, 3, 4}, 2), 5000)
-	_, misses1, _ := cache.Stats()
+	misses1 := cache.Stats().Misses
 	before := store.Array().Stats().BytesRead
 	checkScan(t, scanAll(t, dt, []int{0, 1, 2, 3, 4}, 2), 5000)
-	hits2, misses2, _ := cache.Stats()
-	if misses2 != misses1 {
-		t.Fatalf("hot scan missed the cache: %d -> %d misses", misses1, misses2)
+	s2 := cache.Stats()
+	if s2.Misses != misses1 {
+		t.Fatalf("hot scan missed the cache: %d -> %d misses", misses1, s2.Misses)
 	}
-	if hits2 == 0 {
+	if s2.Hits == 0 {
 		t.Fatal("hot scan recorded no cache hits")
 	}
 	if got := store.Array().Stats().BytesRead; got != before {
@@ -219,18 +219,47 @@ func TestBufferCache(t *testing.T) {
 }
 
 func TestCacheEviction(t *testing.T) {
-	c := NewCache(1000)
-	for i := 0; i < 10; i++ {
+	c := NewCache(16 << 10) // 1 KiB per shard
+	for i := 0; i < 200; i++ {
 		c.Put(nvmesim.MakeLoc(0, int64(i)*512, 512), make([]byte, 300))
 	}
-	_, _, used := c.Stats()
-	if used > 1000 {
+	if used := c.Stats().Used; used > 16<<10 {
 		t.Fatalf("cache over capacity: %d", used)
 	}
-	// An oversized block is simply not cached.
+	// A block larger than a shard's capacity is simply not cached.
 	c.Put(nvmesim.MakeLoc(1, 0, 512), make([]byte, 2000))
 	if _, ok := c.Get(nvmesim.MakeLoc(1, 0, 512)); ok {
 		t.Fatal("oversized block was cached")
+	}
+}
+
+// TestCacheConcurrent hammers the sharded cache from many goroutines
+// (run under -race to verify the striping).
+func TestCacheConcurrent(t *testing.T) {
+	c := NewCache(1 << 20)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				loc := nvmesim.MakeLoc(w%4, int64(i)*512, 512)
+				if i%2 == 0 {
+					c.Put(loc, make([]byte, 256))
+				} else {
+					c.Get(loc)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := c.Stats()
+	if s.Hits+s.Misses == 0 {
+		t.Fatal("no lookups recorded")
+	}
+	c.Clear()
+	if s := c.Stats(); s.Used != 0 || s.Blocks != 0 {
+		t.Fatalf("Clear left %d bytes / %d blocks", s.Used, s.Blocks)
 	}
 }
 

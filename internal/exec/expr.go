@@ -2,9 +2,11 @@ package exec
 
 import (
 	"fmt"
+	"math"
 	"strings"
 
 	"github.com/spilly-db/spilly/internal/data"
+	"github.com/spilly-db/spilly/internal/xhash"
 )
 
 // Expr is a compiled scalar expression over batch rows. Expressions are
@@ -36,6 +38,53 @@ type Expr struct {
 	cI       int64
 	cF       float64
 	cS       string
+
+	// fp is the expression's structural fingerprint, set by every public
+	// constructor (see fingerprint.go). The closures above erase structure,
+	// so the hash must be recorded at construction time; 0 means the
+	// expression was assembled outside the constructors and plans containing
+	// it are not result-cacheable.
+	fp uint64
+}
+
+// fpSeed seeds every fingerprint hash in the package.
+const fpSeed uint64 = 0x5ca1ab1e
+
+// fpEmptyExpr tags the zero Expr (e.g. an absent scan filter).
+const fpEmptyExpr uint64 = 0xe321a97b0d15ea5e
+
+// fpNz keeps legitimate fingerprints out of the 0 = "uncacheable" sentinel.
+func fpNz(h uint64) uint64 {
+	if h == 0 {
+		return 1
+	}
+	return h
+}
+
+// fpNode hashes an op tag with its ordered parts, propagating the
+// uncacheable sentinel: any zero part zeroes the result.
+func fpNode(op string, parts ...uint64) uint64 {
+	h := xhash.String(op, fpSeed)
+	for _, p := range parts {
+		if p == 0 {
+			return 0
+		}
+		h = xhash.Combine(h, p)
+	}
+	return fpNz(h)
+}
+
+// fingerprint returns the expression's structural fingerprint: the recorded
+// hash when the expression came from a package constructor, a fixed tag for
+// the zero Expr, and 0 (uncacheable) for hand-assembled expressions.
+func (e Expr) fingerprint() uint64 {
+	if e.fp != 0 {
+		return e.fp
+	}
+	if e.I == nil && e.F == nil && e.S == nil {
+		return fpEmptyExpr
+	}
+	return 0
 }
 
 func (e Expr) isColRef() bool { return e.col1 != 0 }
@@ -52,7 +101,8 @@ func (e Expr) AsFloat() Expr {
 		return e
 	case data.Int64, data.Date, data.Bool:
 		i := e.I
-		out := Expr{Type: data.Float64, F: func(b *data.Batch, r int) float64 { return float64(i(b, r)) }}
+		out := Expr{Type: data.Float64, F: func(b *data.Batch, r int) float64 { return float64(i(b, r)) },
+			fp: fpNode("asfloat", e.fingerprint())}
 		switch {
 		case e.constant:
 			k := float64(e.cI)
@@ -97,10 +147,12 @@ func (e Expr) AsFloat() Expr {
 // (or straight copies when no selection vector is set).
 func Col(s *data.Schema, name string) Expr {
 	idx := s.MustIndex(name)
+	fp := fpNode("col", xhash.String(name, fpSeed), xhash.U64(uint64(idx), fpSeed),
+		xhash.U64(uint64(s.Cols[idx].Type), fpSeed))
 	switch s.Cols[idx].Type {
 	case data.Float64:
 		e := Expr{Type: data.Float64, F: func(b *data.Batch, r int) float64 { return b.Cols[idx].F[r] }}
-		e.col1 = int32(idx) + 1
+		e.col1, e.fp = int32(idx)+1, fp
 		e.vecF = func(b *data.Batch, sel []int32, out []float64) {
 			vals := b.Cols[idx].F
 			if sel == nil {
@@ -114,7 +166,7 @@ func Col(s *data.Schema, name string) Expr {
 		return e
 	case data.String:
 		e := Expr{Type: data.String, S: func(b *data.Batch, r int) string { return b.Cols[idx].S[r] }}
-		e.col1 = int32(idx) + 1
+		e.col1, e.fp = int32(idx)+1, fp
 		e.vecS = func(b *data.Batch, sel []int32, out []string) {
 			vals := b.Cols[idx].S
 			if sel == nil {
@@ -129,7 +181,7 @@ func Col(s *data.Schema, name string) Expr {
 	default:
 		t := s.Cols[idx].Type
 		e := Expr{Type: t, I: func(b *data.Batch, r int) int64 { return b.Cols[idx].I[r] }}
-		e.col1 = int32(idx) + 1
+		e.col1, e.fp = int32(idx)+1, fp
 		e.vecI = func(b *data.Batch, sel []int32, out []int64) {
 			vals := b.Cols[idx].I
 			if sel == nil {
@@ -147,6 +199,7 @@ func Col(s *data.Schema, name string) Expr {
 func constIntExpr(t data.Type, v int64) Expr {
 	e := Expr{Type: t, I: func(*data.Batch, int) int64 { return v }}
 	e.constant, e.cI = true, v
+	e.fp = fpNode("consti", xhash.U64(uint64(t), fpSeed), xhash.U64(uint64(v), fpSeed))
 	e.vecI = func(b *data.Batch, sel []int32, out []int64) {
 		for i := range out {
 			out[i] = v
@@ -162,6 +215,7 @@ func ConstInt(v int64) Expr { return constIntExpr(data.Int64, v) }
 func ConstFloat(v float64) Expr {
 	e := Expr{Type: data.Float64, F: func(*data.Batch, int) float64 { return v }}
 	e.constant, e.cF = true, v
+	e.fp = fpNode("constf", xhash.U64(math.Float64bits(v), fpSeed))
 	e.vecF = func(b *data.Batch, sel []int32, out []float64) {
 		for i := range out {
 			out[i] = v
@@ -174,6 +228,7 @@ func ConstFloat(v float64) Expr {
 func ConstStr(v string) Expr {
 	e := Expr{Type: data.String, S: func(*data.Batch, int) string { return v }}
 	e.constant, e.cS = true, v
+	e.fp = fpNode("consts", xhash.String(v, fpSeed))
 	e.vecS = func(b *data.Batch, sel []int32, out []string) {
 		for i := range out {
 			out[i] = v
@@ -203,6 +258,7 @@ func arith(a, b Expr, op arithOp, iop func(x, y int64) int64, fop func(x, y floa
 		af, bf := av.F, bv.F
 		e := Expr{Type: data.Float64, F: func(ba *data.Batch, r int) float64 { return fop(af(ba, r), bf(ba, r)) }}
 		e.vecF = binaryFKernel(av, bv, op)
+		e.fp = fpNode("arith", xhash.U64(uint64(op), fpSeed), a.fingerprint(), b.fingerprint())
 		return e
 	}
 	if a.constant && b.constant {
@@ -211,6 +267,7 @@ func arith(a, b Expr, op arithOp, iop func(x, y int64) int64, fop func(x, y floa
 	ai, bi := a.I, b.I
 	e := Expr{Type: data.Int64, I: func(ba *data.Batch, r int) int64 { return iop(ai(ba, r), bi(ba, r)) }}
 	e.vecI = binaryIKernel(a, b, op)
+	e.fp = fpNode("arith", xhash.U64(uint64(op), fpSeed), a.fingerprint(), b.fingerprint())
 	return e
 }
 
@@ -238,6 +295,7 @@ func Div(a, b Expr) Expr {
 	af, bf := av.F, bv.F
 	e := Expr{Type: data.Float64, F: func(ba *data.Batch, r int) float64 { return af(ba, r) / bf(ba, r) }}
 	e.vecF = binaryFKernel(av, bv, aDiv)
+	e.fp = fpNode("div", a.fingerprint(), b.fingerprint())
 	return e
 }
 
@@ -257,6 +315,7 @@ func boolExpr(f func(b *data.Batch, r int) bool) Expr {
 func Cmp(op string, a, b Expr) Expr {
 	e := cmpScalar(op, a, b)
 	attachCmpKernel(&e, cmpOpOf(op), a, b)
+	e.fp = fpNode("cmp", xhash.String(op, fpSeed), a.fingerprint(), b.fingerprint())
 	return e
 }
 
@@ -332,6 +391,11 @@ func And(exprs ...Expr) Expr {
 		}
 		return true
 	})
+	fps := []uint64{}
+	for _, c := range exprs {
+		fps = append(fps, c.fingerprint())
+	}
+	e.fp = fpNode("and", fps...)
 	if len(exprs) > 0 {
 		es := append([]Expr(nil), exprs...)
 		e.vecSel = func(b *data.Batch, sel []int32, out []int32) []int32 {
@@ -353,7 +417,7 @@ func And(exprs ...Expr) Expr {
 
 // Or compiles a short-circuit disjunction.
 func Or(exprs ...Expr) Expr {
-	return boolExpr(func(b *data.Batch, r int) bool {
+	out := boolExpr(func(b *data.Batch, r int) bool {
 		for _, e := range exprs {
 			if e.I(b, r) != 0 {
 				return true
@@ -361,11 +425,19 @@ func Or(exprs ...Expr) Expr {
 		}
 		return false
 	})
+	fps := []uint64{}
+	for _, c := range exprs {
+		fps = append(fps, c.fingerprint())
+	}
+	out.fp = fpNode("or", fps...)
+	return out
 }
 
 // Not compiles a negation.
 func Not(e Expr) Expr {
-	return boolExpr(func(b *data.Batch, r int) bool { return e.I(b, r) == 0 })
+	out := boolExpr(func(b *data.Batch, r int) bool { return e.I(b, r) == 0 })
+	out.fp = fpNode("not", e.fingerprint())
+	return out
 }
 
 // Like compiles a SQL LIKE pattern with % and _ wildcards.
@@ -373,6 +445,7 @@ func Like(e Expr, pattern string) Expr {
 	m := compileLike(pattern)
 	s := e.S
 	out := boolExpr(func(b *data.Batch, r int) bool { return m(s(b, r)) })
+	out.fp = fpNode("like", e.fingerprint(), xhash.String(pattern, fpSeed))
 	if e.isColRef() {
 		ci := e.colIdx()
 		out.vecSel = func(b *data.Batch, sel []int32, o []int32) []int32 {
@@ -386,6 +459,7 @@ func Like(e Expr, pattern string) Expr {
 func NotLike(e Expr, pattern string) Expr {
 	m := compileLike(pattern)
 	out := Not(Like(e, pattern))
+	out.fp = fpNode("notlike", e.fingerprint(), xhash.String(pattern, fpSeed))
 	if e.isColRef() {
 		ci := e.colIdx()
 		out.vecSel = func(b *data.Batch, sel []int32, o []int32) []int32 {
@@ -496,6 +570,11 @@ func InStr(e Expr, vals ...string) Expr {
 		_, ok := set[s(b, r)]
 		return ok
 	})
+	fps := []uint64{e.fingerprint()}
+	for _, v := range vals {
+		fps = append(fps, xhash.String(v, fpSeed))
+	}
+	out.fp = fpNode("instr", fps...)
 	if e.isColRef() {
 		ci := e.colIdx()
 		out.vecSel = func(b *data.Batch, sel []int32, o []int32) []int32 {
@@ -519,6 +598,11 @@ func InInt(e Expr, vals ...int64) Expr {
 		_, ok := set[i(b, r)]
 		return ok
 	})
+	fps := []uint64{e.fingerprint()}
+	for _, v := range vals {
+		fps = append(fps, xhash.U64(uint64(v), fpSeed))
+	}
+	out.fp = fpNode("inint", fps...)
 	if e.isColRef() {
 		ci := e.colIdx()
 		out.vecSel = func(b *data.Batch, sel []int32, o []int32) []int32 {
@@ -548,10 +632,11 @@ func Case(cond, then, els Expr) Expr {
 	if then.Type != els.Type && !(then.Type != data.String && els.Type != data.String) {
 		panic("exec: CASE branches of incompatible types")
 	}
+	fp := fpNode("case", cond.fingerprint(), then.fingerprint(), els.fingerprint())
 	switch {
 	case then.Type == data.String:
 		t, e, c := then.S, els.S, cond.I
-		return Expr{Type: data.String, S: func(b *data.Batch, r int) string {
+		return Expr{Type: data.String, fp: fp, S: func(b *data.Batch, r int) string {
 			if c(b, r) != 0 {
 				return t(b, r)
 			}
@@ -559,7 +644,7 @@ func Case(cond, then, els Expr) Expr {
 		}}
 	case then.Type == data.Float64 || els.Type == data.Float64:
 		t, e, c := then.AsFloat().F, els.AsFloat().F, cond.I
-		return Expr{Type: data.Float64, F: func(b *data.Batch, r int) float64 {
+		return Expr{Type: data.Float64, fp: fp, F: func(b *data.Batch, r int) float64 {
 			if c(b, r) != 0 {
 				return t(b, r)
 			}
@@ -567,7 +652,7 @@ func Case(cond, then, els Expr) Expr {
 		}}
 	default:
 		t, e, c := then.I, els.I, cond.I
-		return Expr{Type: then.Type, I: func(b *data.Batch, r int) int64 {
+		return Expr{Type: then.Type, fp: fp, I: func(b *data.Batch, r int) int64 {
 			if c(b, r) != 0 {
 				return t(b, r)
 			}
@@ -579,7 +664,7 @@ func Case(cond, then, els Expr) Expr {
 // YearOf compiles EXTRACT(YEAR FROM date).
 func YearOf(e Expr) Expr {
 	i := e.I
-	out := Expr{Type: data.Int64, I: func(b *data.Batch, r int) int64 { return data.Year(i(b, r)) }}
+	out := Expr{Type: data.Int64, fp: fpNode("year", e.fingerprint()), I: func(b *data.Batch, r int) int64 { return data.Year(i(b, r)) }}
 	if e.vecI != nil {
 		iv := e.vecI
 		out.vecI = func(b *data.Batch, sel []int32, o []int64) {
@@ -595,7 +680,8 @@ func YearOf(e Expr) Expr {
 // Substr compiles SUBSTRING(s FROM start FOR length) with 1-based start.
 func Substr(e Expr, start, length int) Expr {
 	s := e.S
-	return Expr{Type: data.String, S: func(b *data.Batch, r int) string {
+	fp := fpNode("substr", e.fingerprint(), xhash.U64(uint64(int64(start)), fpSeed), xhash.U64(uint64(int64(length)), fpSeed))
+	return Expr{Type: data.String, fp: fp, S: func(b *data.Batch, r int) string {
 		v := s(b, r)
 		lo := start - 1
 		if lo < 0 || lo >= len(v) {
@@ -613,6 +699,7 @@ func Substr(e Expr, start, length int) Expr {
 func IsNotNull(s *data.Schema, name string) Expr {
 	idx := s.MustIndex(name)
 	e := boolExpr(func(b *data.Batch, r int) bool { return !b.IsNull(idx, r) })
+	e.fp = fpNode("isnotnull", xhash.String(name, fpSeed), xhash.U64(uint64(idx), fpSeed))
 	e.vecSel = func(b *data.Batch, sel []int32, out []int32) []int32 {
 		null := b.Cols[idx].Null
 		if null == nil {

@@ -77,6 +77,38 @@ type LeaseStats struct {
 	LiveBytes   map[uint64]int64
 }
 
+// BufCacheStats is a snapshot of the table buffer cache: block lookup
+// counters and current fill.
+type BufCacheStats struct {
+	Hits   int64
+	Misses int64
+	Used   int64
+	Blocks int64
+}
+
+// ResultCacheStats is a snapshot of the query-result reuse cache: residency
+// per tier, the governor reservation backing the memory tier, and cumulative
+// hit/demotion/restore counters.
+type ResultCacheStats struct {
+	HotEntries    int64
+	HotBytes      int64
+	DiskEntries   int64
+	DiskBytes     int64
+	ReservedBytes int64
+	Hits          int64
+	HitsMemory    int64
+	HitsNVMe      int64
+	Misses        int64
+	Puts          int64
+	Rejects       int64
+	Demotions     int64
+	Restores      int64
+	RestoreBytes  int64
+	Drops         int64
+	Invalidated   int64
+	Shrinks       int64
+}
+
 // Server renders engine observability snapshots over HTTP. All fields are
 // optional; nil sources simply omit their metrics.
 type Server struct {
@@ -95,6 +127,10 @@ type Server struct {
 	Admission func() AdmissionStats
 	// Leases returns the spill-extent ownership snapshot.
 	Leases func() LeaseStats
+	// BufCache returns the table buffer-cache snapshot.
+	BufCache func() BufCacheStats
+	// ResultCache returns the query-result reuse-cache snapshot.
+	ResultCache func() ResultCacheStats
 }
 
 // Handler returns the observability mux: /metrics, /queries, /debug/pprof/.
@@ -212,6 +248,66 @@ func (s *Server) serveMetrics(w http.ResponseWriter, _ *http.Request) {
 			writeCounter(&b, "spilly_spill_lease_live_bytes", "gauge",
 				"Spill bytes currently live under each query lease.", ss...)
 		}
+	}
+	if s.BufCache != nil {
+		bc := s.BufCache()
+		writeCounter(&b, "spilly_bufcache_hits_total", "counter",
+			"Table blocks served from the buffer cache.",
+			sample{value: float64(bc.Hits)})
+		writeCounter(&b, "spilly_bufcache_misses_total", "counter",
+			"Table block lookups that missed the buffer cache.",
+			sample{value: float64(bc.Misses)})
+		writeCounter(&b, "spilly_bufcache_used_bytes", "gauge",
+			"Bytes currently held in the buffer cache.",
+			sample{value: float64(bc.Used)})
+		writeCounter(&b, "spilly_bufcache_blocks", "gauge",
+			"Blocks currently held in the buffer cache.",
+			sample{value: float64(bc.Blocks)})
+	}
+	if s.ResultCache != nil {
+		rc := s.ResultCache()
+		writeCounter(&b, "spilly_cache_entries", "gauge",
+			"Result-cache entries resident per tier.",
+			sample{labels: `tier="memory"`, value: float64(rc.HotEntries)},
+			sample{labels: `tier="nvme"`, value: float64(rc.DiskEntries)})
+		writeCounter(&b, "spilly_cache_bytes", "gauge",
+			"Result-cache bytes resident per tier (nvme is the raw, uncompressed footprint).",
+			sample{labels: `tier="memory"`, value: float64(rc.HotBytes)},
+			sample{labels: `tier="nvme"`, value: float64(rc.DiskBytes)})
+		writeCounter(&b, "spilly_cache_reserved_bytes", "gauge",
+			"Governor memory reservation currently held by the result cache.",
+			sample{value: float64(rc.ReservedBytes)})
+		writeCounter(&b, "spilly_cache_hits_total", "counter",
+			"Result-cache hits by serving tier.",
+			sample{labels: `tier="memory"`, value: float64(rc.HitsMemory)},
+			sample{labels: `tier="nvme"`, value: float64(rc.HitsNVMe)})
+		writeCounter(&b, "spilly_cache_misses_total", "counter",
+			"Cacheable queries that found no usable result-cache entry.",
+			sample{value: float64(rc.Misses)})
+		writeCounter(&b, "spilly_cache_puts_total", "counter",
+			"Results admitted into the cache.",
+			sample{value: float64(rc.Puts)})
+		writeCounter(&b, "spilly_cache_rejects_total", "counter",
+			"Results refused by cost-based admission.",
+			sample{value: float64(rc.Rejects)})
+		writeCounter(&b, "spilly_cache_demotions_total", "counter",
+			"Entries demoted from memory to the NVMe spill array.",
+			sample{value: float64(rc.Demotions)})
+		writeCounter(&b, "spilly_cache_restores_total", "counter",
+			"Demoted entries read back from the spill array.",
+			sample{value: float64(rc.Restores)})
+		writeCounter(&b, "spilly_cache_restore_bytes_total", "counter",
+			"Raw bytes materialized by result-cache restores.",
+			sample{value: float64(rc.RestoreBytes)})
+		writeCounter(&b, "spilly_cache_drops_total", "counter",
+			"Entries dropped outright (eviction without demotion, or unreadable).",
+			sample{value: float64(rc.Drops)})
+		writeCounter(&b, "spilly_cache_invalidated_total", "counter",
+			"Entries invalidated by catalog changes.",
+			sample{value: float64(rc.Invalidated)})
+		writeCounter(&b, "spilly_cache_shrinks_total", "counter",
+			"Governor pressure callbacks that shrank the cache.",
+			sample{value: float64(rc.Shrinks)})
 	}
 	writeArray(&b, "spill", s.SpillArray)
 	writeArray(&b, "table", s.TableArray)

@@ -41,6 +41,16 @@ func testServer(t *testing.T) *Server {
 		Queries: func() []QueryStatus {
 			return []QueryStatus{{ID: 7, Label: "tpch-q9", ScannedRows: 123}}
 		},
+		BufCache: func() BufCacheStats {
+			return BufCacheStats{Hits: 10, Misses: 4, Used: 8192, Blocks: 2}
+		},
+		ResultCache: func() ResultCacheStats {
+			return ResultCacheStats{
+				HotEntries: 3, HotBytes: 1024, DiskEntries: 1, DiskBytes: 512,
+				ReservedBytes: 1024, HitsMemory: 5, HitsNVMe: 2, Misses: 6,
+				Puts: 4, Demotions: 1, Restores: 2,
+			}
+		},
 	}
 }
 
@@ -64,6 +74,18 @@ func TestMetricsEndpoint(t *testing.T) {
 		`spilly_device_written_bytes_total{array="spill",device="1"} 0`,
 		`spilly_device_spill_bytes{array="spill",device="0"} 4096`,
 		"spilly_queries_in_flight 1",
+		"spilly_bufcache_hits_total 10",
+		"spilly_bufcache_misses_total 4",
+		"spilly_bufcache_used_bytes 8192",
+		"spilly_bufcache_blocks 2",
+		`spilly_cache_entries{tier="memory"} 3`,
+		`spilly_cache_entries{tier="nvme"} 1`,
+		`spilly_cache_hits_total{tier="memory"} 5`,
+		`spilly_cache_hits_total{tier="nvme"} 2`,
+		"spilly_cache_reserved_bytes 1024",
+		"spilly_cache_misses_total 6",
+		"spilly_cache_demotions_total 1",
+		"spilly_cache_restores_total 2",
 	} {
 		if !strings.Contains(body, want) {
 			t.Fatalf("metrics missing %q:\n%s", want, body)

@@ -31,6 +31,11 @@ type Profile struct {
 	// Filled in by the engine.
 	AdmissionWait time.Duration
 	MemoryGrant   int64
+	// CacheHit marks a query answered from the result reuse cache (no
+	// plan executed — the tree below is empty); CacheTier names the tier
+	// that served it ("memory" or "nvme"). Filled in by the engine.
+	CacheHit  bool
+	CacheTier string
 	// Roots are the top-level operators (normally one: the plan root).
 	Roots []*ProfileNode
 }
@@ -111,6 +116,9 @@ func FormatProfile(p *Profile) string {
 	}
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "query: %s total, %d workers\n", fmtDur(p.Total), p.Workers)
+	if p.CacheHit {
+		fmt.Fprintf(&sb, "result cache: hit (%s tier); plan not executed\n", p.CacheTier)
+	}
 	if p.AdmissionWait > 0 || p.MemoryGrant > 0 {
 		fmt.Fprintf(&sb, "admission: wait=%s grant=%s\n",
 			fmtDur(p.AdmissionWait), fmtBytes(p.MemoryGrant))

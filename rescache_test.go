@@ -1,0 +1,283 @@
+package spilly
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"github.com/spilly-db/spilly/internal/chaos"
+	"github.com/spilly-db/spilly/internal/tpch"
+)
+
+// rescacheConfig is a governed engine with the result cache on: the budget
+// is roomy enough that most queries run without spilling (keeping the
+// 22x3-run sweep fast) while the governor still arbitrates cache tenancy.
+func rescacheConfig() Config {
+	return Config{
+		Workers:          2,
+		MemoryBudget:     4 << 20,
+		Compression:      true,
+		ResultCacheBytes: 32 << 20,
+	}
+}
+
+// TestResultCacheEquivalenceAllQueries runs every TPC-H query three times —
+// cold (caches cleared), warm from the memory tier, and warm from the NVMe
+// tier (hot entries demoted to the spill array in between) — and requires
+// bit-identical result fingerprints across all three. Afterwards the cache
+// must drain completely: no spill leases, no live extents, no governor
+// cache reservation.
+func TestResultCacheEquivalenceAllQueries(t *testing.T) {
+	eng := loadEngine(t, rescacheConfig())
+
+	memHits, nvmeHits := 0, 0
+	for q := 1; q <= tpch.NumQueries; q++ {
+		eng.ClearCaches()
+		cold, err := eng.RunTPCH(q)
+		if err != nil {
+			t.Fatalf("cold Q%d: %v", q, err)
+		}
+		want := chaos.Fingerprint(cold.Batch)
+
+		warm, err := eng.RunTPCH(q)
+		if err != nil {
+			t.Fatalf("warm Q%d: %v", q, err)
+		}
+		if got := chaos.Fingerprint(warm.Batch); got != want {
+			t.Errorf("Q%d warm-memory result differs from cold run", q)
+		}
+		if warm.Stats.ResultCacheHit {
+			if warm.Stats.ResultCacheTier != "memory" {
+				t.Errorf("Q%d warm hit served from %q, want memory", q, warm.Stats.ResultCacheTier)
+			}
+			memHits++
+		}
+
+		eng.DemoteResultCache()
+		nvme, err := eng.RunTPCH(q)
+		if err != nil {
+			t.Fatalf("warm-nvme Q%d: %v", q, err)
+		}
+		if got := chaos.Fingerprint(nvme.Batch); got != want {
+			t.Errorf("Q%d warm-nvme result differs from cold run", q)
+		}
+		if nvme.Stats.ResultCacheHit {
+			if nvme.Stats.ResultCacheTier != "nvme" {
+				t.Errorf("Q%d post-demotion hit served from %q, want nvme", q, nvme.Stats.ResultCacheTier)
+			}
+			nvmeHits++
+		}
+	}
+	// Caching is cost-gated, so the cheapest queries may legitimately skip
+	// it — but the bulk of TPC-H must be served from each tier, or the
+	// cache (or the demotion path) is silently broken.
+	if memHits < 16 || nvmeHits < 16 {
+		t.Errorf("only %d/22 memory hits and %d/22 nvme hits; cache barely engaged", memHits, nvmeHits)
+	}
+
+	// Drain: clearing the cache must free every demoted entry's lease and
+	// return the full governor reservation.
+	eng.ClearCaches()
+	if n := eng.SpillArray().Leases(); n != 0 {
+		t.Errorf("%d spill leases live after ClearCaches", n)
+	}
+	if n := eng.SpillArray().LiveExtents(); n != 0 {
+		t.Errorf("%d spill extents live after ClearCaches", n)
+	}
+	if r := eng.GovernorStats().CacheReserved; r != 0 {
+		t.Errorf("governor still holds %d bytes of cache reservation after ClearCaches", r)
+	}
+}
+
+// bigResultPlan builds a plan whose result is large enough that its cached
+// copy holds a visible governor reservation: per-order sums over lineitem
+// (~15k groups at sf 0.01, a few hundred KB cached).
+func bigResultPlan(t *testing.T, eng *Engine) *Result {
+	t.Helper()
+	tbl, err := eng.Table("lineitem")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := NewScan(tbl, "l_orderkey", "l_extendedprice")
+	plan := NewAgg(sc, []string{"l_orderkey"}, []AggSpec{{Func: Sum, Col: "l_extendedprice", As: "revenue"}})
+	res, err := eng.Run(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestConcurrentQueriesShrinkResultCache: the cache is a lower-priority
+// governor tenant than live queries. A cached result holding a reservation
+// must be demoted — not evicted wholesale, and never at the price of an
+// admission timeout — when concurrent queries need the memory; afterwards
+// it must still be servable from the NVMe tier, bit-identical.
+func TestConcurrentQueriesShrinkResultCache(t *testing.T) {
+	cfg := rescacheConfig()
+	cfg.MemoryBudget = 1 << 20
+	cfg.MemoryFloor = 256 << 10
+	cfg.PageSize = 8 << 10
+	cfg.Partitions = 16
+	eng := loadEngine(t, cfg)
+
+	res := bigResultPlan(t, eng)
+	want := chaos.Fingerprint(res.Batch)
+	if s := eng.ResultCacheStats(); s.HotEntries != 1 || s.Reserved == 0 {
+		t.Fatalf("big result not resident with a reservation: %+v", s)
+	}
+
+	// Three spill-heavy queries admitted at once: the first grant consumes
+	// the headroom left beside the cache reservation, so a later admission
+	// falls short and must squeeze the cache via the pressure callback.
+	var wg sync.WaitGroup
+	errs := make(chan error, 3)
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := eng.RunTPCH(9); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Errorf("concurrent query under cache residency: %v", err)
+	}
+
+	if g := eng.GovernorStats(); g.Timeouts != 0 {
+		t.Errorf("%d admission timeouts caused by cache residency", g.Timeouts)
+	}
+	s := eng.ResultCacheStats()
+	if s.Shrinks == 0 {
+		t.Error("admission pressure never shrank the result cache")
+	}
+	if s.Reserved != 0 {
+		t.Errorf("cache still holds %d bytes of reservation after pressure", s.Reserved)
+	}
+	if s.DiskEntries == 0 {
+		t.Fatalf("squeezed entry not on NVMe: %+v", s)
+	}
+
+	// The squeezed entry moved to NVMe, not oblivion: re-running the plan
+	// must hit the nvme tier and return identical bits.
+	again := bigResultPlan(t, eng)
+	if !again.Stats.ResultCacheHit || again.Stats.ResultCacheTier != "nvme" {
+		t.Errorf("post-shrink rerun: hit=%v tier=%q, want nvme hit (stats %+v)",
+			again.Stats.ResultCacheHit, again.Stats.ResultCacheTier, eng.ResultCacheStats())
+	}
+	if got := chaos.Fingerprint(again.Batch); got != want {
+		t.Error("post-shrink cached result differs from original")
+	}
+
+	eng.ClearCaches()
+	assertArrayDrained(t, eng)
+	if r := eng.GovernorStats().CacheReserved; r != 0 {
+		t.Errorf("cache reservation %d after drain", r)
+	}
+}
+
+// verTableRows is sized so the versioned sum takes comfortably longer than
+// the cache's restore estimate — otherwise cost-based admission would skip
+// caching and the race below would never exercise the cached path.
+const verTableRows = 256 << 10
+
+// registerVerTable swaps in version ver of the "ver" table: verTableRows
+// rows, every value float64(ver).
+func registerVerTable(eng *Engine, ver int64) {
+	sch := NewSchema(ColumnDef{Name: "v", Type: Float64})
+	mt := NewMemTable("ver", sch, 0)
+	b := NewBatch(sch, verTableRows)
+	for i := 0; i < verTableRows; i++ {
+		b.Cols[0].F = append(b.Cols[0].F, float64(ver))
+	}
+	b.SetLen(verTableRows)
+	mt.Append(b)
+	eng.RegisterTable(mt)
+}
+
+// TestCatalogInvalidationRace hammers RegisterTable against cached runs
+// under the race detector. Every row of table version v holds the value v,
+// so any served result — computed or cached — reveals exactly which
+// snapshot produced it; a querier that observed version lo registered
+// before it planned must never be handed a sum from an older version.
+func TestCatalogInvalidationRace(t *testing.T) {
+	eng, err := Open(Config{Workers: 2, ResultCacheBytes: 16 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	registerVerTable(eng, 1)
+	var cur atomic.Int64
+	cur.Store(1)
+
+	const versions = 20
+	loaderDone := make(chan struct{})
+	go func() {
+		defer close(loaderDone)
+		for v := int64(2); v <= versions; v++ {
+			registerVerTable(eng, v)
+			cur.Store(v)
+		}
+	}()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for done := false; !done; {
+				select {
+				case <-loaderDone:
+					done = true // one final pass after the last registration
+				default:
+				}
+				lo := cur.Load()
+				tbl, err := eng.Table("ver")
+				if err != nil {
+					errs <- err
+					return
+				}
+				sc := NewScan(tbl, "v")
+				plan := NewAgg(sc, nil, []AggSpec{{Func: Sum, Col: "v", As: "s"}})
+				// Twice per snapshot: the second run of an unchanged plan
+				// is the cache-hit path under invalidation fire.
+				for rep := 0; rep < 2; rep++ {
+					res, err := eng.Run(plan)
+					if err != nil {
+						errs <- err
+						return
+					}
+					sum := res.Batch.Cols[0].F[0]
+					ver := int64(sum / verTableRows)
+					if float64(ver)*verTableRows != sum {
+						errs <- fmt.Errorf("sum %v is not a whole version multiple: torn snapshot?", sum)
+						return
+					}
+					if ver < lo {
+						errs <- fmt.Errorf("stale result: saw version %d after version %d was registered", ver, lo)
+						return
+					}
+					if hi := cur.Load(); ver > hi+1 {
+						errs <- fmt.Errorf("impossible version %d (current %d)", ver, hi)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if s := eng.ResultCacheStats(); s.Hits == 0 {
+		t.Error("no cache hits occurred; the race window was never exercised")
+	}
+	eng.ClearCaches()
+	if n := eng.SpillArray().Leases(); n != 0 {
+		t.Errorf("%d leases live after drain", n)
+	}
+}

@@ -12,8 +12,9 @@ import (
 // Handler returns the engine's observability HTTP handler:
 //
 //   - /metrics — Prometheus text-format counters: query totals,
-//     spill retry/failover totals, and per-device NVMe-array counters
-//     (bytes, request counts, spill area, simulated queue backlog).
+//     spill retry/failover totals, buffer-cache (spilly_bufcache_*) and
+//     result-cache (spilly_cache_*) counters, and per-device NVMe-array
+//     counters (bytes, request counts, spill area, simulated queue backlog).
 //   - /queries — JSON snapshot of in-flight queries with live progress
 //     counters and, under Config.Profile, their operator spans so far.
 //   - /debug/pprof/ — the standard Go profiling endpoints.
@@ -63,6 +64,37 @@ func (e *Engine) Handler() http.Handler {
 				Leases:      e.spillArr.Leases(),
 				LiveExtents: e.spillArr.LiveExtents(),
 				LiveBytes:   e.spillArr.LeaseLiveBytes(),
+			}
+		},
+		BufCache: func() obsrv.BufCacheStats {
+			bc := e.BufferCacheStats()
+			return obsrv.BufCacheStats{
+				Hits:   bc.Hits,
+				Misses: bc.Misses,
+				Used:   bc.Used,
+				Blocks: bc.Blocks,
+			}
+		},
+		ResultCache: func() obsrv.ResultCacheStats {
+			rc := e.ResultCacheStats()
+			return obsrv.ResultCacheStats{
+				HotEntries:    int64(rc.HotEntries),
+				HotBytes:      rc.HotBytes,
+				DiskEntries:   int64(rc.DiskEntries),
+				DiskBytes:     rc.DiskBytes,
+				ReservedBytes: rc.Reserved,
+				Hits:          rc.Hits,
+				HitsMemory:    rc.HitsMemory,
+				HitsNVMe:      rc.HitsNVMe,
+				Misses:        rc.Misses,
+				Puts:          rc.Puts,
+				Rejects:       rc.Rejects,
+				Demotions:     rc.Demotions,
+				Restores:      rc.Restores,
+				RestoreBytes:  rc.RestoreBytes,
+				Drops:         rc.Drops,
+				Invalidated:   rc.Invalidated,
+				Shrinks:       rc.Shrinks,
 			}
 		},
 	}

@@ -21,11 +21,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	rescache "github.com/spilly-db/spilly/internal/cache"
 	"github.com/spilly-db/spilly/internal/codec"
 	"github.com/spilly-db/spilly/internal/colstore"
 	"github.com/spilly-db/spilly/internal/core"
@@ -36,6 +38,7 @@ import (
 	"github.com/spilly-db/spilly/internal/pages"
 	"github.com/spilly-db/spilly/internal/tpch"
 	"github.com/spilly-db/spilly/internal/trace"
+	"github.com/spilly-db/spilly/internal/xhash"
 )
 
 // Mode selects the materialization strategy (see the paper's §4.1/§4.2).
@@ -108,6 +111,14 @@ type Config struct {
 	// CacheBytes sizes the table buffer cache (0 = no cache; scans are
 	// always cold).
 	CacheBytes int64
+	// ResultCacheBytes sizes the hot tier of the query-result reuse cache
+	// (0 = no result caching). Cached results are keyed by plan
+	// fingerprint and catalog generation; hits bypass execution and the
+	// admission queue entirely. Hot-tier memory is rented from the
+	// admission governor's idle headroom and surrendered under pressure;
+	// evicted entries demote to the spill array instead of dropping. See
+	// internal/cache and DESIGN.md §14.
+	ResultCacheBytes int64
 	// PageSize, Partitions, PartitionAt tune Umami (defaults 64 KiB, 64,
 	// 0.5).
 	PageSize    int
@@ -171,6 +182,14 @@ type Engine struct {
 	cache    *colstore.Cache
 	store    *colstore.Store
 	faults   *metrics.FaultTracker
+
+	// results is the query-result reuse cache (nil unless
+	// Config.ResultCacheBytes > 0); catalogGen is the catalog generation
+	// its keys embed. RegisterTable bumps the generation *before*
+	// swapping the table in, so a lookup can never pair an old cached
+	// result with a new catalog.
+	results    *rescache.Cache
+	catalogGen atomic.Uint64
 
 	// Catalog. tmu guards tables and sf: registration and queries may run
 	// concurrently (readers take the read lock, loaders the write lock).
@@ -268,14 +287,30 @@ func Open(cfg Config) (*Engine, error) {
 	if c.MemoryBudget > 0 {
 		e.gov = pages.NewGovernor(c.MemoryBudget, c.MemoryFloor)
 	}
+	if c.ResultCacheBytes > 0 {
+		e.results = rescache.New(rescache.Config{
+			Capacity: c.ResultCacheBytes,
+			Array:    e.spillArr,
+			Gov:      e.gov,
+		})
+	}
 	return e, nil
 }
 
-// RegisterTable adds an in-memory table to the catalog.
+// RegisterTable adds an in-memory table to the catalog. Registration
+// bumps the catalog generation, invalidating every cached query result:
+// the bump happens before the table swap so a concurrent cached Run
+// either sees the old catalog with the old generation (a consistent
+// pre-registration view) or misses and recomputes — never a new table
+// paired with an old result.
 func (e *Engine) RegisterTable(t *colstore.MemTable) {
+	gen := e.catalogGen.Add(1)
 	e.tmu.Lock()
 	e.tables[t.Name()] = t
 	e.tmu.Unlock()
+	if e.results != nil {
+		e.results.RemoveStale(gen)
+	}
 }
 
 // StoreOnArray moves a registered in-memory table onto the simulated NVMe
@@ -367,11 +402,46 @@ func (e *Engine) TPCH() *tpch.DB {
 	return db
 }
 
-// ClearCaches empties the buffer cache (cold runs, §6.1).
+// ClearCaches empties the table buffer cache and the query-result reuse
+// cache — both tiers of the latter, including demoted entries on the
+// spill array (their leases are freed and any governor reservation
+// returned). After ClearCaches the next run of any query is a true cold
+// run: scans hit the table array and the plan executes end to end (§6.1).
 func (e *Engine) ClearCaches() {
 	if e.cache != nil {
 		e.cache.Clear()
 	}
+	if e.results != nil {
+		e.results.Clear()
+	}
+}
+
+// ResultCacheStats returns a snapshot of the query-result reuse cache
+// (zero when Config.ResultCacheBytes is 0).
+func (e *Engine) ResultCacheStats() rescache.Stats {
+	if e.results == nil {
+		return rescache.Stats{}
+	}
+	return e.results.Stats()
+}
+
+// BufferCacheStats returns a snapshot of the table buffer cache (zero
+// when Config.CacheBytes is 0).
+func (e *Engine) BufferCacheStats() colstore.CacheStats {
+	if e.cache == nil {
+		return colstore.CacheStats{}
+	}
+	return e.cache.Stats()
+}
+
+// DemoteResultCache forces every hot result-cache entry onto the spill
+// array and returns how many entries were demoted (bench/test hook for
+// measuring warm-NVMe hits).
+func (e *Engine) DemoteResultCache() int {
+	if e.results == nil {
+		return 0
+	}
+	return e.results.DemoteAll()
 }
 
 // SpillArray exposes the spill target array (harness instrumentation).
@@ -514,6 +584,12 @@ type Stats struct {
 	// of this query's execution, making the per-query AllocObjects /
 	// AllocBytes / GCPause / NumGC attributions approximate.
 	AllocApprox bool
+	// ResultCacheHit is true when the result was served from the reuse
+	// cache without executing the plan (Duration is then the lookup +
+	// restore time); ResultCacheTier names the serving tier ("memory" or
+	// "nvme").
+	ResultCacheHit  bool
+	ResultCacheTier string
 	// Schemes counts spilled pages per compression scheme name (§6.8).
 	Schemes map[string]int64
 }
@@ -560,7 +636,7 @@ func (e *Engine) RunContext(goCtx context.Context, node exec.Node) (*Result, err
 func (e *Engine) RunTPCHContext(goCtx context.Context, q int) (*Result, error) {
 	ctx := e.NewCtx()
 	ctx.Context = goCtx
-	return e.runAdmitted(ctx, fmt.Sprintf("tpch-q%d", q), func() (exec.Node, error) {
+	return e.runAdmitted(ctx, fmt.Sprintf("tpch-q%d", q), e.tpchFingerprint(q), func() (exec.Node, error) {
 		return tpch.BuildQuery(ctx, e.TPCH(), q)
 	})
 }
@@ -611,9 +687,38 @@ func (e *Engine) RunCtx(ctx *exec.Ctx, node exec.Node) (*Result, error) {
 	return e.runLabeled(ctx, node, "query")
 }
 
-// runLabeled runs an already-built plan through the admission path.
+// runLabeled runs an already-built plan through the admission path. The
+// plan's structural fingerprint keys the result cache; plans containing
+// hand-built expressions (or node types the fingerprinter doesn't know)
+// fingerprint to 0 and are never cached. Scans hash the table snapshot's
+// process-unique ID, so a plan built over an old snapshot of a
+// re-registered table can never share a cache entry with plans over the
+// new one — mutating a MemTable in place after caching a plan over it is
+// the one way to serve stale bits, and registered tables are append-only
+// by convention.
 func (e *Engine) runLabeled(ctx *exec.Ctx, node exec.Node, label string) (*Result, error) {
-	return e.runAdmitted(ctx, label, func() (exec.Node, error) { return node, nil })
+	planFP, _ := exec.PlanFingerprint(node)
+	return e.runAdmitted(ctx, label, planFP, func() (exec.Node, error) { return node, nil })
+}
+
+// tpchFingerprint is the result-cache key for a TPC-H query. TPC-H plans
+// are built *after* admission (Q11/Q15/Q22 run scalar subqueries at
+// build time), so the pre-admission cache lookup can't hash the plan
+// tree; (query number, scale factor) determines the plan because
+// BuildQuery is deterministic given the catalog, and the catalog
+// generation in the key covers the catalog itself.
+func (e *Engine) tpchFingerprint(q int) uint64 {
+	e.tmu.RLock()
+	sf := e.sf
+	e.tmu.RUnlock()
+	const seed = 0x5ca1ab1e
+	h := xhash.String("tpch", seed)
+	h = xhash.Combine(h, xhash.U64(uint64(int64(q)), seed))
+	h = xhash.Combine(h, xhash.U64(math.Float64bits(sf), seed))
+	if h == 0 {
+		h = 1
+	}
+	return h
 }
 
 // admitCtx waits for a memory grant when the engine is governed, resizing
@@ -639,14 +744,54 @@ func (e *Engine) admitCtx(ctx *exec.Ctx) (*pages.Grant, time.Duration, error) {
 	return grant, wait, nil
 }
 
-// runAdmitted is the shared execution path: it waits for a memory grant,
-// registers the query with the observability endpoint under label, builds
-// and runs the plan, and folds the execution counters into engine-wide
-// totals. Plan construction happens after admission because some TPC-H
-// plans (Q11/Q15/Q22) execute scalar subqueries at build time — that work
-// must run under the query's grant and spill lease too.
-func (e *Engine) runAdmitted(ctx *exec.Ctx, label string, build func() (exec.Node, error)) (*Result, error) {
+// serveCached answers a query from the result cache when possible,
+// bypassing admission entirely — a warm hit neither queues for a memory
+// grant nor touches the spill lease the context pre-created (the lease is
+// freed by ctx.Close). Returns nil on a miss (or unreadable demoted
+// entry, which the cache drops so the recompute can re-populate it).
+func (e *Engine) serveCached(ctx *exec.Ctx, key rescache.Key) *Result {
+	start := time.Now()
+	b, tier, _ := e.results.Get(key)
+	if b == nil {
+		return nil
+	}
+	ctx.Close() // frees the query's unused spill lease
+	st := Stats{
+		Duration:        time.Since(start),
+		ResultCacheHit:  true,
+		ResultCacheTier: tier.String(),
+	}
+	res := &Result{Batch: b, Stats: st}
+	if ctx.Trace != nil {
+		res.profile = ctx.Trace.Profile(st.Duration)
+		res.profile.CacheHit = true
+		res.profile.CacheTier = st.ResultCacheTier
+	}
+	e.faults.QueryCompleted()
+	return res
+}
+
+// runAdmitted is the shared execution path: it consults the result cache,
+// then waits for a memory grant, registers the query with the
+// observability endpoint under label, builds and runs the plan, and folds
+// the execution counters into engine-wide totals. Plan construction
+// happens after admission because some TPC-H plans (Q11/Q15/Q22) execute
+// scalar subqueries at build time — that work must run under the query's
+// grant and spill lease too. planFP is the plan's canonical fingerprint
+// (0 = uncacheable).
+func (e *Engine) runAdmitted(ctx *exec.Ctx, label string, planFP uint64, build func() (exec.Node, error)) (*Result, error) {
 	e.faults.QueryStarted()
+	var key rescache.Key
+	cacheable := e.results != nil && planFP != 0
+	if cacheable {
+		// The generation is captured before the lookup and re-checked at
+		// Put: a RegisterTable racing this query bumps it first, so a
+		// result computed against a mid-flight catalog can't be stored.
+		key = rescache.Key{Plan: planFP, Gen: e.catalogGen.Load()}
+		if res := e.serveCached(ctx, key); res != nil {
+			return res, nil
+		}
+	}
 	grant, admitWait, err := e.admitCtx(ctx)
 	if err != nil {
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
@@ -743,6 +888,19 @@ func (e *Engine) runAdmitted(ctx *exec.Ctx, label string, build func() (exec.Nod
 			st.Schemes[name] += n
 		}
 	}
+	if cacheable && e.catalogGen.Load() == key.Gen {
+		// Return the query's memory before offering the result: the cache
+		// rents governor headroom, and a lone query's grant is the whole
+		// budget — renting against it would always fail and demote every
+		// entry straight to NVMe. Close and Release are idempotent, so the
+		// deferred teardown above stays a no-op backstop.
+		ctx.Close()
+		grant.Release()
+		// Cost-based admission inside Put decides whether this result is
+		// worth keeping; the generation re-check above keeps results that
+		// straddled a catalog change out of the cache entirely.
+		e.results.Put(key, out, dur)
+	}
 	e.faults.QueryCompleted()
 	res := &Result{Batch: out, Stats: st}
 	if ctx.Trace != nil {
@@ -768,7 +926,7 @@ func (e *Engine) JoinMicroPlan() exec.Node { return tpch.JoinMicro(e.TPCH()) }
 // RunTPCH builds and runs TPC-H query q (1–22).
 func (e *Engine) RunTPCH(q int) (*Result, error) {
 	ctx := e.NewCtx()
-	return e.runAdmitted(ctx, fmt.Sprintf("tpch-q%d", q), func() (exec.Node, error) {
+	return e.runAdmitted(ctx, fmt.Sprintf("tpch-q%d", q), e.tpchFingerprint(q), func() (exec.Node, error) {
 		return tpch.BuildQuery(ctx, e.TPCH(), q)
 	})
 }
