@@ -143,8 +143,13 @@ func main() {
 	}
 	if *cacheB > 0 {
 		bc := eng.BufferCacheStats()
-		fmt.Printf("buffer cache: %d hits, %d misses, %.1f MB in %d blocks\n",
+		fmt.Printf("buffer cache: %d hits, %d misses, %.1f MB in %d blocks",
 			bc.Hits, bc.Misses, float64(bc.Used)/(1<<20), bc.Blocks)
+		if bc.Oversized > 0 {
+			// Blocks larger than cachebytes/16 cannot live in any shard.
+			fmt.Printf(" (%d blocks too large to cache)", bc.Oversized)
+		}
+		fmt.Println()
 	}
 	if *rescache > 0 {
 		rc := eng.ResultCacheStats()

@@ -131,6 +131,16 @@ func (e *entry) score() float64 {
 // Cache is the result-reuse cache. A single mutex guards the maps, the
 // accounting, and the (deliberately shared, not-thread-safe) compression
 // regulator; hit/miss counters are atomics so Stats stays cheap.
+//
+// Known tradeoff: demotion and restore perform their chunk IO while
+// holding c.mu, so a slow restore briefly serializes concurrent
+// Get/Put/Shrink calls behind it. Results are single batches whose
+// chunked IO is short on the simulated array (hundreds of microseconds),
+// and accepting the stall keeps the tier transition atomic — no
+// entry-level state machine for "demoting"/"restoring" states. If results
+// ever grow large enough for this to show up in admission-pressure
+// latency, stage the frames under the lock, do the IO unlocked, and
+// reacquire to commit.
 type Cache struct {
 	cfg Config
 
@@ -329,7 +339,12 @@ func (c *Cache) lowestScoreLocked(hot bool) *entry {
 func (c *Cache) evictHotLocked(e *entry) {
 	size := e.size
 	if err := c.demoteLocked(e); err != nil {
+		// Demotion failed (no array, demoted tier full, or a write error):
+		// drop the entry instead. dropLocked sees e still in the hot tier
+		// (e.batch != nil) and adjusts hotBytes and the reservation itself,
+		// so the success-path accounting below must not run again.
 		c.dropLocked(e)
+		return
 	}
 	c.hotBytes -= size
 	c.returnLocked(size)

@@ -182,6 +182,73 @@ func TestCacheGovernorIntegration(t *testing.T) {
 	}
 }
 
+// TestCacheMemoryOnlyEvictionUnderGovernor evicts from a cache with no
+// spill array: every hot-tier eviction takes the drop path. hotBytes and
+// the governor reservation must be adjusted exactly once per drop
+// (regression: evictHotLocked repeated dropLocked's accounting, driving
+// both negative and panicking the governor's ReleaseCache).
+func TestCacheMemoryOnlyEvictionUnderGovernor(t *testing.T) {
+	gov := pages.NewGovernor(1<<20, 1<<16)
+	probe := testBatch(1000, "memonly")
+	size := batchFootprint(probe)
+	c := New(Config{Capacity: size + size/2, Gov: gov})
+	for i := 0; i < 3; i++ {
+		if !c.Put(Key{Plan: uint64(i + 1), Gen: 1}, testBatch(1000, "memonly"), time.Second) {
+			t.Fatalf("put %d refused", i)
+		}
+	}
+	s := c.Stats()
+	if s.HotEntries != 1 || s.HotBytes != size || s.Drops != 2 {
+		t.Fatalf("after drop-evictions: %+v", s)
+	}
+	if got := gov.CacheReserved(); got != size {
+		t.Fatalf("CacheReserved = %d, want %d", got, size)
+	}
+	c.Clear()
+	if got := gov.CacheReserved(); got != 0 {
+		t.Fatalf("CacheReserved = %d after Clear, want 0", got)
+	}
+}
+
+// TestCacheEvictionWithFullDemotedTier evicts a hot entry when the
+// demoted tier is full and the hot victim is the weakest entry: demotion
+// refuses, so the victim drops. The drop must not repeat the eviction
+// accounting (same regression as above, on the array-configured path).
+func TestCacheEvictionWithFullDemotedTier(t *testing.T) {
+	gov := pages.NewGovernor(1<<20, 1<<16)
+	probe := testBatch(1000, "full")
+	size := batchFootprint(probe)
+	c := New(Config{Capacity: size + size/2, DiskFactor: 1, Array: testArray(), Gov: gov})
+	keep := Key{Plan: 1, Gen: 1}
+	// A high-cost entry fills the demoted tier (disk cap is 1.5×size).
+	if !c.Put(keep, testBatch(1000, "full"), 10*time.Second) {
+		t.Fatal("put refused")
+	}
+	if n := c.DemoteAll(); n != 1 {
+		t.Fatalf("demoted %d entries, want 1", n)
+	}
+	// A lower-cost hot entry cannot displace it: eviction must drop it.
+	if !c.Put(Key{Plan: 2, Gen: 1}, testBatch(1000, "full"), time.Second) {
+		t.Fatal("put refused")
+	}
+	c.DemoteAll()
+	s := c.Stats()
+	if s.HotEntries != 0 || s.HotBytes != 0 || s.DiskEntries != 1 || s.Drops != 1 {
+		t.Fatalf("after refused demotion: %+v", s)
+	}
+	if got := gov.CacheReserved(); got != 0 {
+		t.Fatalf("CacheReserved = %d, want 0", got)
+	}
+	// The surviving demoted entry still restores.
+	if _, tier, err := c.Get(keep); err != nil || tier != TierNVMe {
+		t.Fatalf("tier=%v err=%v, want nvme", tier, err)
+	}
+	c.Clear()
+	if got := gov.CacheReserved(); got != 0 {
+		t.Fatalf("CacheReserved = %d after Clear, want 0", got)
+	}
+}
+
 func TestCacheInvalidation(t *testing.T) {
 	arr := testArray()
 	c := New(Config{Capacity: 1 << 20, Array: arr})

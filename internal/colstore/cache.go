@@ -24,8 +24,13 @@ const cacheShards = 16
 type Cache struct {
 	shards [cacheShards]cacheShard
 	// capacity is split evenly across shards so total fill stays bounded
-	// without cross-shard accounting on the hot path.
-	perShard int64
+	// without cross-shard accounting on the hot path. A side effect of
+	// striping: the largest cacheable block shrank from capacity to
+	// capacity/cacheShards (a block cannot span shards). Oversized counts
+	// the Puts refused for exceeding that bound, so the shrinkage is
+	// visible in CacheStats rather than silent.
+	perShard  int64
+	oversized atomic.Int64
 }
 
 // cacheShard is one stripe: a capacity-bounded map under its own mutex.
@@ -42,7 +47,10 @@ type cacheShard struct {
 // use of the Loc's hash.
 const cacheShardSeed = 0xb10cca5e
 
-// NewCache returns a cache holding up to capacity bytes.
+// NewCache returns a cache holding up to capacity bytes, split evenly
+// across 16 mutex-striped shards. Because a block lives entirely in one
+// shard, the largest cacheable block is capacity/16; larger blocks are
+// refused by Put and counted in CacheStats.Oversized.
 func NewCache(capacity int64) *Cache {
 	c := &Cache{perShard: capacity / cacheShards}
 	for i := range c.shards {
@@ -70,10 +78,12 @@ func (c *Cache) Get(loc nvmesim.Loc) ([]byte, bool) {
 }
 
 // Put inserts a block, evicting random victims from the block's shard if
-// needed. The cache keeps a reference to buf; callers must not modify it
-// afterwards.
+// needed. Blocks larger than the per-shard capacity (total capacity / 16)
+// are refused and counted in CacheStats.Oversized. The cache keeps a
+// reference to buf; callers must not modify it afterwards.
 func (c *Cache) Put(loc nvmesim.Loc, buf []byte) {
 	if int64(len(buf)) > c.perShard {
+		c.oversized.Add(1)
 		return
 	}
 	s := c.shard(loc)
@@ -111,15 +121,16 @@ func (c *Cache) Clear() {
 
 // CacheStats is a snapshot of the buffer cache's counters and fill.
 type CacheStats struct {
-	Hits   int64
-	Misses int64
-	Used   int64 // bytes currently cached
-	Blocks int64 // blocks currently cached
+	Hits      int64
+	Misses    int64
+	Used      int64 // bytes currently cached
+	Blocks    int64 // blocks currently cached
+	Oversized int64 // Puts refused: block larger than per-shard capacity
 }
 
 // Stats returns hit/miss counters and current fill, summed over shards.
 func (c *Cache) Stats() CacheStats {
-	var st CacheStats
+	st := CacheStats{Oversized: c.oversized.Load()}
 	for i := range c.shards {
 		s := &c.shards[i]
 		st.Hits += s.hits.Load()

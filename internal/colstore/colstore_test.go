@@ -226,10 +226,14 @@ func TestCacheEviction(t *testing.T) {
 	if used := c.Stats().Used; used > 16<<10 {
 		t.Fatalf("cache over capacity: %d", used)
 	}
-	// A block larger than a shard's capacity is simply not cached.
+	// A block larger than a shard's capacity is not cached, and the
+	// refusal is counted so the per-shard bound is observable.
 	c.Put(nvmesim.MakeLoc(1, 0, 512), make([]byte, 2000))
 	if _, ok := c.Get(nvmesim.MakeLoc(1, 0, 512)); ok {
 		t.Fatal("oversized block was cached")
+	}
+	if n := c.Stats().Oversized; n != 1 {
+		t.Fatalf("Oversized = %d, want 1", n)
 	}
 }
 

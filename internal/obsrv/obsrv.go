@@ -78,12 +78,14 @@ type LeaseStats struct {
 }
 
 // BufCacheStats is a snapshot of the table buffer cache: block lookup
-// counters and current fill.
+// counters, current fill, and inserts refused for exceeding the
+// per-shard capacity.
 type BufCacheStats struct {
-	Hits   int64
-	Misses int64
-	Used   int64
-	Blocks int64
+	Hits      int64
+	Misses    int64
+	Used      int64
+	Blocks    int64
+	Oversized int64
 }
 
 // ResultCacheStats is a snapshot of the query-result reuse cache: residency
@@ -263,6 +265,9 @@ func (s *Server) serveMetrics(w http.ResponseWriter, _ *http.Request) {
 		writeCounter(&b, "spilly_bufcache_blocks", "gauge",
 			"Blocks currently held in the buffer cache.",
 			sample{value: float64(bc.Blocks)})
+		writeCounter(&b, "spilly_bufcache_oversized_total", "counter",
+			"Block inserts refused for exceeding the per-shard capacity (cache capacity / 16).",
+			sample{value: float64(bc.Oversized)})
 	}
 	if s.ResultCache != nil {
 		rc := s.ResultCache()

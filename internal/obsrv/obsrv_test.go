@@ -42,7 +42,7 @@ func testServer(t *testing.T) *Server {
 			return []QueryStatus{{ID: 7, Label: "tpch-q9", ScannedRows: 123}}
 		},
 		BufCache: func() BufCacheStats {
-			return BufCacheStats{Hits: 10, Misses: 4, Used: 8192, Blocks: 2}
+			return BufCacheStats{Hits: 10, Misses: 4, Used: 8192, Blocks: 2, Oversized: 1}
 		},
 		ResultCache: func() ResultCacheStats {
 			return ResultCacheStats{
@@ -78,6 +78,7 @@ func TestMetricsEndpoint(t *testing.T) {
 		"spilly_bufcache_misses_total 4",
 		"spilly_bufcache_used_bytes 8192",
 		"spilly_bufcache_blocks 2",
+		"spilly_bufcache_oversized_total 1",
 		`spilly_cache_entries{tier="memory"} 3`,
 		`spilly_cache_entries{tier="nvme"} 1`,
 		`spilly_cache_hits_total{tier="memory"} 5`,

@@ -5,7 +5,9 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
+	rescache "github.com/spilly-db/spilly/internal/cache"
 	"github.com/spilly-db/spilly/internal/chaos"
 	"github.com/spilly-db/spilly/internal/tpch"
 )
@@ -279,5 +281,47 @@ func TestCatalogInvalidationRace(t *testing.T) {
 	eng.ClearCaches()
 	if n := eng.SpillArray().Leases(); n != 0 {
 		t.Errorf("%d leases live after drain", n)
+	}
+}
+
+// TestCatalogRaceWindowInvalidated deterministically pins the fix
+// for a TOCTOU window on the TPC-H fingerprint path (keyed by (q, sf)
+// only, with no per-snapshot scan IDs): a query can load the catalog
+// generation after RegisterTable's bump yet read the table map before the
+// swap, computing over the old catalog under the new generation — and
+// Put's generation re-check cannot catch it, because the generation never
+// changes again. RegisterTable therefore brackets the swap with a second
+// bump, making the post-swap generation the RemoveStale cutoff. This test
+// emulates the racing query's cache write at the in-window generation and
+// asserts a completed registration makes it unreachable.
+func TestCatalogRaceWindowInvalidated(t *testing.T) {
+	eng, err := Open(Config{Workers: 2, ResultCacheBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	registerVerTable(eng, 1)
+	g0 := eng.catalogGen.Load()
+
+	// The racing query observes g0+1 (RegisterTable's pre-swap bump) but
+	// computes over the version-1 catalog, and its Put lands while the
+	// generation still reads g0+1 — the re-check passes.
+	sch := NewSchema(ColumnDef{Name: "s", Type: Float64})
+	stale := NewBatch(sch, 1)
+	stale.Cols[0].F = append(stale.Cols[0].F, 1.0)
+	stale.SetLen(1)
+	raceKey := rescache.Key{Plan: 42, Gen: g0 + 1}
+	if !eng.results.Put(raceKey, stale, time.Minute) {
+		t.Fatal("emulated racing put refused")
+	}
+
+	registerVerTable(eng, 2)
+	if cur := eng.catalogGen.Load(); cur < g0+2 {
+		t.Fatalf("generation %d after registration, want >= %d: the table swap must be bracketed by a second bump", cur, g0+2)
+	}
+	// The in-window entry is below the post-swap cutoff: RemoveStale must
+	// have dropped it, so no later query — at any generation — can be
+	// served the pre-registration result.
+	if _, tier, _ := eng.results.Get(raceKey); tier != rescache.TierNone {
+		t.Fatalf("result cached inside the registration window survived invalidation (tier %v)", tier)
 	}
 }

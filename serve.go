@@ -69,10 +69,11 @@ func (e *Engine) Handler() http.Handler {
 		BufCache: func() obsrv.BufCacheStats {
 			bc := e.BufferCacheStats()
 			return obsrv.BufCacheStats{
-				Hits:   bc.Hits,
-				Misses: bc.Misses,
-				Used:   bc.Used,
-				Blocks: bc.Blocks,
+				Hits:      bc.Hits,
+				Misses:    bc.Misses,
+				Used:      bc.Used,
+				Blocks:    bc.Blocks,
+				Oversized: bc.Oversized,
 			}
 		},
 		ResultCache: func() obsrv.ResultCacheStats {

@@ -185,9 +185,10 @@ type Engine struct {
 
 	// results is the query-result reuse cache (nil unless
 	// Config.ResultCacheBytes > 0); catalogGen is the catalog generation
-	// its keys embed. RegisterTable bumps the generation *before*
-	// swapping the table in, so a lookup can never pair an old cached
-	// result with a new catalog.
+	// its keys embed. RegisterTable brackets the table swap with two
+	// generation bumps (see its comment), so a lookup can never pair a
+	// cached result with a catalog view from the other side of a
+	// registration.
 	results    *rescache.Cache
 	catalogGen atomic.Uint64
 
@@ -298,16 +299,29 @@ func Open(cfg Config) (*Engine, error) {
 }
 
 // RegisterTable adds an in-memory table to the catalog. Registration
-// bumps the catalog generation, invalidating every cached query result:
-// the bump happens before the table swap so a concurrent cached Run
-// either sees the old catalog with the old generation (a consistent
-// pre-registration view) or misses and recomputes — never a new table
-// paired with an old result.
+// bumps the catalog generation twice — once before and once after the
+// table swap — invalidating every cached query result. The bracket makes
+// the race-free invariant hold in both directions for a concurrent
+// cached Run, whose generation load and catalog read are separate
+// atomic/lock sections:
+//
+//   - A query that loads the pre-swap generation but reads the new
+//     catalog fails Put's generation re-check (the post-swap bump
+//     changed it), so a new table is never paired with an old key.
+//   - A query that loads the post-first-bump generation but reads the
+//     old catalog either Puts before the post-swap bump — and is then
+//     dropped by RemoveStale, whose cutoff is the post-swap generation —
+//     or Puts after it and fails the re-check. Either way a
+//     pre-registration result can never be served under the
+//     post-registration generation. (Observing the post-swap generation
+//     implies the swap itself is visible: the second Add is sequenced
+//     after tmu.Unlock.)
 func (e *Engine) RegisterTable(t *colstore.MemTable) {
-	gen := e.catalogGen.Add(1)
+	e.catalogGen.Add(1)
 	e.tmu.Lock()
 	e.tables[t.Name()] = t
 	e.tmu.Unlock()
+	gen := e.catalogGen.Add(1)
 	if e.results != nil {
 		e.results.RemoveStale(gen)
 	}
