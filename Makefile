@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all tier1 tier2 race stress chaos bench-vectorize bench-alloc bench-overlap bench-parity bench-rescache profile-smoke clean
+.PHONY: all tier1 tier2 race stress chaos bench-vectorize bench-alloc bench-overlap bench-parity bench-rescache bench-iosched profile-smoke clean
 
 all: tier1
 
@@ -13,8 +13,9 @@ tier1:
 # Tier-2 gate: the slow suites tier1 deliberately leaves out — the chaos
 # harness (seeded fault schedules under the race detector, including the
 # silent-corruption and device-loss scenarios) and the committed performance
-# gates (allocation, phase-2 overlap, spill-integrity tax, result reuse).
-tier2: chaos bench-alloc bench-overlap bench-parity bench-rescache
+# gates (allocation, phase-2 overlap, spill-integrity tax, result reuse,
+# shared I/O scheduler).
+tier2: chaos bench-alloc bench-overlap bench-parity bench-rescache bench-iosched
 
 # Race-detector pass over the concurrency-heavy packages (morsel workers,
 # partition spilling, per-worker stats accumulators, span buffers, fault
@@ -25,14 +26,16 @@ race:
 # Multi-query stress gate: concurrent TPC-H mixes through the admission
 # governor and per-query spill leases, under the race detector — overlap
 # regression, 8-query stress, admission cancel/timeout, catalog races,
-# governor unit races, and concurrent queries under injected faults. Each
+# governor unit races, concurrent queries under injected faults, and the
+# mixed-class I/O-scheduler chaos scenario (spill device death plus latency
+# spikes on both arrays under an 8-way scan/spill query mix). Each
 # run re-verifies that concurrent results stay bit-identical to serial
 # runs and that the spill array and governor drain to zero.
 stress:
 	$(GO) test -race -count=1 -timeout 300s \
 		-run 'TestOverlapping|TestConcurrent|TestAdmission|TestCatalog' .
 	$(GO) test -race -count=1 -timeout 300s -run 'TestGovernor' ./internal/pages/
-	$(GO) test -race -count=1 -timeout 300s -run 'TestConcurrentQueriesUnderTransientFaults|TestLease' \
+	$(GO) test -race -count=1 -timeout 300s -run 'TestConcurrentQueriesUnderTransientFaults|TestMixedClassLoadUnderDeviceChaos|TestLease' \
 		./internal/chaos/ ./internal/nvmesim/
 
 # Observability smoke test: a spilling TPC-H Q9 with the per-operator
@@ -77,6 +80,16 @@ bench-overlap:
 bench-rescache:
 	$(GO) run ./cmd/spillybench -exp rescache
 	$(GO) run ./cmd/rescachecmp -baseline BENCH_rescache.json
+
+# Shared I/O scheduler gate: the 8-way mixed-class concurrency report
+# (private rings vs the engine-wide prioritized scheduler), then the
+# demand-read latency and p99 query latency comparison against the
+# committed baseline (BENCH_iosched.json; fails on >25% shared-mode
+# regression, a cross-mode result checksum mismatch, or a baseline that no
+# longer shows the scheduler ahead of private rings).
+bench-iosched:
+	$(GO) run ./cmd/spillybench -exp iosched
+	$(GO) run ./cmd/ioschedcmp -baseline BENCH_iosched.json
 
 # Spill-integrity gate: the parity-off-vs-on report on the spill-heavy
 # queries, then the self-relative wall-time comparison (no committed

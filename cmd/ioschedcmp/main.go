@@ -1,0 +1,152 @@
+// Command ioschedcmp guards the shared I/O scheduler's concurrency win: it
+// re-runs the bench package's 8-way mixed workload in both scheduler modes
+// and compares the shared mode's demand-read latency and p99 query latency
+// against the committed baseline in BENCH_iosched.json, failing when either
+// regresses by more than the threshold. It also fails when the committed
+// baseline itself no longer shows the scheduler ahead of private rings on
+// both gated metrics — regenerating the baseline cannot hide a lost win —
+// and when the two modes disagree on a result checksum. Wall-clock time and
+// the worker-side stall sums are reported but never gate (in a saturated
+// closed loop scheduling order mostly relocates blocked time; the per-event
+// demand-read latency is the stable signal).
+//
+// Usage:
+//
+//	ioschedcmp -baseline BENCH_iosched.json          # compare, exit 1 on regression
+//	ioschedcmp -baseline BENCH_iosched.json -quick   # smaller scale factor
+//	ioschedcmp -print                                # print fresh measurements as JSON
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/spilly-db/spilly/internal/bench"
+)
+
+// baselineFile mirrors the BENCH_iosched.json layout: one cell per
+// scheduler mode, keyed "private" and "shared".
+type baselineFile struct {
+	After map[string]baselineCell `json:"after"`
+}
+
+type baselineCell struct {
+	WallNs          float64 `json:"wall_ns"`
+	DemandReadLatNs float64 `json:"demand_read_lat_ns"`
+	SpillStallNs    float64 `json:"spill_stall_ns"`
+	ScanStallNs     float64 `json:"scan_stall_ns"`
+	P99QueryNs      float64 `json:"p99_query_ns"`
+	MeanQueryNs     float64 `json:"mean_query_ns"`
+	Checksum        string  `json:"checksum"`
+}
+
+func main() {
+	var (
+		baseline  = flag.String("baseline", "", "baseline JSON file (BENCH_iosched.json)")
+		quick     = flag.Bool("quick", false, "measure at the smaller scale factor")
+		threshold = flag.Float64("threshold", 1.25, "fail when a gated shared-mode metric exceeds baseline by this factor")
+		printJSON = flag.Bool("print", false, "print fresh measurements as JSON and exit")
+	)
+	flag.Parse()
+
+	ms, err := bench.MeasureIOSched(bench.Options{Quick: *quick, Workers: 2})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ioschedcmp: measurement failed: %v\n", err)
+		os.Exit(1)
+	}
+
+	// Both scheduler modes must compute identical results, baseline or not:
+	// the scheduler reorders I/O, never rows.
+	byMode := map[string]bench.IOSchedMeasurement{}
+	for _, m := range ms {
+		byMode[m.Mode] = m
+	}
+	pr, sh := byMode["private"], byMode["shared"]
+	if pr.Checksum != sh.Checksum {
+		fmt.Fprintf(os.Stderr, "ioschedcmp: result checksum mismatch across scheduler modes: private %s vs shared %s\n",
+			pr.Checksum, sh.Checksum)
+		os.Exit(1)
+	}
+
+	if *printJSON || *baseline == "" {
+		cells := map[string]baselineCell{}
+		for _, m := range ms {
+			cells[m.Key()] = baselineCell{
+				WallNs:          m.WallNs,
+				DemandReadLatNs: m.DemandReadLatNs,
+				SpillStallNs:    m.SpillStallNs,
+				ScanStallNs:     m.ScanStallNs,
+				P99QueryNs:      m.P99QueryNs,
+				MeanQueryNs:     m.MeanQueryNs,
+				Checksum:        m.Checksum,
+			}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(map[string]any{"after": cells})
+		return
+	}
+
+	raw, err := os.ReadFile(*baseline)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ioschedcmp: %v\n", err)
+		os.Exit(1)
+	}
+	var base baselineFile
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "ioschedcmp: parsing %s: %v\n", *baseline, err)
+		os.Exit(1)
+	}
+	bpr, ok1 := base.After["private"]
+	bsh, ok2 := base.After["shared"]
+	if !ok1 || !ok2 {
+		fmt.Fprintf(os.Stderr, "ioschedcmp: %s lacks private/shared cells\n", *baseline)
+		os.Exit(1)
+	}
+
+	// The committed baseline is itself part of the contract: it must show
+	// the shared scheduler ahead of private rings on both gated metrics.
+	failed := false
+	if bsh.DemandReadLatNs >= bpr.DemandReadLatNs {
+		fmt.Fprintf(os.Stderr, "ioschedcmp: baseline shows no demand-read latency win (shared %.0fns >= private %.0fns)\n",
+			bsh.DemandReadLatNs, bpr.DemandReadLatNs)
+		failed = true
+	}
+	if bsh.P99QueryNs >= bpr.P99QueryNs {
+		fmt.Fprintf(os.Stderr, "ioschedcmp: baseline shows no p99 query latency win (shared %.0fns >= private %.0fns)\n",
+			bsh.P99QueryNs, bpr.P99QueryNs)
+		failed = true
+	}
+
+	// Only the shared mode's cells gate against the baseline: private rings
+	// are the frozen comparison point, not a maintained configuration.
+	gates := []struct {
+		name     string
+		got, ref float64
+	}{
+		{"demand-read lat", sh.DemandReadLatNs, bsh.DemandReadLatNs},
+		{"p99 query", sh.P99QueryNs, bsh.P99QueryNs},
+	}
+	for _, g := range gates {
+		if g.ref <= 0 {
+			fmt.Printf("%-16s got=%-12.0f (no baseline)\n", g.name, g.got)
+			continue
+		}
+		ratio := g.got / g.ref
+		status := "ok"
+		if ratio > *threshold {
+			status = "REGRESSION"
+			failed = true
+		}
+		fmt.Printf("%-16s got=%-12.0f baseline=%-12.0f ratio=%.2f  %s\n",
+			g.name, g.got, g.ref, ratio, status)
+	}
+	fmt.Printf("%-16s shared=%-12.0f private=%-12.0f (reported, not gated)\n", "wall", sh.WallNs, pr.WallNs)
+	if failed {
+		fmt.Fprintf(os.Stderr, "ioschedcmp: shared-mode regression beyond %.0f%% of baseline (or baseline lost the win)\n",
+			(*threshold-1)*100)
+		os.Exit(1)
+	}
+}

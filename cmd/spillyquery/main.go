@@ -40,6 +40,9 @@ func main() {
 		profile  = flag.Bool("profile", false, "print a per-operator execution profile (EXPLAIN ANALYZE)")
 		serve    = flag.String("serve", "", "serve /metrics, /queries and pprof on this address while running")
 		depth    = flag.Int("readdepth", 0, "spill readback queue depth per partition scheduler (0 = default)")
+		scanD    = flag.Int("scandepth", 0, "row groups each scan worker keeps in flight (0 = default)")
+		ioDepth  = flag.Int("iodepth", 0, "shared I/O scheduler per-device depth target (0 = default)")
+		noSched  = flag.Bool("noiosched", false, "bypass the shared I/O scheduler (private rings per operator)")
 		blocking = flag.Bool("blockread", false, "disable pipelined spill readback (materialize partitions before processing)")
 		parity   = flag.Int("parity", 0, "spill parity stripe width K: checksummed pages + one XOR parity block per K spill blocks (0 = off)")
 		conc     = flag.Int("concurrent", 1, "run this many copies of the query concurrently through the admission governor")
@@ -69,6 +72,9 @@ func main() {
 		Compression:       *compress,
 		Profile:           *profile,
 		ReadDepth:         *depth,
+		ScanDepth:         *scanD,
+		IODepthTarget:     *ioDepth,
+		NoIOSched:         *noSched,
 		BlockingSpillRead: *blocking,
 		SpillParity:       *parity,
 		CacheBytes:        *cacheB,
@@ -125,6 +131,9 @@ func main() {
 	}
 	fmt.Printf("scanned: %d tuples (%.1f MB), %.0f tuples/s, %.1f cycles/byte\n",
 		s.ScannedRows, float64(s.ScannedBytes)/(1<<20), s.TuplesPerSec, s.CyclesPerByte)
+	if s.ScanStallTime > 0 {
+		fmt.Printf("scan stall: %v blocked on table reads\n", s.ScanStallTime)
+	}
 	if s.SpilledBytes > 0 {
 		fmt.Printf("spilled: %.1f MB raw, %.1f MB written (compressed), %.1f MB read back\n",
 			float64(s.SpilledBytes)/(1<<20), float64(s.WrittenBytes)/(1<<20), float64(s.SpillReadBytes)/(1<<20))
@@ -158,8 +167,30 @@ func main() {
 			rc.HotEntries, float64(rc.HotBytes)/(1<<20),
 			rc.DiskEntries, float64(rc.DiskBytes)/(1<<20))
 	}
+	printIOSched(eng)
 	if *profile {
 		fmt.Printf("\n%s", spilly.FormatProfile(res.Profile()))
+	}
+}
+
+// printIOSched summarizes the shared I/O schedulers: how much work each
+// class pushed through, how often lower classes yielded, and the
+// promotion/aging traffic. Silent when -noiosched bypasses the scheduler.
+func printIOSched(eng *spilly.Engine) {
+	for _, sn := range eng.IOSchedSnapshots() {
+		var total, deferred int64
+		for _, c := range sn.Stats.Classes {
+			total += c.Dispatched
+			deferred += c.Deferred
+		}
+		if total == 0 {
+			continue
+		}
+		fmt.Printf("iosched[%s]: %d dispatched (%d demand, %d spill-write, %d prefetch, %d background), %d deferred, %d promoted, %d aged\n",
+			sn.Name, total,
+			sn.Stats.Classes[0].Dispatched, sn.Stats.Classes[1].Dispatched,
+			sn.Stats.Classes[2].Dispatched, sn.Stats.Classes[3].Dispatched,
+			deferred, sn.Stats.Promoted, sn.Stats.Aged)
 	}
 }
 
@@ -205,6 +236,7 @@ func runConcurrent(eng *spilly.Engine, q, n int) {
 		g.Admitted, g.Timeouts, g.WaitTotal)
 	fmt.Printf("spill array: %d live extents, %d live leases (both should be 0 when idle)\n",
 		eng.SpillArray().LiveExtents(), eng.SpillArray().Leases())
+	printIOSched(eng)
 	if failed > 0 {
 		os.Exit(1)
 	}

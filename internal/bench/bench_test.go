@@ -38,6 +38,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig5", "fig6", "fig7", "fig8", "sec65-hybrid", "fig9",
 		"sec66-hashing", "fig10", "fig11", "fig12", "sec52-tablecomp",
 		"ablation-umami", "alloc", "overlap", "parity", "rescache",
+		"iosched",
 	}
 	for _, id := range want {
 		if ByID(id) == nil {

@@ -1,0 +1,250 @@
+package bench
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	spilly "github.com/spilly-db/spilly"
+	"github.com/spilly-db/spilly/internal/chaos"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "iosched",
+		Paper: "Shared I/O scheduler: demand-read stall and tail latency under 8-way mixed-class concurrency (engine addition)",
+		Run:   runIOSchedReport,
+	})
+}
+
+// ioschedQueries is the 8-way mixed-class workload: Q9 and Q12 spill
+// (spill-write + readback demand-read classes on the spill array), Q1 and
+// Q6 are scan-heavy over on-array tables (prefetch class, promoted to
+// demand when a worker blocks). Together they put all four priority
+// classes in flight at once.
+var ioschedQueries = []int{9, 1, 12, 6, 9, 1, 12, 6}
+
+// ioschedBudget is the shared engine budget the admission governor splits
+// across the concurrent queries — small enough that the spilling queries
+// actually spill at the measurement scale factor.
+const ioschedBudget = 512 << 10
+
+// IOSchedMeasurement is one scheduler mode's 8-way concurrency result.
+type IOSchedMeasurement struct {
+	Mode string `json:"mode"` // "private" (per-operator rings) or "shared"
+	// Every column is the best (minimum) value observed for its mode
+	// across the repetitions; per-column best-of damps scheduler jitter
+	// that a single "best batch" would carry into every column.
+	WallNs float64 `json:"wall_ns"`
+	// DemandReadLatNs is the mean demand-read wait across the batch: each
+	// spill-readback read issued demand-class contributes its completion
+	// latency, and each scan block (which promotes the blocked group's
+	// reads to demand) contributes the wall time the worker waited. This
+	// per-event latency of latency-critical reads is what the scheduler's
+	// demand-first dispatch bounds, and the primary gated metric.
+	DemandReadLatNs float64 `json:"demand_read_lat_ns"`
+	// SpillStallNs sums worker time stalled on spill readback across the
+	// batch; ScanStallNs sums worker time blocked on table reads. In a
+	// saturated closed loop scheduling order mostly relocates this blocked
+	// time rather than removing it, so these are reported, not gated.
+	SpillStallNs float64 `json:"spill_stall_ns"`
+	ScanStallNs  float64 `json:"scan_stall_ns"`
+	// P99QueryNs and MeanQueryNs summarize per-query latency within the
+	// batch (with 8 queries the p99 is the slowest query — the tail a
+	// concurrent client actually observes).
+	P99QueryNs  float64 `json:"p99_query_ns"`
+	MeanQueryNs float64 `json:"mean_query_ns"`
+	// Checksum combines every query's result fingerprint; it must match
+	// across modes — the scheduler reorders I/O, never results.
+	Checksum string `json:"checksum"`
+}
+
+// Key returns the map key used by BENCH_iosched.json.
+func (m IOSchedMeasurement) Key() string { return m.Mode }
+
+// MeasureIOSched runs the 8-way mixed workload once per scheduler mode and
+// returns one measurement per mode. Every concurrent result is checked
+// against its serial run before anything is reported.
+func MeasureIOSched(o Options) ([]IOSchedMeasurement, error) {
+	sf := 0.02
+	reps := 4
+	if o.Quick {
+		sf = 0.01
+		reps = 2
+	}
+	if len(o.SFs) > 0 {
+		sf = o.SFs[0]
+	}
+	modes := []struct {
+		name      string
+		noIOSched bool
+	}{
+		{"private", true},
+		{"shared", false},
+	}
+	var out []IOSchedMeasurement
+	for _, m := range modes {
+		eng, err := newEngine(spilly.Config{
+			Workers:      o.workers(),
+			MemoryBudget: o.budget(ioschedBudget),
+			Compression:  true,
+			// Slowed devices and small arrays put the run in the I/O-bound
+			// regime the scheduler targets (the same goCPUFactor calibration
+			// the other experiments use); at full speed the Go engine is
+			// CPU-bound and scheduling order cannot move the tail.
+			Device:       spilly.DefaultDevice.Scaled(goCPUFactor),
+			SpillDevices: 2,
+			TableDevices: 2,
+			// Deep readback and scan lookahead in both modes: the regime
+			// the scheduler targets is aggressive per-operator prefetch,
+			// which private rings stack straight onto the device queues.
+			ReadDepth: 16,
+			ScanDepth: 8,
+			NoIOSched: m.noIOSched,
+		}, sf, true)
+		if err != nil {
+			return nil, err
+		}
+		// Serial reference run per distinct query: warms pools and tables
+		// and pins the fingerprint each concurrent copy must reproduce.
+		want := map[int]string{}
+		for _, q := range []int{1, 6, 9, 12} {
+			res, err := eng.RunTPCH(q)
+			if err != nil {
+				return nil, fmt.Errorf("%s serial Q%d: %w", m.name, q, err)
+			}
+			want[q] = chaos.Fingerprint(res.Batch)
+		}
+		best := IOSchedMeasurement{Mode: m.name}
+		for rep := 0; rep < reps; rep++ {
+			batch, err := runIOSchedBatch(eng, want)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", m.name, err)
+			}
+			if rep == 0 {
+				mode := best.Mode
+				best = batch
+				best.Mode = mode
+				continue
+			}
+			best.WallNs = min(best.WallNs, batch.WallNs)
+			best.DemandReadLatNs = min(best.DemandReadLatNs, batch.DemandReadLatNs)
+			best.SpillStallNs = min(best.SpillStallNs, batch.SpillStallNs)
+			best.ScanStallNs = min(best.ScanStallNs, batch.ScanStallNs)
+			best.P99QueryNs = min(best.P99QueryNs, batch.P99QueryNs)
+			best.MeanQueryNs = min(best.MeanQueryNs, batch.MeanQueryNs)
+		}
+		out = append(out, best)
+	}
+	return out, nil
+}
+
+// runIOSchedBatch fires the 8 queries concurrently, verifies each result
+// against its serial fingerprint, and aggregates the batch's stall and
+// latency columns.
+func runIOSchedBatch(eng *spilly.Engine, want map[int]string) (IOSchedMeasurement, error) {
+	type runRes struct {
+		q     int
+		durNs float64
+		stats spilly.Stats
+		fp    string
+		err   error
+	}
+	runs := make([]runRes, len(ioschedQueries))
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i, q := range ioschedQueries {
+		wg.Add(1)
+		go func(i, q int) {
+			defer wg.Done()
+			res, err := eng.RunTPCH(q)
+			if err != nil {
+				runs[i] = runRes{q: q, err: err}
+				return
+			}
+			runs[i] = runRes{
+				q:     q,
+				durNs: float64(res.Stats.Duration.Nanoseconds()),
+				stats: res.Stats,
+				fp:    chaos.Fingerprint(res.Batch),
+			}
+		}(i, q)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	var m IOSchedMeasurement
+	m.WallNs = float64(wall.Nanoseconds())
+	h := fnv.New64a()
+	durs := make([]float64, 0, len(runs))
+	var demandReads, demandNs int64
+	for _, r := range runs {
+		if r.err != nil {
+			return m, fmt.Errorf("Q%d: %w", r.q, r.err)
+		}
+		if r.fp != want[r.q] {
+			return m, fmt.Errorf("Q%d concurrent result differs from its serial run", r.q)
+		}
+		m.SpillStallNs += float64(r.stats.SpillStallTime.Nanoseconds())
+		m.ScanStallNs += float64(r.stats.ScanStallTime.Nanoseconds())
+		demandReads += r.stats.DemandReads + r.stats.ScanStalls
+		demandNs += int64(r.stats.DemandReadTime) + r.stats.ScanStallTime.Nanoseconds()
+		durs = append(durs, r.durNs)
+		m.MeanQueryNs += r.durNs / float64(len(runs))
+		fmt.Fprintf(h, "Q%d=%s;", r.q, r.fp)
+	}
+	if demandReads == 0 {
+		return m, fmt.Errorf("no demand-class spill readback completed; the mix no longer exercises the demand path")
+	}
+	m.DemandReadLatNs = float64(demandNs) / float64(demandReads)
+	sort.Float64s(durs)
+	m.P99QueryNs = durs[len(durs)-1]
+	m.Checksum = fmt.Sprintf("%016x", h.Sum64())
+	return m, nil
+}
+
+func runIOSchedReport(w io.Writer, o Options) error {
+	ms, err := MeasureIOSched(o)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Shared I/O scheduler: 8 concurrent TPC-H queries (Q9/Q12 spilling,")
+	fmt.Fprintln(w, "Q1/Q6 scanning on-array tables) with per-operator private rings vs the")
+	fmt.Fprintln(w, "engine-wide prioritized scheduler (demand > spill-write > prefetch >")
+	fmt.Fprintln(w, "background, per-device depth targets, cross-query round-robin). Stall")
+	fmt.Fprintln(w, "columns are worker time blocked on spill readback and table reads;")
+	fmt.Fprintln(w, "checksums must match across modes.")
+	fmt.Fprintln(w)
+	t := newTable("Mode", "wall ms", "demand-read µs", "spill-stall ms", "scan-stall ms", "p99 query ms", "mean query ms", "checksum")
+	for _, m := range ms {
+		t.row(m.Mode, m.WallNs/1e6, m.DemandReadLatNs/1e3, m.SpillStallNs/1e6, m.ScanStallNs/1e6,
+			m.P99QueryNs/1e6, m.MeanQueryNs/1e6, m.Checksum)
+	}
+	t.write(w)
+
+	byMode := map[string]IOSchedMeasurement{}
+	for _, m := range ms {
+		byMode[m.Mode] = m
+	}
+	pr, ok1 := byMode["private"]
+	sh, ok2 := byMode["shared"]
+	if ok1 && ok2 {
+		if pr.Checksum != sh.Checksum {
+			return fmt.Errorf("iosched: result checksum mismatch across scheduler modes: private %s vs shared %s",
+				pr.Checksum, sh.Checksum)
+		}
+		if pr.DemandReadLatNs > 0 {
+			fmt.Fprintln(w)
+			fmt.Fprintf(w, "\nShape check: the shared scheduler cuts mean demand-read latency to %.0f%%\n",
+				100*sh.DemandReadLatNs/pr.DemandReadLatNs)
+			fmt.Fprintf(w, "of private rings (p99 query %.2fx faster, wall %.2fx) under the 8-way mix,\n",
+				pr.P99QueryNs/sh.P99QueryNs, pr.WallNs/sh.WallNs)
+			fmt.Fprintln(w, "with identical checksums — demand-first dispatch keeps latency-critical")
+			fmt.Fprintln(w, "reads from queueing behind other queries' prefetch and write floods.")
+		}
+	}
+	return nil
+}

@@ -93,6 +93,12 @@ type Config struct {
 	// top of size/bandwidth in the cost-based admission test. 0 defaults
 	// to 500µs.
 	RestoreOverhead time.Duration
+	// IO, when non-nil, routes demotion writes through the engine's shared
+	// I/O scheduler as background-class requests, so cache maintenance
+	// yields to running queries' demand reads and spill writes. Restores
+	// stay synchronous: a restore is on some query's critical path already
+	// and its cost model assumes device bandwidth, not queueing.
+	IO uring.Dispatcher
 }
 
 // chunk is one framed, compressed piece of a demoted entry on the array.
@@ -372,6 +378,17 @@ func (c *Cache) demoteLocked(e *entry) error {
 	b := e.batch
 	rc := data.NewRowCodec(b.Schema.Types())
 	lease := c.cfg.Array.NewLease()
+	// Demotion writes go through a background-class ring when the engine
+	// has a shared I/O scheduler: cache maintenance fills idle device
+	// headroom but never crowds out query traffic. The ring drains before
+	// demoteLocked returns (under c.mu, like the rest of the tier
+	// transition), so a restore can never race an unfinished write.
+	var ring *uring.Ring
+	if c.cfg.IO != nil {
+		ring = uring.New(c.cfg.Array)
+		ring.SetLease(lease)
+		ring.Bind(c.cfg.IO, uring.ClassBackground, 0)
+	}
 	var chunks []chunk
 	const chunkMax = 256 << 10
 	var buf []byte
@@ -387,22 +404,41 @@ func (c *Cache) demoteLocked(e *entry) error {
 		frame := pages.AppendFrame(nil, -1, seq, comp)
 		dev := c.nextDev % c.cfg.Array.Devices()
 		c.nextDev++
-		at, err := c.cfg.Array.AllocSpillLease(dev, len(frame), lease)
-		if err != nil {
-			return err
+		var at int64
+		if ring != nil {
+			loc, err := ring.QueueWriteDev(dev, frame, uint64(seq))
+			if err != nil {
+				return err
+			}
+			at = loc.Offset()
+		} else {
+			var err error
+			at, err = c.cfg.Array.AllocSpillLease(dev, len(frame), lease)
+			if err != nil {
+				return err
+			}
+			start := time.Now()
+			if _, err := c.cfg.Array.Write(dev, at, frame); err != nil {
+				return err
+			}
+			// Feed the measured write back to the regulator so the codec
+			// choice genuinely adapts to the array's current speed.
+			c.reg.ObserveIO(uring.Completion{N: len(frame), Latency: time.Since(start)}, 1)
 		}
-		start := time.Now()
-		if _, err := c.cfg.Array.Write(dev, at, frame); err != nil {
-			return err
-		}
-		// Feed the measured write back to the regulator so the codec
-		// choice genuinely adapts to the array's current speed.
-		c.reg.ObserveIO(uring.Completion{N: len(frame), Latency: time.Since(start)}, 1)
 		chunks = append(chunks, chunk{
 			dev: dev, off: at, frameLen: len(frame), rawLen: len(raw),
 			seq: seq, codec: id,
 		})
 		return nil
+	}
+	// abort quiesces the demotion ring (if any) and frees the lease after
+	// a failed demotion, leaving the entry hot for the caller to drop.
+	abort := func() {
+		if ring != nil {
+			ring.CancelDeferred()
+			ring.WaitAll(nil)
+		}
+		lease.Free()
 	}
 	// Serialize all live rows — uvarint length prefix, then the tuple —
 	// flushing a chunk whenever the next whole tuple would overflow it.
@@ -412,7 +448,7 @@ func (c *Cache) demoteLocked(e *entry) error {
 		n := binary.PutUvarint(lenb[:], uint64(sz))
 		if len(buf) > 0 && len(buf)+n+sz > chunkMax {
 			if err := flush(); err != nil {
-				lease.Free()
+				abort()
 				return err
 			}
 			buf = buf[:0]
@@ -425,8 +461,24 @@ func (c *Cache) demoteLocked(e *entry) error {
 	// Final flush; an empty batch still writes one empty chunk so the
 	// entry round-trips through the same read path.
 	if err := flush(); err != nil {
-		lease.Free()
+		abort()
 		return err
+	}
+	if ring != nil {
+		// Drain the background writes before committing the tier change.
+		// Completion latency includes the scheduler's queueing delay, which
+		// is exactly what the regulator should adapt to.
+		for _, comp := range ring.WaitAll(nil) {
+			if comp.Err != nil {
+				abort()
+				return comp.Err
+			}
+			c.reg.ObserveIO(comp, 1)
+		}
+		if ring.Outstanding() > 0 {
+			abort()
+			return fmt.Errorf("cache: demotion writes did not drain")
+		}
 	}
 	e.lease, e.chunks, e.rows = lease, chunks, b.Rows()
 	e.batch = nil

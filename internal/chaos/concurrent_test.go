@@ -1,6 +1,7 @@
 package chaos_test
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"testing"
@@ -9,6 +10,7 @@ import (
 	spilly "github.com/spilly-db/spilly"
 	"github.com/spilly-db/spilly/internal/chaos"
 	"github.com/spilly-db/spilly/internal/nvmesim"
+	"github.com/spilly-db/spilly/internal/uring"
 )
 
 // concurrentCfg pins the Umami tuning so per-grant retuning cannot change
@@ -112,5 +114,121 @@ func TestConcurrentQueriesUnderTransientFaults(t *testing.T) {
 	}
 	if g := eng.GovernorStats(); g.Granted != 0 || g.Active != 0 || g.Queued != 0 {
 		t.Errorf("governor not drained after faulted concurrent run: %+v", g)
+	}
+}
+
+// TestMixedClassLoadUnderDeviceChaos drives the shared I/O scheduler with
+// its full class mix — table-scan prefetch and promoted demand reads on the
+// table array, spill writes and readback demand reads on the spill array —
+// from eight concurrent queries while a spill device dies mid-run and both
+// arrays inject latency spikes. With parity on, every query must either
+// return its exact serial result (healing dead-device readbacks from
+// parity) or fail with a structured error naming the device; afterwards
+// the scheduler, leases, and governor must all drain to zero.
+func TestMixedClassLoadUnderDeviceChaos(t *testing.T) {
+	queries := []int{1, 6, 9, 12, 1, 9, 12, 6}
+
+	cfg := concurrentCfg()
+	cfg.SpillParity = 2
+
+	newChaosEngine := func() *spilly.Engine {
+		eng, err := spilly.Open(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Tables on the NVMe array: scans become real prefetch-class I/O
+		// through the table scheduler, not memory reads.
+		if err := eng.LoadTPCH(0.01, true); err != nil {
+			t.Fatal(err)
+		}
+		return eng
+	}
+
+	ref := newChaosEngine()
+	want := map[int]string{}
+	spilled := false
+	for _, q := range []int{1, 6, 9, 12} {
+		res, err := ref.RunTPCH(q)
+		if err != nil {
+			t.Fatalf("baseline Q%d: %v", q, err)
+		}
+		want[q] = chaos.Fingerprint(res.Batch)
+		spilled = spilled || res.Stats.SpilledBytes > 0
+	}
+	if !spilled {
+		t.Fatal("no baseline query spilled; the mix would not exercise the spill classes")
+	}
+
+	eng := newChaosEngine()
+	// Spill device 0 dies mid-run; both arrays suffer latency spikes.
+	chaos.Schedule{
+		Seed:         29,
+		KillDevice:   0,
+		KillAfterOps: 30,
+		SpikeRate:    0.05,
+		SpikeLatency: 300 * time.Microsecond,
+	}.Apply(eng.SpillArray())
+	chaos.Schedule{
+		Seed:         31,
+		SpikeRate:    0.05,
+		SpikeLatency: 300 * time.Microsecond,
+	}.Apply(eng.TableArray())
+
+	var wg sync.WaitGroup
+	errs := make(chan error, len(queries))
+	for _, q := range queries {
+		wg.Add(1)
+		go func(q int) {
+			defer wg.Done()
+			res, err := eng.RunTPCH(q)
+			if err != nil {
+				var qe *spilly.QueryError
+				if !errors.As(err, &qe) {
+					errs <- fmt.Errorf("Q%d under device chaos: %w (%T), want exact result or *QueryError", q, err, err)
+				} else if qe.Device != 0 {
+					errs <- fmt.Errorf("Q%d failed naming device %d, want the dead device 0", q, qe.Device)
+				}
+				return
+			}
+			if got := chaos.Fingerprint(res.Batch); got != want[q] {
+				errs <- fmt.Errorf("Q%d result under device chaos differs from serial fault-free run", q)
+			}
+		}(q)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	if n := eng.SpillArray().LiveExtents(); n != 0 {
+		t.Errorf("%d spill extents live after the chaos run", n)
+	}
+	if n := eng.SpillArray().Leases(); n != 0 {
+		t.Errorf("%d leases live after all queries finished", n)
+	}
+	if g := eng.GovernorStats(); g.Granted != 0 || g.Active != 0 || g.Queued != 0 {
+		t.Errorf("governor not drained after chaos run: %+v", g)
+	}
+	snaps := eng.IOSchedSnapshots()
+	if len(snaps) != 2 {
+		t.Fatalf("expected spill and table schedulers, got %d", len(snaps))
+	}
+	for _, sn := range snaps {
+		if sn.Stats.Queued != 0 || sn.Stats.Inflight != 0 {
+			t.Errorf("iosched[%s] not drained: queued=%d inflight=%d",
+				sn.Name, sn.Stats.Queued, sn.Stats.Inflight)
+		}
+	}
+	// The mix must actually have exercised the class spectrum: spill writes
+	// and readback demand reads on the spill array, scan prefetch on the
+	// table array.
+	spillC := snaps[0].Stats.Classes
+	if spillC[uring.ClassSpillWrite].Dispatched == 0 || spillC[uring.ClassDemand].Dispatched == 0 {
+		t.Errorf("spill scheduler missed classes: %+v", spillC)
+	}
+	tableC := snaps[1].Stats.Classes
+	if tableC[uring.ClassPrefetch].Dispatched == 0 {
+		t.Errorf("table scheduler saw no prefetch-class scans: %+v", tableC)
 	}
 }

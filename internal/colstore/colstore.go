@@ -38,6 +38,24 @@ type Reader interface {
 	Next(b *data.Batch) (int, error)
 }
 
+// ScanOpts carries per-scan reader options. The zero value falls back to
+// the store-level defaults (SetScanDepth) for every field.
+type ScanOpts struct {
+	// Query is the fairness key scan reads carry into the shared I/O
+	// scheduler, so one query's scan flood cannot crowd out another's.
+	Query uint64
+	// Depth bounds the row groups each reader keeps in flight
+	// (0 = the store's scan depth, itself defaulted to DefaultScanDepth).
+	Depth int
+}
+
+// OptsTable is implemented by tables whose readers accept per-scan options;
+// executors type-assert for it and fall back to NewReader otherwise.
+type OptsTable interface {
+	Table
+	NewReaderOpts(proj []int, cursor *atomic.Int64, opts ScanOpts) Reader
+}
+
 // MemTable is a fully in-memory columnar table.
 type MemTable struct {
 	name      string
@@ -120,6 +138,12 @@ func (t *MemTable) NewReader(proj []int, cursor *atomic.Int64) Reader {
 	return &memReader{t: t, proj: proj, cursor: cursor}
 }
 
+// NewReaderOpts implements OptsTable; in-memory scans do no I/O, so the
+// options are irrelevant and it simply delegates to NewReader.
+func (t *MemTable) NewReaderOpts(proj []int, cursor *atomic.Int64, _ ScanOpts) Reader {
+	return t.NewReader(proj, cursor)
+}
+
 type memReader struct {
 	t      *MemTable
 	proj   []int
@@ -167,6 +191,13 @@ type diskGroup struct {
 type Store struct {
 	arr   *nvmesim.Array
 	cache *Cache
+
+	// sched, when set, routes every table read and write through the
+	// engine's shared I/O scheduler: scans as prefetch-class (promoted to
+	// demand when a worker blocks), bulk loads as background-class.
+	sched uring.Dispatcher
+	// scanDepth is the default per-reader group lookahead (0 = DefaultScanDepth).
+	scanDepth int
 }
 
 // NewStore returns a store over the array. cache may be nil (always-cold
@@ -180,6 +211,14 @@ func (s *Store) Array() *nvmesim.Array { return s.arr }
 
 // Cache returns the store's buffer cache, or nil.
 func (s *Store) Cache() *Cache { return s.cache }
+
+// SetIOSched routes the store's I/O through the given shared dispatcher
+// (nil = private rings). Set once at engine start, before any reads.
+func (s *Store) SetIOSched(d uring.Dispatcher) { s.sched = d }
+
+// SetScanDepth sets the default per-reader group lookahead for external
+// scans (<= 0 restores DefaultScanDepth).
+func (s *Store) SetScanDepth(n int) { s.scanDepth = n }
 
 // DiskTable is a table stored as encoded column chunks on the array.
 type DiskTable struct {
@@ -208,6 +247,9 @@ func (s *Store) WriteTable(mt *MemTable) (*DiskTable, error) {
 		store:     s,
 	}
 	ring := uring.New(s.arr)
+	// Bulk loads are background-class under the shared scheduler: they
+	// must not crowd out a running query's demand reads.
+	ring.Bind(s.sched, uring.ClassBackground, 0)
 	devs := s.arr.Devices()
 	chunkNo := 0
 	type pendingWrite struct {

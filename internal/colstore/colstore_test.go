@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"github.com/spilly-db/spilly/internal/data"
+	"github.com/spilly-db/spilly/internal/iosched"
 	"github.com/spilly-db/spilly/internal/nvmesim"
 )
 
@@ -283,6 +284,99 @@ func TestReadErrorSurfaces(t *testing.T) {
 	b := data.NewBatch(data.NewSchema(data.ColumnDef{Name: "id", Type: data.Int64}), 0)
 	if _, err := r.Next(b); err == nil {
 		t.Fatal("injected read failure did not surface")
+	}
+}
+
+// TestReadErrorStickyAndDrained: after a failed group read the error is
+// sticky, the reader's ring is quiesced, and no buffers stay referenced —
+// the regression test for the error path leaking in-flight reads.
+func TestReadErrorStickyAndDrained(t *testing.T) {
+	mt := buildTable(t, 5000, 512)
+	arr := testArray()
+	store := NewStore(arr, nil)
+	dt, err := store.WriteTable(mt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := 0; d < 4; d++ {
+		arr.InjectFailures(d, 1000)
+	}
+	var cursor atomic.Int64
+	r := dt.NewReader([]int{0, 1, 2}, &cursor).(*diskReader)
+	b := data.NewBatch(data.NewSchema(
+		data.ColumnDef{Name: "id", Type: data.Int64},
+		data.ColumnDef{Name: "qty", Type: data.Int64},
+		data.ColumnDef{Name: "price", Type: data.Float64},
+	), 0)
+	_, err = r.Next(b)
+	if err == nil {
+		t.Fatal("injected read failure did not surface")
+	}
+	if _, err2 := r.Next(b); err2 != err {
+		t.Fatalf("error not sticky: first %v, then %v", err, err2)
+	}
+	if n := r.ring.Outstanding(); n != 0 {
+		t.Fatalf("%d reads still outstanding after failure", n)
+	}
+	if len(r.pending) != 0 || len(r.inflight) != 0 {
+		t.Fatalf("failed reader still references %d pending / %d inflight groups",
+			len(r.pending), len(r.inflight))
+	}
+}
+
+// TestReaderCloseIdempotent: Close quiesces a mid-scan reader's I/O, is
+// safe to call twice, and a later Next reports end of stream.
+func TestReaderCloseIdempotent(t *testing.T) {
+	mt := buildTable(t, 5000, 512)
+	store := NewStore(testArray(), nil)
+	dt, err := store.WriteTable(mt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cursor atomic.Int64
+	r := dt.NewReader([]int{0}, &cursor).(*diskReader)
+	b := data.NewBatch(data.NewSchema(data.ColumnDef{Name: "id", Type: data.Int64}), 0)
+	if _, err := r.Next(b); err != nil { // leaves lookahead groups in flight
+		t.Fatal(err)
+	}
+	r.Close()
+	r.Close()
+	if n := r.ring.Outstanding(); n != 0 {
+		t.Fatalf("%d reads still outstanding after Close", n)
+	}
+	if n, err := r.Next(b); n != 0 || err != nil {
+		t.Fatalf("Next after Close = (%d, %v), want (0, nil)", n, err)
+	}
+}
+
+// TestReadErrorUnderSharedScheduler: when scan reads route through the
+// shared I/O scheduler, the error path must also cancel the reads still
+// deferred in the scheduler's queues.
+func TestReadErrorUnderSharedScheduler(t *testing.T) {
+	mt := buildTable(t, 20000, 512)
+	arr := testArray()
+	store := NewStore(arr, nil)
+	sched := iosched.New(arr, iosched.Config{DepthTarget: 2})
+	store.SetIOSched(sched)
+	dt, err := store.WriteTable(mt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := 0; d < 4; d++ {
+		arr.InjectFailures(d, 10000)
+	}
+	var cursor atomic.Int64
+	r := dt.NewReaderOpts([]int{0, 1, 2, 3, 4}, &cursor, ScanOpts{Query: 7, Depth: 8}).(*diskReader)
+	b := data.NewBatch(mt.Schema(), 0)
+	if _, err := r.Next(b); err == nil {
+		t.Fatal("injected read failure did not surface")
+	}
+	if n := r.ring.Outstanding(); n != 0 {
+		t.Fatalf("%d reads still outstanding after failure", n)
+	}
+	st := sched.Stats()
+	if st.Queued != 0 {
+		t.Fatalf("%d reads still deferred in the shared scheduler", st.Queued)
 	}
 }
 

@@ -5,25 +5,34 @@ import (
 	"sync/atomic"
 
 	"github.com/spilly-db/spilly/internal/data"
+	"github.com/spilly-db/spilly/internal/nvmesim"
 	"github.com/spilly-db/spilly/internal/uring"
 )
 
-// defaultScanPrefetch is the number of row groups each external-scan
+// DefaultScanDepth is the default number of row groups each external-scan
 // reader keeps in flight. With one reader per worker, the per-reader
 // lookahead times the worker count keeps the array's I/O queues full
-// across morsel boundaries (§5.2).
-const defaultScanPrefetch = 4
+// across morsel boundaries (§5.2). Engines override it per store
+// (Store.SetScanDepth) or per scan (ScanOpts.Depth).
+const DefaultScanDepth = 4
 
 // diskReader is a per-worker external scan (§5.2): it pulls row-group
 // morsels from the shared cursor, schedules asynchronous reads for the
 // projected column chunks of several groups ahead — "aiming to maintain a
 // full I/O queue" across morsel boundaries — and decodes whichever group
 // completes first.
+//
+// Under the shared I/O scheduler the lookahead reads are prefetch class:
+// they fill idle device headroom but yield to demand reads and spill
+// writes. When the worker is about to block, the reads of the oldest
+// in-flight group are promoted to demand — the scan is no longer ahead of
+// the consumer, so its next group is on the critical path.
 type diskReader struct {
 	t      *DiskTable
 	proj   []int
 	cursor *atomic.Int64
 	ring   *uring.Ring
+	clock  nvmesim.Clock
 
 	prefetch int // groups to keep in flight
 	inflight []*inflightGroup
@@ -31,7 +40,10 @@ type diskReader struct {
 	nextUD   uint64
 	exhaust  bool
 	scratch  []uring.Completion
+	stallNs  int64
+	stalls   int64
 	err      error
+	closed   bool
 }
 
 type inflightGroup struct {
@@ -46,14 +58,30 @@ type chunkRead struct {
 	i   int // index into proj
 }
 
-// NewReader implements Table.
+// NewReader implements Table, with the store-level scan defaults.
 func (t *DiskTable) NewReader(proj []int, cursor *atomic.Int64) Reader {
+	return t.NewReaderOpts(proj, cursor, ScanOpts{})
+}
+
+// NewReaderOpts implements OptsTable: opts.Depth overrides the store's
+// scan depth, opts.Query keys the reads in the shared I/O scheduler.
+func (t *DiskTable) NewReaderOpts(proj []int, cursor *atomic.Int64, opts ScanOpts) Reader {
+	depth := opts.Depth
+	if depth <= 0 {
+		depth = t.store.scanDepth
+	}
+	if depth <= 0 {
+		depth = DefaultScanDepth
+	}
+	ring := uring.New(t.store.arr)
+	ring.Bind(t.store.sched, uring.ClassPrefetch, opts.Query)
 	return &diskReader{
 		t:        t,
 		proj:     proj,
 		cursor:   cursor,
-		ring:     uring.New(t.store.arr),
-		prefetch: defaultScanPrefetch,
+		ring:     ring,
+		clock:    t.store.arr.Clock(),
+		prefetch: depth,
 		pending:  map[uint64]*chunkRead{},
 	}
 }
@@ -62,6 +90,9 @@ func (r *diskReader) Next(b *data.Batch) (int, error) {
 	if r.err != nil {
 		return 0, r.err
 	}
+	if r.closed {
+		return 0, nil
+	}
 	for {
 		r.fill()
 		// Deliver any fully-read group.
@@ -69,8 +100,7 @@ func (r *diskReader) Next(b *data.Batch) (int, error) {
 			if g.missing == 0 {
 				r.inflight = append(r.inflight[:i], r.inflight[i+1:]...)
 				if err := r.decode(b, g); err != nil {
-					r.err = err
-					return 0, err
+					return 0, r.fail(err)
 				}
 				return g.rows, nil
 			}
@@ -79,7 +109,19 @@ func (r *diskReader) Next(b *data.Batch) (int, error) {
 			return 0, nil // table exhausted
 		}
 		r.ring.Submit()
+		// No group is complete: the worker is about to stall on I/O. The
+		// oldest group's reads are on the critical path now — promote them
+		// to demand class — and charge the blocked time to the scan.
+		oldest := r.inflight[0]
+		for ud, cr := range r.pending {
+			if cr.grp == oldest {
+				r.ring.Promote(ud)
+			}
+		}
+		t0 := r.clock.Now()
 		r.scratch = r.ring.Poll(r.scratch[:0], true)
+		r.stallNs += r.clock.Now().Sub(t0).Nanoseconds()
+		r.stalls++
 		for _, c := range r.scratch {
 			cr, ok := r.pending[c.UserData]
 			if !ok {
@@ -87,8 +129,7 @@ func (r *diskReader) Next(b *data.Batch) (int, error) {
 			}
 			delete(r.pending, c.UserData)
 			if c.Err != nil {
-				r.err = fmt.Errorf("colstore: reading %s: %w", r.t.name, c.Err)
-				return 0, r.err
+				return 0, r.fail(fmt.Errorf("colstore: reading %s: %w", r.t.name, c.Err))
 			}
 			if cache := r.t.store.cache; cache != nil {
 				ref := r.t.groups[cr.grp.g].chunks[r.proj[cr.i]]
@@ -98,6 +139,51 @@ func (r *diskReader) Next(b *data.Batch) (int, error) {
 		}
 	}
 }
+
+// fail makes err the reader's sticky error and quiesces its I/O: deferred
+// reads are cancelled, dispatched ones drained, and buffer references
+// dropped. Every later Next returns the same error.
+func (r *diskReader) fail(err error) error {
+	if r.err == nil {
+		r.err = err
+	}
+	r.drain()
+	return r.err
+}
+
+// Close quiesces the reader's outstanding I/O (draining dispatched reads,
+// cancelling deferred ones) and releases its buffer references. Idempotent;
+// consumers call it when abandoning a scan mid-stream. A later Next returns
+// the sticky error if one is set, end-of-table otherwise.
+func (r *diskReader) Close() {
+	r.closed = true
+	r.drain()
+}
+
+func (r *diskReader) drain() {
+	// Deferred reads will never dispatch for an abandoned reader — drop
+	// them first so WaitAll terminates and the shared scheduler's queues
+	// do not hold this scan's buffers forever.
+	r.ring.CancelDeferred()
+	r.ring.WaitAll(r.scratch[:0])
+	if r.ring.Outstanding() > 0 {
+		// Cancellation cut the drain short; leak the buffers to the GC.
+		r.scratch = nil
+	}
+	r.pending = map[uint64]*chunkRead{}
+	r.inflight = nil
+	r.exhaust = true
+}
+
+// StallNanos returns the cumulative wall time this reader's worker spent
+// blocked waiting for group reads.
+func (r *diskReader) StallNanos() int64 { return r.stallNs }
+
+// Stalls returns how many times the worker blocked waiting for a group
+// read (each block promotes the oldest group's reads to demand class);
+// StallNanos/Stalls is the mean demand wait per block — how long each
+// promoted, latency-critical read kept its worker waiting.
+func (r *diskReader) Stalls() int64 { return r.stalls }
 
 // fill tops up the in-flight group window, serving chunks from the buffer
 // cache when possible.

@@ -92,6 +92,15 @@ type SpillConfig struct {
 	// read. 0 disables integrity. Groups span distinct devices when
 	// Parity+1 <= live devices.
 	Parity int
+	// Sched, when non-nil, is the engine's shared I/O scheduler for the
+	// spill array: every ring this query creates binds to it, so spill
+	// writes, readback prefetch, and demand reads are prioritized and
+	// rate-shared against concurrent queries (internal/iosched). Nil keeps
+	// the private-rings behavior.
+	Sched uring.Dispatcher
+	// Query is the fairness key the scheduler round-robins this query's
+	// requests under (the spill lease ID in engine runs).
+	Query uint64
 }
 
 // Config configures one materializing operator's Umami state.
@@ -255,6 +264,7 @@ func (s *Shared) NewBuffer() *Buffer {
 	if cfg.Spill != nil {
 		ring := uring.New(cfg.Spill.Array)
 		ring.SetLease(cfg.Spill.Lease)
+		ring.Bind(cfg.Spill.Sched, uring.ClassSpillWrite, cfg.Spill.Query)
 		if cfg.Spill.Compress {
 			b.reg = NewRegulator(cfg.Spill.Scale, cfg.Spill.RunN)
 		}

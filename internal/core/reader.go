@@ -112,6 +112,13 @@ func NewPartitionReader(ctx context.Context, arr *nvmesim.Array, pageSize int, s
 	return r
 }
 
+// BindIO routes the reader's block reads through the engine's shared
+// dispatcher as demand-class I/O under the given query fairness key
+// (nil = keep the private ring). Call before the first Next.
+func (r *PartitionReader) BindIO(d uring.Dispatcher, query uint64) {
+	r.ring.Bind(d, uring.ClassDemand, query)
+}
+
 // SetIntegrity arms frame verification and parity reconstruction: part is
 // the partition this reader's slots belong to (-1 skips the partition
 // check) and stripes is the result's parity stripe directory (nil = frames
@@ -288,6 +295,9 @@ func (r *PartitionReader) Release() {
 	// instead: safe, and the query is being torn down anyway.
 	r.scratch = r.ring.WaitAll(r.scratch[:0])
 	if r.ring.Outstanding() > 0 {
+		// Reads the shared dispatcher never issued will not complete now;
+		// drop them so its queues do not reference this query forever.
+		r.ring.CancelDeferred()
 		r.owned = nil
 		return
 	}

@@ -33,6 +33,13 @@ type PartitionCursor interface {
 	// StallNanos returns the wall time the consumer spent inside Next —
 	// the spill-read stall this partition inflicted on phase-2 compute.
 	StallNanos() int64
+	// DemandReads returns how many demand-class block reads completed for
+	// this partition and the sum of their per-request completion
+	// latencies in nanoseconds. Where StallNanos measures worker-side
+	// blocked time, this measures the latency of the latency-critical
+	// reads themselves — how long each spent queued behind other I/O.
+	// The blocking baseline reports zero (it never classifies reads).
+	DemandReads() (int64, int64)
 	// Prefetched reports whether readback was already under way (at least
 	// one block read issued) before the consumer opened the cursor.
 	Prefetched() bool
@@ -75,6 +82,13 @@ type PartitionScheduler struct {
 	blocking bool
 	work     []PartitionWork
 
+	// disp/query, when bound (BindIO), route the readback ring through the
+	// engine's shared I/O scheduler: prefetch reads carry ClassPrefetch,
+	// reads for opened items ClassDemand, and Open promotes an item's
+	// still-deferred reads the moment a consumer blocks on it.
+	disp  uring.Dispatcher
+	query uint64
+
 	mu      sync.Mutex
 	cond    *sync.Cond
 	ring    *uring.Ring
@@ -98,6 +112,10 @@ type PartitionScheduler struct {
 type pendingRead struct {
 	item  *schedItem
 	group int
+	// demand records the read's class at queue time; demand-class
+	// completions feed the per-request latency counters, and retries
+	// re-queue under the same class.
+	demand bool
 }
 
 // schedItem is the scheduler-side state of one partition work item.
@@ -117,8 +135,23 @@ type schedItem struct {
 	reserved int64 // prefetch budget reservation, released at Open/Release
 	err      error // sticky per-partition failure
 
+	// pendingUDs tracks this item's in-flight read userDatas for
+	// class promotion at Open. Mutated only under the scheduler lock;
+	// retried reads get fresh userDatas that are not tracked (stale
+	// entries make Promote a no-op, which is safe).
+	pendingUDs map[uint64]struct{}
+
 	bytesRead int64
 	retries   int64
+
+	// Demand-read latency: completed reads that were queued demand-class
+	// (a consumer had already opened the partition) and the sum of their
+	// completion latencies. Unlike the cursor's StallNanos — worker-side
+	// blocked wall time — this is the per-request latency of the
+	// latency-critical reads themselves, the quantity the I/O scheduler's
+	// demand-first dispatch exists to bound.
+	demandReads int64
+	demandNs    int64
 
 	// Integrity counters (spill integrity on).
 	verified        int64
@@ -174,6 +207,17 @@ func NewPartitionScheduler(ctx context.Context, arr *nvmesim.Array, pageSize int
 	return s
 }
 
+// BindIO routes the scheduler's readback I/O through the engine's shared
+// dispatcher under the given query fairness key (nil = keep the private
+// ring). Call before the first Open. In blocking mode the synchronous
+// readers Open creates bind instead, as demand-class consumers.
+func (s *PartitionScheduler) BindIO(d uring.Dispatcher, query uint64) {
+	s.disp, s.query = d, query
+	if s.ring != nil {
+		s.ring.Bind(d, uring.ClassPrefetch, query)
+	}
+}
+
 // SetIntegrity arms frame verification and parity reconstruction for every
 // work item: stripes is the result's parity stripe directory (nil = frames
 // still verify, but nothing can be rebuilt). Call before the first Open.
@@ -199,6 +243,7 @@ func (s *PartitionScheduler) repairerLocked() *repairer {
 func (s *PartitionScheduler) Open(i int) PartitionCursor {
 	if s.blocking {
 		r := NewPartitionReader(s.ctx, s.arr, s.pageSize, s.work[i].Slots, s.depth)
+		r.BindIO(s.disp, s.query)
 		r.SetIntegrity(s.work[i].Part, s.stripes)
 		return &blockingCursor{r: r}
 	}
@@ -212,6 +257,13 @@ func (s *PartitionScheduler) Open(i int) PartitionCursor {
 	pre := it.issued
 	if pre {
 		s.prefetched++
+	}
+	// A consumer now blocks on this item: re-tag its still-deferred reads
+	// as demand so the shared dispatcher stops holding them behind other
+	// queries' traffic. Promote only touches the dispatcher (no-op on a
+	// private ring), so it is safe alongside a pumping leader.
+	for ud := range it.pendingUDs {
+		s.ring.Promote(ud)
 	}
 	s.mu.Unlock()
 	return &schedCursor{s: s, it: it, pre: pre}
@@ -275,14 +327,23 @@ func (s *PartitionScheduler) issueLocked() {
 	}
 }
 
-// queueGroupLocked queues the item's next block read on the ring.
+// queueGroupLocked queues the item's next block read on the ring: demand
+// class when a consumer already opened the item, prefetch otherwise.
 func (s *PartitionScheduler) queueGroupLocked(it *schedItem) {
 	g := &it.groups[it.nextGroup]
 	g.buf = pages.GetBuf(int(g.loc.Size()))
 	it.owned = append(it.owned, g.buf)
 	s.nextUD++
-	s.ring.QueueRead(g.loc, g.buf, s.nextUD)
-	s.pending[s.nextUD] = pendingRead{item: it, group: it.nextGroup}
+	class := uring.ClassPrefetch
+	if it.opened {
+		class = uring.ClassDemand
+	}
+	s.ring.QueueReadClass(g.loc, g.buf, s.nextUD, class)
+	s.pending[s.nextUD] = pendingRead{item: it, group: it.nextGroup, demand: class == uring.ClassDemand}
+	if it.pendingUDs == nil {
+		it.pendingUDs = make(map[uint64]struct{})
+	}
+	it.pendingUDs[s.nextUD] = struct{}{}
 	it.nextGroup++
 	it.inflightN++
 	s.inflight++
@@ -307,7 +368,13 @@ func (s *PartitionScheduler) retryUnlocked(comps []uring.Completion) ([]uring.Co
 			delete(s.pending, c.UserData)
 			s.clock.Sleep(retryBackoff(g.attempts))
 			s.nextUD++
-			s.ring.QueueRead(g.loc, g.buf, s.nextUD)
+			// Retries keep their class: a demand read a consumer is
+			// still blocked on must not re-queue behind prefetch.
+			class := uring.ClassPrefetch
+			if pr.demand {
+				class = uring.ClassDemand
+			}
+			s.ring.QueueReadClass(g.loc, g.buf, s.nextUD, class)
 			s.pending[s.nextUD] = pr
 			retried = append(retried, pr.item)
 			requeued = true
@@ -334,11 +401,16 @@ func (s *PartitionScheduler) processLocked(comps []uring.Completion, retried []*
 		}
 		delete(s.pending, c.UserData)
 		it := pr.item
+		delete(it.pendingUDs, c.UserData)
 		it.inflightN--
 		s.inflight--
 		it.decoded++
 		if c.Err == nil {
 			it.bytesRead += int64(c.N)
+			if pr.demand {
+				it.demandReads++
+				it.demandNs += int64(c.Latency)
+			}
 		}
 		if it.released || it.err != nil {
 			// Pages are dead on arrival; buffers recycle at Close. A read
@@ -396,6 +468,12 @@ func (s *PartitionScheduler) Close() {
 	// owned buffers — leak those to the GC instead of recycling them; the
 	// query is being torn down anyway.
 	aborted := s.ring.Outstanding() > 0
+	if aborted {
+		// Reads the dispatcher never issued will not complete now that the
+		// query is cancelled; drop them so the shared scheduler's queues
+		// (and its per-query fairness state) do not hold them forever.
+		s.ring.CancelDeferred()
+	}
 	s.mu.Lock()
 	s.pumping = false
 	s.pending = nil
@@ -521,6 +599,14 @@ func (c *schedCursor) Retries() int64 {
 // StallNanos returns the wall time this cursor's consumer spent inside Next.
 func (c *schedCursor) StallNanos() int64 { return c.stallNs }
 
+// DemandReads returns this partition's completed demand-class reads and the
+// sum of their completion latencies in nanoseconds.
+func (c *schedCursor) DemandReads() (int64, int64) {
+	c.s.mu.Lock()
+	defer c.s.mu.Unlock()
+	return c.it.demandReads, c.it.demandNs
+}
+
 // Prefetched reports whether readback had started before Open.
 func (c *schedCursor) Prefetched() bool { return c.pre }
 
@@ -559,11 +645,12 @@ func (c *blockingCursor) Next() (*pages.Page, error) {
 	return p, err
 }
 
-func (c *blockingCursor) Release()               { c.r.Release() }
-func (c *blockingCursor) BytesRead() int64       { return c.r.BytesRead() }
-func (c *blockingCursor) Retries() int64         { return c.r.Retries() }
-func (c *blockingCursor) StallNanos() int64      { return c.stallNs }
-func (c *blockingCursor) Prefetched() bool       { return false }
-func (c *blockingCursor) Verified() int64        { return c.r.Verified() }
-func (c *blockingCursor) ChecksumErrors() int64  { return c.r.ChecksumErrors() }
-func (c *blockingCursor) Reconstructions() int64 { return c.r.Reconstructions() }
+func (c *blockingCursor) Release()                    { c.r.Release() }
+func (c *blockingCursor) BytesRead() int64            { return c.r.BytesRead() }
+func (c *blockingCursor) Retries() int64              { return c.r.Retries() }
+func (c *blockingCursor) StallNanos() int64           { return c.stallNs }
+func (c *blockingCursor) DemandReads() (int64, int64) { return 0, 0 }
+func (c *blockingCursor) Prefetched() bool            { return false }
+func (c *blockingCursor) Verified() int64             { return c.r.Verified() }
+func (c *blockingCursor) ChecksumErrors() int64       { return c.r.ChecksumErrors() }
+func (c *blockingCursor) Reconstructions() int64      { return c.r.Reconstructions() }

@@ -446,6 +446,9 @@ func (w *spillWriter) release(rec *inflightWrite) {
 // in-flight buffers are safe to reuse immediately; on real hardware this
 // would first quiesce the DMA engine (io_uring cancel + wait).
 func (w *spillWriter) abort(cause error) {
+	// Writes the shared dispatcher is still holding deferred reference the
+	// staging buffers released below — cancel them before recycling.
+	w.ring.CancelDeferred()
 	for ud, rec := range w.inflight {
 		delete(w.inflight, ud)
 		w.release(rec)

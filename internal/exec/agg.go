@@ -785,6 +785,7 @@ func (a *Agg) mergePhase(ctx *Ctx, sp *trace.Span, res *core.Result, rcPart *dat
 	if anySlots {
 		sched = core.NewPartitionScheduler(ctx.goCtx(), ctx.Spill.Array, ctx.pageSize(),
 			items, ctx.readDepth(), ctx.Budget, ctx.BlockingSpillRead)
+		ctx.bindSpillIO(sched)
 		sched.SetIntegrity(res.Stripes)
 		ctx.AddCleanup(sched.Close)
 	}

@@ -59,6 +59,13 @@ type Ctx struct {
 	// (0 = core.DefaultReadDepth). Deeper queues keep more of the array's
 	// aggregate bandwidth busy during phase 2 (§5.2).
 	ReadDepth int
+	// QueryID is the fairness key operators pass to the shared I/O
+	// scheduler (Spill.Query when spilling is on). 0 is a valid key for
+	// one-off contexts; engines use the spill lease ID.
+	QueryID uint64
+	// ScanDepth bounds in-flight group reads per table scan
+	// (0 = colstore's default). See colstore.ScanOpts.
+	ScanDepth int
 	// BlockingSpillRead disables phase-2 readback overlap: every spilled
 	// partition is read back synchronously when its consumer reaches it,
 	// with no cross-partition prefetch — the pre-scheduler baseline the
@@ -167,6 +174,14 @@ func (c *Ctx) canceled() error {
 	return c.Context.Err()
 }
 
+// bindSpillIO routes a partition scheduler's readback through the engine's
+// shared I/O dispatcher (no-op when none is configured).
+func (c *Ctx) bindSpillIO(s *core.PartitionScheduler) {
+	if c.Spill != nil {
+		s.BindIO(c.Spill.Sched, c.Spill.Query)
+	}
+}
+
 // readDepth returns the spill readback depth, defaulted.
 func (c *Ctx) readDepth() int {
 	if c.ReadDepth <= 0 {
@@ -212,6 +227,26 @@ type Stats struct {
 	// already in flight when their consumer opened them.
 	SpillStallNanos      atomic.Int64
 	PrefetchedPartitions atomic.Int64
+
+	// ScanStallNanos is worker wall time spent blocked inside table-scan
+	// Next calls waiting on group reads — the scan-side analog of
+	// SpillStallNanos, attributed per scan via colstore.Reader stall
+	// counters.
+	ScanStallNanos atomic.Int64
+	// ScanStalls counts how many times scan workers blocked waiting for a
+	// group read (each block promotes the group's reads to demand class);
+	// ScanStallNanos/ScanStalls is the mean demand wait per block.
+	ScanStalls atomic.Int64
+
+	// Demand-read latency: completed spill-readback reads that were
+	// issued demand-class (their partition's consumer had already opened
+	// it) and the sum of their per-request completion latencies. Where
+	// the stall counters measure worker-side blocked wall time, these
+	// measure how long each latency-critical read itself spent queued
+	// behind other I/O — the quantity the shared I/O scheduler's
+	// demand-first dispatch bounds.
+	DemandReads     atomic.Int64
+	DemandReadNanos atomic.Int64
 
 	// Spill integrity counters (checksummed frames + parity stripes, see
 	// core.SpillConfig.Parity): frames whose checksums verified on
@@ -278,6 +313,9 @@ func chargeSpillCursor(ctx *Ctx, sp *trace.Span, c core.PartitionCursor) {
 		ctx.Stats.SpillRetries.Add(c.Retries())
 		ctx.Stats.SpillStallNanos.Add(c.StallNanos())
 		ctx.Stats.PrefetchedPartitions.Add(pre)
+		dn, dns := c.DemandReads()
+		ctx.Stats.DemandReads.Add(dn)
+		ctx.Stats.DemandReadNanos.Add(dns)
 		ctx.Stats.SpillPagesVerified.Add(c.Verified())
 		ctx.Stats.SpillChecksumErrors.Add(c.ChecksumErrors())
 		ctx.Stats.SpillReconstructions.Add(c.Reconstructions())

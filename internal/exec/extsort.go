@@ -193,6 +193,7 @@ func (g *runGenerator) spillRun() error {
 	if g.ring == nil {
 		g.ring = uring.New(g.ctx.Spill.Array)
 		g.ring.SetLease(g.ctx.Spill.Lease)
+		g.ring.Bind(g.ctx.Spill.Sched, uring.ClassSpillWrite, g.ctx.Spill.Query)
 	}
 	run := &sortRun{}
 	// Write buffers are plain pages owned by the ring until completion;
@@ -274,6 +275,8 @@ type runCursor struct {
 	curBuf  []byte // recycler-backed buffer the current page aliases
 
 	ring    *uring.Ring
+	disp    uring.Dispatcher // shared I/O scheduler (nil = private ring)
+	query   uint64
 	pending map[uint64]int
 	bufs    map[int][]byte
 	nextReq int
@@ -323,6 +326,9 @@ func (c *runCursor) next() ([]byte, error) {
 func (c *runCursor) loadSpilled() error {
 	if c.ring == nil {
 		c.ring = uring.New(c.arr)
+		// Merge reads block the (single) merge worker, so they are demand
+		// class under the shared scheduler.
+		c.ring.Bind(c.disp, uring.ClassDemand, c.query)
 	}
 	// Prefetch ahead.
 	for c.nextReq < len(c.run.slots) && c.nextReq < c.pageIdx+4 {
@@ -362,6 +368,9 @@ func (c *runCursor) loadSpilled() error {
 		comps := c.ring.Poll(nil, true)
 		for _, comp := range comps {
 			if comp.Err != nil {
+				// The merge aborts on a failed read; drop reads the shared
+				// scheduler never issued so they do not linger in its queues.
+				c.ring.CancelDeferred()
 				return comp.Err
 			}
 			delete(c.pending, comp.UserData)
@@ -380,6 +389,9 @@ func (s *ExtSort) mergeStream(ctx *Ctx, sp *trace.Span, runs []*sortRun, rc *dat
 	h := &mergeHeap{rc: rc, keyCols: keyCols, keys: s.Keys}
 	for _, run := range runs {
 		cur := newRunCursor(run, arr, pageSize, ctx.Stats, sp)
+		if ctx.Spill != nil {
+			cur.disp, cur.query = ctx.Spill.Sched, ctx.Spill.Query
+		}
 		t, err := cur.next()
 		if err != nil {
 			return nil, err

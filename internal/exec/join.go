@@ -571,6 +571,7 @@ func (jw *joinWorker) finalizeProbe() error {
 			js.sched = core.NewPartitionScheduler(js.ctx.goCtx(), js.ctx.Spill.Array,
 				js.ctx.pageSize(), items, js.ctx.readDepth(), js.ctx.Budget,
 				js.ctx.BlockingSpillRead)
+			js.ctx.bindSpillIO(js.sched)
 			// One scheduler serves both sides, so its stripe directory is
 			// the union of the build and probe results' parity stripes.
 			stripes := js.bres.Stripes

@@ -52,9 +52,35 @@ func (s *Scan) Run(ctx *Ctx) (*Stream, error) {
 	hasFilter := s.Filter.I != nil
 	accs := make([]statsAcc, nw)
 	selBufs := make([][]int32, nw)
+	// chargeStall folds a finished (or abandoned) reader's accumulated
+	// I/O-stall time into the query stats and the scan span, exactly once
+	// per reader.
+	stalled := make([]bool, nw)
+	chargeStall := func(w int) {
+		if stalled[w] || readers[w] == nil {
+			return
+		}
+		stalled[w] = true
+		if sr, ok := readers[w].(interface{ StallNanos() int64 }); ok {
+			ns := sr.StallNanos()
+			if ctx.Stats != nil {
+				ctx.Stats.ScanStallNanos.Add(ns)
+				if sc, ok := readers[w].(interface{ Stalls() int64 }); ok {
+					ctx.Stats.ScanStalls.Add(sc.Stalls())
+				}
+			}
+			sp.AddScanStall(ns)
+		}
+	}
 	return ctx.traceStream(&Stream{
 		schema: s.schema,
 		abandon: func(w int) {
+			mu.Lock()
+			if c, ok := readers[w].(interface{ Close() }); ok {
+				c.Close()
+			}
+			chargeStall(w)
+			mu.Unlock()
 			if ctx.Stats != nil {
 				accs[w].flush(ctx.Stats)
 			}
@@ -62,13 +88,21 @@ func (s *Scan) Run(ctx *Ctx) (*Stream, error) {
 		next: func(w int, b *data.Batch) (int, error) {
 			mu.Lock()
 			if readers[w] == nil {
-				readers[w] = s.Table.NewReader(s.proj, &cursor)
+				if ot, ok := s.Table.(colstore.OptsTable); ok {
+					readers[w] = ot.NewReaderOpts(s.proj, &cursor,
+						colstore.ScanOpts{Query: ctx.QueryID, Depth: ctx.ScanDepth})
+				} else {
+					readers[w] = s.Table.NewReader(s.proj, &cursor)
+				}
 			}
 			r := readers[w]
 			mu.Unlock()
 			for {
 				n, err := r.Next(b)
 				if err != nil || n == 0 {
+					mu.Lock()
+					chargeStall(w)
+					mu.Unlock()
 					if ctx.Stats != nil {
 						accs[w].flush(ctx.Stats)
 					}

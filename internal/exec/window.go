@@ -186,6 +186,7 @@ func (w *Window) outputStream(ctx *Ctx, sp *trace.Span, res *core.Result, rc *da
 	if len(items) > 0 {
 		sched = core.NewPartitionScheduler(ctx.goCtx(), ctx.Spill.Array, ctx.pageSize(),
 			items, ctx.readDepth(), ctx.Budget, ctx.BlockingSpillRead)
+		ctx.bindSpillIO(sched)
 		sched.SetIntegrity(res.Stripes)
 		ctx.AddCleanup(sched.Close)
 	}

@@ -409,6 +409,27 @@ func (a *Array) PerDevice() []DeviceStats {
 	return out
 }
 
+// ChannelBacklogs returns one device's modeled channel backlogs — how far
+// its read and write busy-until horizons extend past now. Unlike PerDevice
+// it allocates nothing, so the shared I/O scheduler and the metrics
+// endpoint can sample it per device on hot paths.
+func (a *Array) ChannelBacklogs(dev int) (read, write time.Duration) {
+	if dev < 0 || dev >= len(a.devices) {
+		return 0, 0
+	}
+	d := a.devices[dev]
+	now := a.clock.Now()
+	d.mu.Lock()
+	if d.readBusy.After(now) {
+		read = d.readBusy.Sub(now)
+	}
+	if d.writeBusy.After(now) {
+		write = d.writeBusy.Sub(now)
+	}
+	d.mu.Unlock()
+	return read, write
+}
+
 // MaxWriteBandwidth returns the array's aggregate write bandwidth in
 // bytes/sec; used by the harness to report utilization.
 func (a *Array) MaxWriteBandwidth() float64 {

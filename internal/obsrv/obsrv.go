@@ -111,6 +111,39 @@ type ResultCacheStats struct {
 	Shrinks       int64
 }
 
+// IOSchedClassStats are one priority class's cumulative dispatch counters
+// in a shared I/O scheduler.
+type IOSchedClassStats struct {
+	Class      string
+	Dispatched int64
+	Deferred   int64
+}
+
+// IOSchedDeviceStats are one device's live queue gauges in a shared I/O
+// scheduler: requests in flight (depth), requests deferred (queued), and the
+// simulated channel backlog, split by channel.
+type IOSchedDeviceStats struct {
+	ReadDepth        int
+	WriteDepth       int
+	ReadQueued       int
+	WriteQueued      int
+	ReadBacklogSecs  float64
+	WriteBacklogSecs float64
+}
+
+// IOSchedStats is a snapshot of one shared I/O scheduler (one per array):
+// per-class dispatch counters, promotion/aging totals, and per-device
+// depth/backlog gauges.
+type IOSchedStats struct {
+	Array    string // which array the scheduler serves, e.g. "spill"
+	Classes  []IOSchedClassStats
+	Promoted int64
+	Aged     int64
+	Queued   int64
+	Inflight int64
+	Devices  []IOSchedDeviceStats
+}
+
 // Server renders engine observability snapshots over HTTP. All fields are
 // optional; nil sources simply omit their metrics.
 type Server struct {
@@ -133,6 +166,8 @@ type Server struct {
 	BufCache func() BufCacheStats
 	// ResultCache returns the query-result reuse-cache snapshot.
 	ResultCache func() ResultCacheStats
+	// IOSched returns the shared I/O scheduler snapshots (one per array).
+	IOSched func() []IOSchedStats
 }
 
 // Handler returns the observability mux: /metrics, /queries, /debug/pprof/.
@@ -314,6 +349,9 @@ func (s *Server) serveMetrics(w http.ResponseWriter, _ *http.Request) {
 			"Governor pressure callbacks that shrank the cache.",
 			sample{value: float64(rc.Shrinks)})
 	}
+	if s.IOSched != nil {
+		writeIOSched(&b, s.IOSched())
+	}
 	writeArray(&b, "spill", s.SpillArray)
 	writeArray(&b, "table", s.TableArray)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -367,6 +405,69 @@ func writeFaults(b *strings.Builder, c metrics.FaultCounts) {
 		writeCounter(b, "spilly_device_errors_total", "counter",
 			"Fatal I/O errors attributed to a device.", ss...)
 	}
+}
+
+// writeIOSched emits the shared I/O scheduler counters: per-class dispatch
+// totals plus per-device depth, queue, and backlog gauges, labeled by array.
+func writeIOSched(b *strings.Builder, scheds []IOSchedStats) {
+	if len(scheds) == 0 {
+		return
+	}
+	var disp, def []sample
+	for _, sc := range scheds {
+		for _, c := range sc.Classes {
+			l := fmt.Sprintf("array=%q,class=%q", sc.Array, c.Class)
+			disp = append(disp, sample{labels: l, value: float64(c.Dispatched)})
+			def = append(def, sample{labels: l, value: float64(c.Deferred)})
+		}
+	}
+	writeCounter(b, "spilly_iosched_dispatched_total", "counter",
+		"I/O requests the shared scheduler issued to the array, by priority class.", disp...)
+	writeCounter(b, "spilly_iosched_deferred_total", "counter",
+		"Of the dispatched requests, those that waited at least one scheduling pass.", def...)
+	perSched := func(f func(IOSchedStats) float64) []sample {
+		ss := make([]sample, len(scheds))
+		for i, sc := range scheds {
+			ss[i] = sample{labels: fmt.Sprintf("array=%q", sc.Array), value: f(sc)}
+		}
+		return ss
+	}
+	writeCounter(b, "spilly_iosched_promoted_total", "counter",
+		"Deferred reads promoted to demand class by a blocking consumer.",
+		perSched(func(sc IOSchedStats) float64 { return float64(sc.Promoted) })...)
+	writeCounter(b, "spilly_iosched_aged_total", "counter",
+		"Deferred requests dispatched above their class's share by the aging escape hatch.",
+		perSched(func(sc IOSchedStats) float64 { return float64(sc.Aged) })...)
+	writeCounter(b, "spilly_iosched_queued", "gauge",
+		"Requests currently deferred in the scheduler's queues.",
+		perSched(func(sc IOSchedStats) float64 { return float64(sc.Queued) })...)
+	writeCounter(b, "spilly_iosched_inflight", "gauge",
+		"Requests dispatched to the array and not yet complete.",
+		perSched(func(sc IOSchedStats) float64 { return float64(sc.Inflight) })...)
+	perDev := func(f func(IOSchedDeviceStats) float64, channel string) []sample {
+		var ss []sample
+		for _, sc := range scheds {
+			for i, d := range sc.Devices {
+				ss = append(ss, sample{
+					labels: fmt.Sprintf("array=%q,device=\"%d\",channel=%q", sc.Array, i, channel),
+					value:  f(d),
+				})
+			}
+		}
+		return ss
+	}
+	writeCounter(b, "spilly_iosched_device_depth", "gauge",
+		"Requests in flight on the device channel (the scheduler targets its depth target).",
+		append(perDev(func(d IOSchedDeviceStats) float64 { return float64(d.ReadDepth) }, "read"),
+			perDev(func(d IOSchedDeviceStats) float64 { return float64(d.WriteDepth) }, "write")...)...)
+	writeCounter(b, "spilly_iosched_device_queued", "gauge",
+		"Requests deferred behind the device channel's depth target.",
+		append(perDev(func(d IOSchedDeviceStats) float64 { return float64(d.ReadQueued) }, "read"),
+			perDev(func(d IOSchedDeviceStats) float64 { return float64(d.WriteQueued) }, "write")...)...)
+	writeCounter(b, "spilly_iosched_device_backlog_seconds", "gauge",
+		"Simulated device channel backlog (busy-until minus now) seen by the scheduler.",
+		append(perDev(func(d IOSchedDeviceStats) float64 { return d.ReadBacklogSecs }, "read"),
+			perDev(func(d IOSchedDeviceStats) float64 { return d.WriteBacklogSecs }, "write")...)...)
 }
 
 // writeArray emits per-device counters for one nvmesim array.

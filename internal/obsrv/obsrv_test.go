@@ -51,6 +51,20 @@ func testServer(t *testing.T) *Server {
 				Puts: 4, Demotions: 1, Restores: 2,
 			}
 		},
+		IOSched: func() []IOSchedStats {
+			return []IOSchedStats{{
+				Array: "spill",
+				Classes: []IOSchedClassStats{
+					{Class: "demand", Dispatched: 100, Deferred: 2},
+					{Class: "prefetch", Dispatched: 40, Deferred: 30},
+				},
+				Promoted: 5, Aged: 3, Queued: 7, Inflight: 8,
+				Devices: []IOSchedDeviceStats{
+					{ReadDepth: 6, WriteDepth: 2, ReadQueued: 4, WriteQueued: 3,
+						ReadBacklogSecs: 0.25, WriteBacklogSecs: 0.5},
+				},
+			}}
+		},
 	}
 }
 
@@ -87,6 +101,16 @@ func TestMetricsEndpoint(t *testing.T) {
 		"spilly_cache_misses_total 6",
 		"spilly_cache_demotions_total 1",
 		"spilly_cache_restores_total 2",
+		`spilly_iosched_dispatched_total{array="spill",class="demand"} 100`,
+		`spilly_iosched_dispatched_total{array="spill",class="prefetch"} 40`,
+		`spilly_iosched_deferred_total{array="spill",class="prefetch"} 30`,
+		`spilly_iosched_promoted_total{array="spill"} 5`,
+		`spilly_iosched_aged_total{array="spill"} 3`,
+		`spilly_iosched_queued{array="spill"} 7`,
+		`spilly_iosched_inflight{array="spill"} 8`,
+		`spilly_iosched_device_depth{array="spill",device="0",channel="read"} 6`,
+		`spilly_iosched_device_queued{array="spill",device="0",channel="write"} 3`,
+		`spilly_iosched_device_backlog_seconds{array="spill",device="0",channel="read"} 0.25`,
 	} {
 		if !strings.Contains(body, want) {
 			t.Fatalf("metrics missing %q:\n%s", want, body)

@@ -165,6 +165,9 @@ func formatNode(sb *strings.Builder, n *ProfileNode, indent string, total time.D
 	if n.SpillStallNs > 0 || n.PrefetchedParts > 0 {
 		fmt.Fprintf(sb, " stall=%s prefetched=%d", fmtDur(n.SpillStallNs), n.PrefetchedParts)
 	}
+	if n.ScanStallNs > 0 {
+		fmt.Fprintf(sb, " scan-stall=%s", fmtDur(n.ScanStallNs))
+	}
 	if n.SpillRetries > 0 || n.SpillFailovers > 0 {
 		fmt.Fprintf(sb, " retries=%d failovers=%d", n.SpillRetries, n.SpillFailovers)
 	}

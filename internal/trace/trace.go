@@ -64,6 +64,11 @@ type Span struct {
 	spillStallNs    atomic.Int64
 	prefetchedParts atomic.Int64
 
+	// Scan-side stall telemetry: worker wall time spent blocked inside a
+	// table scan waiting for group reads the prefetch window had not
+	// finished yet (measured at the colstore reader).
+	scanStallNs atomic.Int64
+
 	// Spill integrity telemetry (checksummed frames + parity stripes):
 	// frames whose checksums verified on readback, blocks that failed
 	// verification, and blocks rebuilt from their parity stripe.
@@ -249,6 +254,15 @@ func (s *Span) AddSpillStall(stallNs, prefetched int64) {
 	s.prefetchedParts.Add(prefetched)
 }
 
+// AddScanStall records table-scan stall time: worker wall time spent
+// blocked inside reader Next calls waiting on group reads.
+func (s *Span) AddScanStall(stallNs int64) {
+	if s == nil {
+		return
+	}
+	s.scanStallNs.Add(stallNs)
+}
+
 // AddSpillIntegrity records readback integrity work: frames verified,
 // blocks that failed verification, and blocks rebuilt from parity.
 func (s *Span) AddSpillIntegrity(verified, checksumErrs, reconstructions int64) {
@@ -324,6 +338,7 @@ type SpanSnapshot struct {
 
 	SpillStallNs    time.Duration `json:"spill_stall_ns,omitempty"`
 	PrefetchedParts int64         `json:"prefetched_partitions,omitempty"`
+	ScanStallNs     time.Duration `json:"scan_stall_ns,omitempty"`
 
 	SpillVerified     int64 `json:"spill_pages_verified,omitempty"`
 	SpillChecksumErrs int64 `json:"spill_checksum_errors,omitempty"`
@@ -356,6 +371,7 @@ func (s *Span) Snapshot() SpanSnapshot {
 		Spilled:         s.spilled.Load(),
 		SpillStallNs:    time.Duration(s.spillStallNs.Load()),
 		PrefetchedParts: s.prefetchedParts.Load(),
+		ScanStallNs:     time.Duration(s.scanStallNs.Load()),
 		SpillVerified:     s.spillVerified.Load(),
 		SpillChecksumErrs: s.spillChecksumErrs.Load(),
 		SpillReconstructs: s.spillReconstructs.Load(),

@@ -28,6 +28,89 @@ const (
 	OpRead
 )
 
+// Class is the I/O priority class a request carries into the shared
+// dispatcher (internal/iosched). Lower values dispatch first. Unbound
+// rings ignore it.
+type Class uint8
+
+// Priority classes, highest first (§5.1: deep enough to saturate, shallow
+// enough that latency-critical requests aren't stuck behind bulk I/O).
+const (
+	// ClassDemand marks reads a consumer is blocked on.
+	ClassDemand Class = iota
+	// ClassSpillWrite marks phase-1 spill writes; the writer's maxAhead
+	// backpressure bounds how many a query can have outstanding.
+	ClassSpillWrite
+	// ClassPrefetch marks speculative reads: scan lookahead and partition
+	// readback prefetch.
+	ClassPrefetch
+	// ClassBackground marks deferrable maintenance I/O (cache demotion).
+	ClassBackground
+	// NumClasses is the number of priority classes.
+	NumClasses = 4
+)
+
+// String names the class for metrics and logs.
+func (c Class) String() string {
+	switch c {
+	case ClassDemand:
+		return "demand"
+	case ClassSpillWrite:
+		return "spill_write"
+	case ClassPrefetch:
+		return "prefetch"
+	default:
+		return "background"
+	}
+}
+
+// Request is one I/O request a bound ring hands to the shared dispatcher.
+// Submitted is the ring-side submission timestamp (the user-data timestamp
+// trick), so Completion.Latency includes any time the dispatcher defers the
+// request — queueing delay is part of the I/O cost the self-regulating
+// compression controller observes. DepthAtSubmit keeps its ring-local
+// meaning: this ring's outstanding requests when the request was submitted,
+// including itself.
+type Request struct {
+	Op            Op
+	Loc           nvmesim.Loc
+	Buf           []byte
+	UserData      uint64
+	Class         Class
+	Submitted     time.Time
+	DepthAtSubmit int
+}
+
+// Dispatcher is an engine-wide shared I/O scheduler rings can bind to
+// (internal/iosched implements it). Register returns the per-ring
+// submission handle; query is the fairness key requests are round-robined
+// by within a class.
+type Dispatcher interface {
+	Register(query uint64) DispatchRing
+}
+
+// DispatchRing is the dispatcher-side state of one bound ring. All methods
+// are safe for concurrent use (the dispatcher serializes internally), but a
+// Ring itself remains single-threaded by design.
+type DispatchRing interface {
+	// Submit enqueues a batch; the dispatcher takes ownership of reqs.
+	Submit(reqs []Request)
+	// Poll appends ready completions to out. With block set it sleeps —
+	// driving the shared dispatch loop — until at least one of this ring's
+	// requests completes, the ring has nothing outstanding, or cancel
+	// (which may be nil) reports cancellation.
+	Poll(out []Completion, block bool, cancel func() bool) []Completion
+	// Outstanding counts this ring's submitted-but-unreaped requests.
+	Outstanding() int
+	// Promote re-tags a still-deferred request as demand (a consumer now
+	// blocks on it); returns false if it already dispatched.
+	Promote(userData uint64) bool
+	// CancelDeferred drops this ring's not-yet-dispatched requests
+	// without completing them, returning how many were dropped. Used by
+	// teardown paths that will never poll again.
+	CancelDeferred() int
+}
+
 // Completion is one completed I/O request.
 type Completion struct {
 	UserData  uint64
@@ -52,6 +135,7 @@ type sqe struct {
 	loc      nvmesim.Loc
 	buf      []byte
 	userData uint64
+	class    Class
 }
 
 // cqe is an in-flight request ordered by readyAt.
@@ -94,6 +178,12 @@ type Ring struct {
 	// sleeping until the next modeled completion.
 	cancel func() bool
 
+	// dr, when set (Bind), routes submissions through the engine's shared
+	// I/O dispatcher instead of hitting the array directly; class is the
+	// default priority class queued requests carry.
+	dr    DispatchRing
+	class Class
+
 	// Cumulative counters for the harness.
 	writesQueued int64
 	readsQueued  int64
@@ -118,6 +208,41 @@ func (r *Ring) SetCancel(cancel func() bool) { r.cancel = cancel }
 // given lease (nil = unleased). The query's teardown frees the lease, which
 // reclaims every extent the ring allocated under it.
 func (r *Ring) SetLease(l *nvmesim.Lease) { r.lease = l }
+
+// Bind routes the ring's submissions through the shared dispatcher d under
+// the given default class and query fairness key. Call before the first
+// Submit; a nil dispatcher leaves the ring private (requests hit the array
+// directly at Submit, the pre-scheduler behavior).
+func (r *Ring) Bind(d Dispatcher, class Class, query uint64) {
+	if d == nil {
+		return
+	}
+	r.dr = d.Register(query)
+	r.class = class
+}
+
+// Promote re-tags a still-deferred request as demand — the caller's
+// consumer now blocks on it. It is a no-op on unbound rings (their requests
+// always dispatch at Submit) and on requests already dispatched. Unlike the
+// rest of the Ring API, Promote is safe to call concurrently with the
+// ring's owner: it only touches the dispatcher, which locks internally.
+func (r *Ring) Promote(userData uint64) bool {
+	if r.dr == nil {
+		return false
+	}
+	return r.dr.Promote(userData)
+}
+
+// CancelDeferred drops the ring's not-yet-dispatched requests, returning
+// how many were dropped. Teardown paths that will never poll again use it
+// so abandoned requests do not occupy scheduler queues until they drain on
+// their own.
+func (r *Ring) CancelDeferred() int {
+	if r.dr == nil {
+		return 0
+	}
+	return r.dr.CancelDeferred()
+}
 
 // QueueWrite queues data to be written to the next writable device in the
 // ring's round-robin order and returns the location it will occupy. Devices
@@ -152,7 +277,7 @@ func (r *Ring) QueueWriteDev(dev int, buf []byte, userData uint64) (nvmesim.Loc,
 		return 0, err
 	}
 	loc := nvmesim.MakeLoc(dev, off, len(buf))
-	r.sq = append(r.sq, sqe{op: OpWrite, dev: dev, loc: loc, buf: buf, userData: userData})
+	r.sq = append(r.sq, sqe{op: OpWrite, dev: dev, loc: loc, buf: buf, userData: userData, class: r.class})
 	r.writesQueued++
 	return loc, nil
 }
@@ -160,15 +285,38 @@ func (r *Ring) QueueWriteDev(dev int, buf []byte, userData uint64) (nvmesim.Loc,
 // QueueRead queues a read of loc into buf, which must be at least
 // loc.Size() bytes minus alignment padding; the stored block length governs.
 func (r *Ring) QueueRead(loc nvmesim.Loc, buf []byte, userData uint64) {
-	r.sq = append(r.sq, sqe{op: OpRead, loc: loc, buf: buf, userData: userData})
+	r.sq = append(r.sq, sqe{op: OpRead, loc: loc, buf: buf, userData: userData, class: r.class})
 	r.readsQueued++
 }
 
-// Submit flushes the local submission queue to the array as one batch and
-// returns the number of requests submitted.
+// QueueReadClass queues a read under an explicit priority class, overriding
+// the ring's default — the PartitionScheduler distinguishes demand reads
+// (a consumer blocks on them) from prefetch on the same ring.
+func (r *Ring) QueueReadClass(loc nvmesim.Loc, buf []byte, userData uint64, class Class) {
+	r.sq = append(r.sq, sqe{op: OpRead, loc: loc, buf: buf, userData: userData, class: class})
+	r.readsQueued++
+}
+
+// Submit flushes the local submission queue as one batch and returns the
+// number of requests submitted. A bound ring hands the batch to the shared
+// dispatcher, which may defer individual requests until their device has
+// depth-target headroom; an unbound ring hits the array directly.
 func (r *Ring) Submit() int {
 	n := len(r.sq)
 	now := r.clock.Now()
+	if r.dr != nil {
+		base := r.dr.Outstanding()
+		reqs := make([]Request, 0, n)
+		for i, e := range r.sq {
+			reqs = append(reqs, Request{
+				Op: e.op, Loc: e.loc, Buf: e.buf, UserData: e.userData,
+				Class: e.class, Submitted: now, DepthAtSubmit: base + i + 1,
+			})
+		}
+		r.sq = r.sq[:0]
+		r.dr.Submit(reqs)
+		return n
+	}
 	for _, e := range r.sq {
 		c := cqe{Completion: Completion{
 			UserData:  e.userData,
@@ -206,7 +354,12 @@ func (r *Ring) Submit() int {
 }
 
 // Outstanding returns the number of submitted-but-unreaped requests.
-func (r *Ring) Outstanding() int { return len(r.inflight) }
+func (r *Ring) Outstanding() int {
+	if r.dr != nil {
+		return r.dr.Outstanding()
+	}
+	return len(r.inflight)
+}
 
 // Pending returns the number of queued-but-unsubmitted requests.
 func (r *Ring) Pending() int { return len(r.sq) }
@@ -224,6 +377,23 @@ const maxPollWait = time.Millisecond
 // (SetCancel), a blocking Poll returns early — possibly empty — once the
 // probe reports cancellation.
 func (r *Ring) Poll(out []Completion, block bool) []Completion {
+	if r.dr != nil {
+		n0 := len(out)
+		out = r.dr.Poll(out, block, r.cancel)
+		// Byte counters move to reap time on bound rings: success is only
+		// known once the dispatcher completes the request.
+		for _, c := range out[n0:] {
+			if c.Err != nil {
+				continue
+			}
+			if c.Op == OpWrite {
+				r.bytesWritten += int64(c.N)
+			} else {
+				r.bytesRead += int64(c.N)
+			}
+		}
+		return out
+	}
 	for {
 		now := r.clock.Now()
 		got := false
@@ -253,7 +423,7 @@ func (r *Ring) Poll(out []Completion, block bool) []Completion {
 // completions reaped.
 func (r *Ring) WaitAll(out []Completion) []Completion {
 	r.Submit()
-	for len(r.inflight) > 0 {
+	for r.Outstanding() > 0 {
 		if r.cancel != nil && r.cancel() {
 			return out
 		}

@@ -7,14 +7,16 @@ import (
 	"time"
 
 	"github.com/spilly-db/spilly/internal/obsrv"
+	"github.com/spilly-db/spilly/internal/uring"
 )
 
 // Handler returns the engine's observability HTTP handler:
 //
 //   - /metrics — Prometheus text-format counters: query totals,
-//     spill retry/failover totals, buffer-cache (spilly_bufcache_*) and
-//     result-cache (spilly_cache_*) counters, and per-device NVMe-array
-//     counters (bytes, request counts, spill area, simulated queue backlog).
+//     spill retry/failover totals, buffer-cache (spilly_bufcache_*),
+//     result-cache (spilly_cache_*) and shared-I/O-scheduler
+//     (spilly_iosched_*) counters, and per-device NVMe-array counters
+//     (bytes, request counts, spill area, simulated queue backlog).
 //   - /queries — JSON snapshot of in-flight queries with live progress
 //     counters and, under Config.Profile, their operator spans so far.
 //   - /debug/pprof/ — the standard Go profiling endpoints.
@@ -97,6 +99,38 @@ func (e *Engine) Handler() http.Handler {
 				Invalidated:   rc.Invalidated,
 				Shrinks:       rc.Shrinks,
 			}
+		},
+		IOSched: func() []obsrv.IOSchedStats {
+			snaps := e.IOSchedSnapshots()
+			out := make([]obsrv.IOSchedStats, len(snaps))
+			for i, sn := range snaps {
+				st := obsrv.IOSchedStats{
+					Array:    sn.Name,
+					Promoted: sn.Stats.Promoted,
+					Aged:     sn.Stats.Aged,
+					Queued:   sn.Stats.Queued,
+					Inflight: sn.Stats.Inflight,
+				}
+				for cls, c := range sn.Stats.Classes {
+					st.Classes = append(st.Classes, obsrv.IOSchedClassStats{
+						Class:      uring.Class(cls).String(),
+						Dispatched: c.Dispatched,
+						Deferred:   c.Deferred,
+					})
+				}
+				for _, d := range sn.Devices {
+					st.Devices = append(st.Devices, obsrv.IOSchedDeviceStats{
+						ReadDepth:        d.ReadDepth,
+						WriteDepth:       d.WriteDepth,
+						ReadQueued:       d.ReadQueued,
+						WriteQueued:      d.WriteQueued,
+						ReadBacklogSecs:  d.ReadBacklog.Seconds(),
+						WriteBacklogSecs: d.WriteBacklog.Seconds(),
+					})
+				}
+				out[i] = st
+			}
+			return out
 		},
 	}
 	return srv.Handler()

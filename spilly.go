@@ -33,6 +33,7 @@ import (
 	"github.com/spilly-db/spilly/internal/core"
 	"github.com/spilly-db/spilly/internal/data"
 	"github.com/spilly-db/spilly/internal/exec"
+	"github.com/spilly-db/spilly/internal/iosched"
 	"github.com/spilly-db/spilly/internal/metrics"
 	"github.com/spilly-db/spilly/internal/nvmesim"
 	"github.com/spilly-db/spilly/internal/pages"
@@ -130,6 +131,24 @@ type Config struct {
 	// the overlap benchmark measures against.
 	ReadDepth         int
 	BlockingSpillRead bool
+	// IODepthTarget is the per-device, per-direction queue-depth target of
+	// the shared I/O scheduler (0 = 8): each device channel dispatches up
+	// to this many requests at once, and everything beyond it queues in
+	// priority order (demand read > spill write > prefetch read >
+	// background) with round-robin fairness across queries.
+	IODepthTarget int
+	// IOPrefetchShare bounds the fraction of the depth target that
+	// prefetch- and background-class requests may occupy while demand
+	// traffic exists (0 = 0.5, clamped to leave at least one slot each way).
+	IOPrefetchShare float64
+	// ScanDepth bounds the row groups each external-scan reader keeps in
+	// flight (0 = 4). With one reader per worker, scan lookahead times the
+	// worker count is the scan pressure on the table array.
+	ScanDepth int
+	// NoIOSched disables the shared I/O scheduler entirely: every ring
+	// submits straight to its array, as before the scheduler existed — the
+	// private-rings baseline the iosched benchmark measures against.
+	NoIOSched bool
 	// SpillParity is the parity stripe width K: every K spill block writes
 	// are joined by one XOR parity block on a distinct device, so spilled
 	// data survives silent corruption and the loss of one device per stripe
@@ -183,6 +202,14 @@ type Engine struct {
 	store    *colstore.Store
 	faults   *metrics.FaultTracker
 
+	// spillSched and tableSched are the shared prioritized I/O schedulers
+	// for the two arrays (nil with Config.NoIOSched). Every ring the
+	// engine's queries create binds to one of them; ioKeys hands each query
+	// a unique fairness key.
+	spillSched *iosched.Scheduler
+	tableSched *iosched.Scheduler
+	ioKeys     atomic.Uint64
+
 	// results is the query-result reuse cache (nil unless
 	// Config.ResultCacheBytes > 0); catalogGen is the catalog generation
 	// its keys embed. RegisterTable brackets the table swap with two
@@ -217,6 +244,9 @@ type Engine struct {
 	spillStallNs    atomic.Int64
 	prefetchedParts atomic.Int64
 
+	// Engine-wide table-scan stall total, accumulated per query for /metrics.
+	scanStallNs atomic.Int64
+
 	// Engine-wide spill integrity totals, accumulated per query for /metrics.
 	spillVerified     atomic.Int64
 	spillChecksumErrs atomic.Int64
@@ -227,6 +257,34 @@ type Engine struct {
 // prefetched-partition count across all queries this engine has run.
 func (e *Engine) SpillStallTotals() (time.Duration, int64) {
 	return time.Duration(e.spillStallNs.Load()), e.prefetchedParts.Load()
+}
+
+// ScanStallTotal returns the cumulative table-scan stall time (worker wall
+// time blocked waiting for group reads) across all queries this engine has
+// run.
+func (e *Engine) ScanStallTotal() time.Duration {
+	return time.Duration(e.scanStallNs.Load())
+}
+
+// IOSchedSnapshot is one shared I/O scheduler's state for observability:
+// per-class dispatch counters plus per-device queue depths and backlogs.
+type IOSchedSnapshot struct {
+	Name    string // "spill" or "table"
+	Stats   iosched.Stats
+	Devices []iosched.DeviceStats
+}
+
+// IOSchedSnapshots returns the state of the engine's shared I/O schedulers
+// (nil with Config.NoIOSched).
+func (e *Engine) IOSchedSnapshots() []IOSchedSnapshot {
+	var out []IOSchedSnapshot
+	if e.spillSched != nil {
+		out = append(out, IOSchedSnapshot{Name: "spill", Stats: e.spillSched.Stats(), Devices: e.spillSched.PerDevice()})
+	}
+	if e.tableSched != nil {
+		out = append(out, IOSchedSnapshot{Name: "table", Stats: e.tableSched.Stats(), Devices: e.tableSched.PerDevice()})
+	}
+	return out
 }
 
 // SpillIntegrityTotals returns the cumulative spill integrity counters —
@@ -285,15 +343,29 @@ func Open(cfg Config) (*Engine, error) {
 		e.cache = colstore.NewCache(c.CacheBytes)
 	}
 	e.store = colstore.NewStore(e.tableArr, e.cache)
+	if !c.NoIOSched {
+		icfg := iosched.Config{
+			DepthTarget:   c.IODepthTarget,
+			PrefetchShare: c.IOPrefetchShare,
+		}
+		e.spillSched = iosched.New(e.spillArr, icfg)
+		e.tableSched = iosched.New(e.tableArr, icfg)
+		e.store.SetIOSched(e.tableSched)
+	}
+	e.store.SetScanDepth(c.ScanDepth)
 	if c.MemoryBudget > 0 {
 		e.gov = pages.NewGovernor(c.MemoryBudget, c.MemoryFloor)
 	}
 	if c.ResultCacheBytes > 0 {
-		e.results = rescache.New(rescache.Config{
+		rcfg := rescache.Config{
 			Capacity: c.ResultCacheBytes,
 			Array:    e.spillArr,
 			Gov:      e.gov,
-		})
+		}
+		if e.spillSched != nil {
+			rcfg.IO = e.spillSched
+		}
+		e.results = rescache.New(rcfg)
 	}
 	return e, nil
 }
@@ -485,6 +557,8 @@ func (e *Engine) NewCtx() *exec.Ctx {
 		BlockingSpillRead: e.cfg.BlockingSpillRead,
 		ForceGrace:        e.cfg.ForceGrace,
 		NoPreAgg:          e.cfg.NoPreAgg,
+		QueryID:           e.ioKeys.Add(1),
+		ScanDepth:         e.cfg.ScanDepth,
 		Stats:             &exec.Stats{},
 	}
 	if e.cfg.MemoryBudget > 0 {
@@ -501,6 +575,10 @@ func (e *Engine) NewCtx() *exec.Ctx {
 			Lease:    e.spillArr.NewLease(),
 			Compress: e.cfg.Compression,
 			Parity:   e.cfg.SpillParity,
+			Query:    ctx.QueryID,
+		}
+		if e.spillSched != nil {
+			ctx.Spill.Sched = e.spillSched
 		}
 	}
 	if e.cfg.Profile {
@@ -560,6 +638,23 @@ type Stats struct {
 	// already in flight when phase 2 reached them.
 	SpillStallTime       time.Duration
 	PrefetchedPartitions int64
+	// ScanStallTime is worker wall time spent blocked inside table-scan
+	// Next calls waiting on group reads the scan lookahead had not
+	// finished — the scan-side analog of SpillStallTime.
+	ScanStallTime time.Duration
+	// ScanStalls counts how many times scan workers blocked waiting for a
+	// group read (each block promotes the group's reads to demand class);
+	// ScanStallTime/ScanStalls is the mean demand wait per scan block.
+	ScanStalls int64
+	// DemandReads counts spill-readback reads issued demand-class (their
+	// partition's consumer had already opened it); DemandReadTime is the
+	// sum of their per-request completion latencies. Where the stall
+	// counters measure worker-side blocked wall time, these measure how
+	// long each latency-critical read itself spent queued behind other
+	// I/O — the quantity the shared I/O scheduler's demand-first dispatch
+	// bounds (mean latency = DemandReadTime / DemandReads).
+	DemandReads    int64
+	DemandReadTime time.Duration
 	// Spill integrity counters (Config.SpillParity > 0): frames whose
 	// checksums verified on readback, blocks that failed verification,
 	// blocks rebuilt from their parity stripe, and the parity bytes written
@@ -580,8 +675,9 @@ type Stats struct {
 	AdmissionWait time.Duration
 	MemoryGrant   int64
 	// AllocObjects and AllocBytes are the process-wide heap-allocation
-	// deltas (runtime.MemStats Mallocs / TotalAlloc) across the query —
-	// the GC-pressure cost of executing it. Approximate under
+	// deltas (runtime.MemStats Mallocs / TotalAlloc) across the query's
+	// execution phase (plan construction excluded) — the GC-pressure cost
+	// of running it. Approximate under
 	// concurrency: the process-wide counters mix in every other query
 	// running at the same time. AllocApprox reports whether any other
 	// query overlapped this one's measurement window; engine-level totals
@@ -820,10 +916,13 @@ func (e *Engine) runAdmitted(ctx *exec.Ctx, label string, planFP uint64, build f
 	q, deregister := e.registerQuery(label, ctx)
 	defer deregister()
 	defer ctx.Close() // return pooled batches, release budget, free the spill lease
-	var msBefore runtime.MemStats
-	runtime.ReadMemStats(&msBefore)
 	start := time.Now()
 	node, err := build()
+	// Snapshot after plan construction: AllocObjects tracks the execution
+	// hot path the recycling work targets, not per-plan operator setup
+	// (BENCH_alloc.json baselines were captured with that bracket).
+	var msBefore runtime.MemStats
+	runtime.ReadMemStats(&msBefore)
 	var out *data.Batch
 	if err == nil {
 		out, err = exec.Collect(ctx, node)
@@ -861,6 +960,10 @@ func (e *Engine) runAdmitted(ctx *exec.Ctx, label string, planFP uint64, build f
 		SpillFailovers:       s.SpillFailovers.Load(),
 		SpillStallTime:       time.Duration(s.SpillStallNanos.Load()),
 		PrefetchedPartitions: s.PrefetchedPartitions.Load(),
+		ScanStallTime:        time.Duration(s.ScanStallNanos.Load()),
+		ScanStalls:           s.ScanStalls.Load(),
+		DemandReads:          s.DemandReads.Load(),
+		DemandReadTime:       time.Duration(s.DemandReadNanos.Load()),
 		SpillPagesVerified:   s.SpillPagesVerified.Load(),
 		SpillChecksumErrors:  s.SpillChecksumErrors.Load(),
 		SpillReconstructions: s.SpillReconstructions.Load(),
@@ -873,6 +976,7 @@ func (e *Engine) runAdmitted(ctx *exec.Ctx, label string, planFP uint64, build f
 	}
 	e.spillStallNs.Add(int64(st.SpillStallTime))
 	e.prefetchedParts.Add(st.PrefetchedPartitions)
+	e.scanStallNs.Add(int64(st.ScanStallTime))
 	e.spillVerified.Add(st.SpillPagesVerified)
 	e.spillChecksumErrs.Add(st.SpillChecksumErrors)
 	e.spillReconstructs.Add(st.SpillReconstructions)
